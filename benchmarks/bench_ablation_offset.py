@@ -1,0 +1,33 @@
+"""Ablation — the counter-offset design choice (Section VI-B).
+
+The paper rejects "create a new counter and increment it until it reaches
+the transferred value" because counter operations are rate-limited, and
+chooses a constant-time offset instead.  This bench quantifies the gap.
+"""
+
+from repro.bench.harness import run_offset_ablation
+from repro.bench.stats import summarize
+
+
+def test_offset_vs_increment_to_value(benchmark):
+    data = benchmark.pedantic(
+        run_offset_ablation,
+        kwargs={"counter_values": (1, 10, 40), "reps": 6},
+        rounds=1,
+        iterations=1,
+    )
+    offset_means = {v: summarize(d["offset"]).mean for v, d in data.items()}
+    increment_means = {
+        v: summarize(d["increment_to_value"]).mean for v, d in data.items()
+    }
+
+    # offset: constant regardless of counter value
+    assert abs(offset_means[40] - offset_means[1]) / offset_means[1] < 0.1
+    # increment-to-value: grows linearly and is already ~1.6x at value 1
+    assert increment_means[1] > offset_means[1] * 1.3
+    assert increment_means[40] > increment_means[10] > increment_means[1]
+    slope_10 = (increment_means[10] - increment_means[1]) / 9
+    slope_40 = (increment_means[40] - increment_means[10]) / 30
+    assert abs(slope_40 - slope_10) / slope_10 < 0.2
+    # at value 40 the rejected design is already an order of magnitude worse
+    assert increment_means[40] / offset_means[40] > 10

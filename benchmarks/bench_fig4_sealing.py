@@ -1,0 +1,91 @@
+"""Figure 4 — initialization and sealing durations.
+
+Paper result: migratable sealing is slightly FASTER than native sealing
+(the MSK is cached in enclave memory, the native path pays an EGETKEY per
+call); library initialization is negligible (sub-millisecond) and is paid
+once per enclave load.
+"""
+
+from repro.bench.harness import run_fig4_init, run_fig4_sealing
+from repro.bench.stats import percent_overhead, summarize
+
+REPS = 150
+BULK_REPS = 60
+
+
+def test_fig4_sealing_shape(benchmark):
+    def experiment():
+        small = run_fig4_sealing(reps=REPS, sizes=(100,))
+        big = run_fig4_sealing(reps=BULK_REPS, sizes=(100_000,))
+        return {**small, **big}
+
+    data = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    for key in ("seal_100", "unseal_100", "seal_100000", "unseal_100000"):
+        # migratable sealing is FASTER: negative overhead
+        delta = percent_overhead(data[key]["baseline"], data[key]["miglib"])
+        assert delta < 0.0, f"{key}: expected miglib faster, got {delta:+.1f}%"
+
+    # magnitudes: sub-millisecond, growing with payload size
+    assert summarize(data["seal_100"]["baseline"]).mean < 5e-4
+    assert summarize(data["seal_100000"]["baseline"]).mean < 2e-3
+    assert (
+        summarize(data["seal_100000"]["baseline"]).mean
+        > summarize(data["seal_100"]["baseline"]).mean
+    )
+
+
+def test_fig4_init_shape(benchmark):
+    data = benchmark.pedantic(run_fig4_init, kwargs={"reps": 60}, rounds=1, iterations=1)
+    init_new = summarize(data["init_new"]).mean
+    init_restore = summarize(data["init_restore"]).mean
+    # negligible: well under a millisecond, vastly cheaper than counter ops
+    assert init_new < 1e-3
+    assert init_restore < 1e-3
+
+
+def test_bench_migratable_seal_100b(benchmark, bench_world):
+    enclave = bench_world.miglib_enclave
+    payload = bytes(100)
+
+    def seal():
+        start = bench_world.dc.clock.now
+        enclave.ecall("seal", payload)
+        return bench_world.dc.clock.now - start
+
+    assert benchmark(seal) < 5e-4
+
+
+def test_bench_baseline_seal_100b(benchmark, bench_world):
+    enclave = bench_world.baseline_enclave
+    payload = bytes(100)
+
+    def seal():
+        start = bench_world.dc.clock.now
+        enclave.ecall("seal", payload)
+        return bench_world.dc.clock.now - start
+
+    assert benchmark(seal) < 5e-4
+
+
+def test_bench_migratable_seal_100kb(benchmark, bench_world):
+    enclave = bench_world.miglib_enclave
+    payload = bytes(100_000)
+
+    def seal():
+        start = bench_world.dc.clock.now
+        enclave.ecall("seal", payload)
+        return bench_world.dc.clock.now - start
+
+    assert benchmark(seal) < 2e-3
+
+
+def test_bench_unseal_roundtrip_100kb(benchmark, bench_world):
+    enclave = bench_world.miglib_enclave
+    blob = enclave.ecall("seal", bytes(100_000))
+
+    def unseal():
+        return enclave.ecall("unseal", blob)
+
+    plaintext, _ = benchmark(unseal)
+    assert plaintext == bytes(100_000)

@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures.
+
+Benchmarks measure two things:
+
+* **virtual time** — the simulated durations the paper's figures report,
+  asserted against the paper's qualitative shape (who wins, by how much);
+* **real time** — how fast the simulator itself executes the operations,
+  via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_bench_world
+
+
+@pytest.fixture(scope="module")
+def bench_world():
+    return build_bench_world(seed=0)

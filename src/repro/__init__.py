@@ -1,0 +1,19 @@
+"""Reproduction of "Migrating SGX Enclaves with Persistent State" (DSN'18).
+
+A simulated SGX platform (crypto, CPU, enclaves, sealing, counters,
+attestation) plus a cloud substrate (machines, VMs, live migration,
+untrusted storage/network), and on top of it the paper's contribution: the
+Migration Library and Migration Enclave that migrate sealed data and
+monotonic counters safely between machines.
+
+Typical entry points:
+
+>>> from repro.cloud.datacenter import DataCenter
+>>> from repro.core.protocol import MigratableApp, install_all_migration_enclaves
+
+See README.md for a full quickstart and ``python -m repro`` for a demo.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

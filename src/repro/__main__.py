@@ -1,0 +1,45 @@
+"""``python -m repro`` — guided tour of the reproduction.
+
+Subcommands:
+
+* ``demo``      — run the quickstart scenario end to end
+* ``attacks``   — print the Section III attack matrix
+* ``figures``   — alias for ``python -m repro.bench.figures all``
+* ``tables``    — print Tables I and II + the TCB report (fast)
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    command = argv[0] if argv else "tables"
+    if command == "demo":
+        import runpy
+
+        runpy.run_path("examples/quickstart.py", run_name="__main__")
+        return 0
+    if command == "attacks":
+        from repro.bench.figures import attacks
+
+        print(attacks()[0])
+        return 0
+    if command == "figures":
+        from repro.bench.figures import main as figures_main
+
+        return figures_main(["all"] + argv[1:])
+    if command == "tables":
+        from repro.bench.figures import table1, table2, tcb
+
+        for fn in (table1, table2, tcb):
+            print(fn()[0])
+            print()
+        return 0
+    print(__doc__)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Application enclaves: bench targets, Teechan, TrInX, KV store."""
+
+from repro.apps.audit_log import AuditLogEnclave
+from repro.apps.counter_app import BaselineBenchEnclave, MigratableBenchEnclave
+from repro.apps.kvstore import SecureKvStore
+from repro.apps.rote import (
+    RoteBackedEnclave,
+    RoteClient,
+    RoteError,
+    RoteGroupEnclave,
+    install_rote_group,
+)
+from repro.apps.teechan import (
+    ChannelCounterparty,
+    ChannelViolation,
+    TeechanSecure,
+    TeechanVulnerable,
+)
+from repro.apps.trinx import (
+    CertificateAuditor,
+    CertificationViolation,
+    TrInXSecure,
+    TrInXVulnerable,
+)
+
+__all__ = [
+    "AuditLogEnclave",
+    "RoteBackedEnclave",
+    "RoteClient",
+    "RoteError",
+    "RoteGroupEnclave",
+    "install_rote_group",
+    "BaselineBenchEnclave",
+    "MigratableBenchEnclave",
+    "SecureKvStore",
+    "ChannelCounterparty",
+    "ChannelViolation",
+    "TeechanSecure",
+    "TeechanVulnerable",
+    "CertificateAuditor",
+    "CertificationViolation",
+    "TrInXSecure",
+    "TrInXVulnerable",
+]

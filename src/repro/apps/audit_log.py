@@ -1,0 +1,95 @@
+"""A tamper-evident, roll-back-protected audit log enclave.
+
+A classic persistent-state workload: every appended entry is chained to its
+predecessor (hash chain) and the chain head is version-stamped with a
+migratable counter, so the untrusted host can neither truncate the log
+(roll-back: version mismatch) nor splice it (hash chain breaks).  Entries
+are sealed under the MSK, so the whole log — and its protection — survives
+machine migration.
+
+Optionally, an enclave-provider migration policy restricts which machines
+the log may move to (Section X of the paper).
+"""
+
+from __future__ import annotations
+
+from repro import wire
+from repro.core.migration_library import MigrationLibrary
+from repro.core.protocol import MigratableEnclave, expected_me_mrenclave
+from repro.crypto.kdf import sha256
+from repro.errors import InvalidStateError
+from repro.sgx.enclave import ecall
+
+
+class AuditLogEnclave(MigratableEnclave):
+    """Append-only audit log with hash chaining + counter versioning.
+
+    Set ``ALLOWED_DESTINATIONS`` (class attribute) to enforce an
+    enclave-provider migration policy; ``None`` allows any destination the
+    operator's ME accepts.
+    """
+
+    ALLOWED_DESTINATIONS: frozenset[str] | None = None
+
+    def __init__(self, sdk):
+        super().__init__(sdk)
+        if self.ALLOWED_DESTINATIONS is not None:
+            allowed = self.ALLOWED_DESTINATIONS
+            self.miglib = MigrationLibrary(
+                sdk,
+                me_mrenclave=expected_me_mrenclave(),
+                destination_policy=lambda destination: destination in allowed,
+            )
+        self._entries: list[bytes] = []
+        self._head = sha256(b"audit-log-genesis")
+        self._counter_id: int | None = None
+
+    @ecall
+    def log_init(self) -> None:
+        self._counter_id, _ = self.miglib.create_migratable_counter()
+
+    @ecall
+    def append(self, entry: bytes) -> bytes:
+        """Append an entry; returns the sealed log for the host to store."""
+        if self._counter_id is None:
+            raise InvalidStateError("log_init must run first")
+        self._entries.append(entry)
+        self._head = sha256(self._head + entry)
+        version = self.miglib.increment_migratable_counter(self._counter_id)
+        payload = wire.encode(
+            {
+                "entries": list(self._entries),
+                "head": self._head,
+                "cid": self._counter_id,
+            }
+        )
+        return self.miglib.seal_migratable_data(payload, version.to_bytes(4, "big"))
+
+    @ecall
+    def load(self, sealed_log: bytes) -> int:
+        """Restore the log; rejects truncated/rolled-back/spliced logs."""
+        plaintext, aad = self.miglib.unseal_migratable_data(sealed_log)
+        fields = wire.decode(plaintext)
+        version = int.from_bytes(aad, "big")
+        current = self.miglib.read_migratable_counter(fields["cid"])
+        if version != current:
+            raise InvalidStateError(
+                f"stale log rejected: version {version} != counter {current}"
+            )
+        head = sha256(b"audit-log-genesis")
+        for entry in fields["entries"]:
+            head = sha256(head + entry)
+        if head != fields["head"]:
+            raise InvalidStateError("hash chain broken: log was spliced")
+        self._entries = list(fields["entries"])
+        self._head = head
+        self._counter_id = fields["cid"]
+        return len(self._entries)
+
+    @ecall
+    def entries(self) -> list[bytes]:
+        return list(self._entries)
+
+    @ecall
+    def head(self) -> bytes:
+        return self._head

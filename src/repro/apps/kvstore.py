@@ -1,0 +1,78 @@
+"""A sealed key-value store enclave with roll-back protection.
+
+The quickstart example's workload: a small database whose entire contents
+are sealed as one blob, stamped with a migratable-counter version so the
+untrusted host cannot feed back an old snapshot.  Built on the Migration
+Library, the store survives machine migration with both its data and its
+roll-back protection intact.
+"""
+
+from __future__ import annotations
+
+from repro import wire
+from repro.core.protocol import MigratableEnclave
+from repro.errors import InvalidStateError
+from repro.sgx.enclave import ecall
+
+
+class SecureKvStore(MigratableEnclave):
+    """Migratable sealed KV store."""
+
+    def __init__(self, sdk):
+        super().__init__(sdk)
+        self._data: dict[str, bytes] = {}
+        self._counter_id: int | None = None
+
+    @ecall
+    def kv_init(self) -> None:
+        """Create the roll-back-protection counter (first start only)."""
+        self._counter_id, _ = self.miglib.create_migratable_counter()
+
+    @ecall
+    def put(self, key: str, value: bytes) -> bytes:
+        """Store a value; returns the new sealed snapshot for the host."""
+        self._data[key] = value
+        return self._snapshot()
+
+    @ecall
+    def delete(self, key: str) -> bytes:
+        self._data.pop(key, None)
+        return self._snapshot()
+
+    @ecall
+    def get(self, key: str) -> bytes:
+        if key not in self._data:
+            raise KeyError(key)
+        return self._data[key]
+
+    @ecall
+    def keys(self) -> list[str]:
+        return sorted(self._data)
+
+    def _snapshot(self) -> bytes:
+        if self._counter_id is None:
+            raise InvalidStateError("kv_init must be called first")
+        version = self.miglib.increment_migratable_counter(self._counter_id)
+        names = sorted(self._data)
+        payload = wire.encode(
+            {
+                "cid": self._counter_id,
+                "keys": list(names),
+                "values": [self._data[k] for k in names],
+            }
+        )
+        return self.miglib.seal_migratable_data(payload, version.to_bytes(4, "big"))
+
+    @ecall
+    def load_snapshot(self, sealed_blob: bytes) -> None:
+        """Restore from the host-provided snapshot; rejects stale versions."""
+        plaintext, aad = self.miglib.unseal_migratable_data(sealed_blob)
+        fields = wire.decode(plaintext)
+        version = int.from_bytes(aad, "big")
+        current = self.miglib.read_migratable_counter(fields["cid"])
+        if version != current:
+            raise InvalidStateError(
+                f"stale snapshot rejected: version {version} != counter {current}"
+            )
+        self._counter_id = fields["cid"]
+        self._data = dict(zip(fields["keys"], fields["values"]))

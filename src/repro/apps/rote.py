@@ -1,0 +1,244 @@
+"""A ROTE-style distributed counter service (Matetic et al., the paper's
+Related Work IX-A) and its interaction with enclave migration.
+
+ROTE replaces hardware monotonic counters with *virtual* counters maintained
+by consensus among a group of enclaves on different machines, avoiding the
+hardware counters' rate limits and wear-out.  The paper observes:
+
+    "A migratable enclave that uses ROTE would not need to migrate
+    monotonic counters, but would still require a mechanism to securely
+    migrate the keys it uses to identify itself to the ROTE system."
+
+This module provides that whole setting:
+
+* :class:`RoteGroupEnclave` — one ROTE group member per machine, keeping
+  counter replicas and answering MAC-authenticated client requests;
+* :class:`RoteClient` — in-enclave client logic: enrolls with the group
+  under a fresh identity key, then increments/reads its virtual counters
+  with a majority quorum;
+* the migration tie-in the paper predicts: the client's *identity key* is
+  exactly the persistent state that must migrate.  Persisted under native
+  sealing it dies with the machine (the ROTE counters are orphaned);
+  persisted via the Migration Library it travels with the enclave.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+
+from repro import wire
+from repro.core.protocol import MigratableEnclave
+from repro.errors import InvalidStateError, ReproError
+from repro.sgx.enclave import EnclaveBase, ecall
+
+
+class RoteError(ReproError):
+    """Quorum failure or authentication failure at the ROTE group."""
+
+
+def _request_mac(identity_key: bytes, body: bytes) -> bytes:
+    return hmac.new(identity_key, b"rote-req|" + body, hashlib.sha256).digest()
+
+
+def _client_id_of(identity_key: bytes) -> bytes:
+    """The client's name in the group: a hash of its identity key."""
+    return hashlib.sha256(b"rote-client|" + identity_key).digest()[:16]
+
+
+class RoteGroupEnclave(EnclaveBase):
+    """One member of the ROTE group (runs in the management VM).
+
+    Counters never decrease; requests must carry a MAC under the client's
+    enrolled identity key.  (The real ROTE runs its own consensus; here each
+    member is an independent replica and the *client* collects the quorum,
+    which preserves the property the paper cares about: counter state lives
+    off-machine, client identity is the only local secret.)
+    """
+
+    def __init__(self, sdk):
+        super().__init__(sdk)
+        self._clients: dict[bytes, bytes] = {}  # client_id -> identity key
+        self._counters: dict[tuple[bytes, str], int] = {}
+
+    @ecall
+    def handle_request(self, payload: bytes, src: str) -> bytes:
+        message = wire.decode(payload)
+        command = message.get("cmd")
+        if command == "enroll":
+            # Enrollment would be gated by remote attestation in a real
+            # deployment; the group learns the client's identity key.
+            client_id = _client_id_of(message["identity_key"])
+            self._clients[client_id] = message["identity_key"]
+            return wire.encode({"status": "ok", "client_id": client_id})
+
+        client_id = message.get("client_id", b"")
+        key = self._clients.get(client_id)
+        if key is None:
+            return wire.encode({"status": "error", "error": "unknown client"})
+        body = message.get("body", b"")
+        if not hmac.compare_digest(_request_mac(key, body), message.get("mac", b"")):
+            return wire.encode({"status": "error", "error": "bad request MAC"})
+        request = wire.decode(body)
+        name = request["name"]
+        counter_key = (client_id, name)
+        if request["op"] == "increment":
+            self._counters[counter_key] = self._counters.get(counter_key, 0) + 1
+        elif request["op"] != "read":
+            return wire.encode({"status": "error", "error": "unknown op"})
+        value = self._counters.get(counter_key, 0)
+        response_body = wire.encode({"name": name, "value": value, "nonce": request["nonce"]})
+        return wire.encode(
+            {
+                "status": "ok",
+                "body": response_body,
+                "mac": hmac.new(key, b"rote-resp|" + response_body, hashlib.sha256).digest(),
+            }
+        )
+
+
+@dataclass
+class RoteClient:
+    """Client-side ROTE logic, embedded in an application enclave.
+
+    ``send`` is the transport callback (an OCALL relay in practice);
+    ``quorum`` of the ``members`` must answer consistently.
+    """
+
+    members: list[str]
+    send: object  # Callable[[str, bytes], bytes]
+    identity_key: bytes | None = None
+    quorum: int = 0
+    _nonce: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.quorum <= 0:
+            self.quorum = len(self.members) // 2 + 1
+
+    def enroll(self, identity_key: bytes) -> bytes:
+        self.identity_key = identity_key
+        message = wire.encode({"cmd": "enroll", "identity_key": identity_key})
+        acks = 0
+        client_id = b""
+        for member in self.members:
+            try:
+                response = wire.decode(self.send(member, message))
+            except ReproError:
+                continue
+            if response.get("status") == "ok":
+                acks += 1
+                client_id = response["client_id"]
+        if acks < self.quorum:
+            raise RoteError(f"enrollment quorum failed: {acks}/{self.quorum}")
+        return client_id
+
+    def _request(self, op: str, name: str) -> int:
+        if self.identity_key is None:
+            raise InvalidStateError("ROTE client has no identity key")
+        self._nonce += 1
+        body = wire.encode({"op": op, "name": name, "nonce": self._nonce})
+        message = wire.encode(
+            {
+                "cmd": "counter",
+                "client_id": _client_id_of(self.identity_key),
+                "body": body,
+                "mac": _request_mac(self.identity_key, body),
+            }
+        )
+        values: list[int] = []
+        for member in self.members:
+            try:
+                response = wire.decode(self.send(member, message))
+            except ReproError:
+                continue
+            if response.get("status") != "ok":
+                continue
+            expected = hmac.new(
+                self.identity_key, b"rote-resp|" + response["body"], hashlib.sha256
+            ).digest()
+            if not hmac.compare_digest(expected, response["mac"]):
+                continue
+            reply = wire.decode(response["body"])
+            if reply["nonce"] != self._nonce:
+                continue  # replayed response
+            values.append(reply["value"])
+        if len(values) < self.quorum:
+            raise RoteError(f"counter quorum failed: {len(values)}/{self.quorum}")
+        # majority value (replicas can briefly diverge if a member was down)
+        return max(set(values), key=values.count)
+
+    def increment(self, name: str) -> int:
+        return self._request("increment", name)
+
+    def read(self, name: str) -> int:
+        return self._request("read", name)
+
+
+class RoteBackedEnclave(MigratableEnclave):
+    """An enclave whose roll-back protection comes from ROTE, with its ROTE
+    identity key kept migratable via the Migration Library.
+
+    The Migration Library contributes exactly what the paper says it must:
+    the *identity key* migrates (inside the MSK-sealed blob), while the
+    counters themselves already live off-machine in the ROTE group.
+    """
+
+    def __init__(self, sdk):
+        super().__init__(sdk)
+        self._client: RoteClient | None = None
+
+    @ecall
+    def rote_init(self, members: list[str]) -> bytes:
+        """Enroll with the group under a fresh identity key; returns the
+        migratable sealed key blob for the host to store."""
+        self._client = RoteClient(
+            members=list(members),
+            send=lambda member, payload: self.sdk.ocall("rote_send", member, payload),
+        )
+        identity_key = self.sdk.random_bytes(32)
+        self._client.enroll(identity_key)
+        return self.miglib.seal_migratable_data(identity_key, b"rote-identity")
+
+    @ecall
+    def rote_resume(self, members: list[str], sealed_identity: bytes) -> None:
+        """Rebind to the existing ROTE identity (after restart OR migration
+        — the blob is MSK-sealed, so it opens on any machine the enclave
+        legitimately migrated to)."""
+        identity_key, aad = self.miglib.unseal_migratable_data(sealed_identity)
+        if aad != b"rote-identity":
+            raise InvalidStateError("not a ROTE identity blob")
+        self._client = RoteClient(
+            members=list(members),
+            send=lambda member, payload: self.sdk.ocall("rote_send", member, payload),
+        )
+        self._client.identity_key = identity_key
+
+    @ecall
+    def bump(self, name: str) -> int:
+        if self._client is None:
+            raise InvalidStateError("ROTE client not initialized")
+        return self._client.increment(name)
+
+    @ecall
+    def current(self, name: str) -> int:
+        if self._client is None:
+            raise InvalidStateError("ROTE client not initialized")
+        return self._client.read(name)
+
+
+def install_rote_group(dc, machines, signing_key) -> list[str]:
+    """Deploy one ROTE group member per machine; returns their endpoints."""
+    endpoints = []
+    for machine in machines:
+        mgmt_app = machine.management_vm.launch_application("rote-member")
+        member = mgmt_app.launch_enclave(RoteGroupEnclave, signing_key)
+        endpoint = f"{machine.address}/rote"
+        dc.network.register(
+            endpoint,
+            lambda payload, src, enclave=member: enclave.ecall(
+                "handle_request", payload, src
+            ),
+        )
+        endpoints.append(endpoint)
+    return endpoints

@@ -1,0 +1,264 @@
+"""Teechan-style payment channels [3] — the paper's fork-attack victim.
+
+Two enclaves hold a full-duplex payment channel: each payment is a single
+MACed message updating the channel balances under a monotonically increasing
+sequence number.  Teechan enclaves "persist their state to secondary
+storage, encrypted under a key and stored with a non-replayable version
+number from the hardware monotonic counter" — which is secure on one
+machine, but becomes forkable if the enclave is made migratable by a
+mechanism that does not migrate the counters (Section III-B).
+
+Two variants:
+
+* :class:`TeechanVulnerable` — native sealing + native counters for
+  persistence, Gu-style data-memory migration.  This is the configuration
+  the paper attacks.
+* :class:`TeechanSecure` — the same channel logic persisted through the
+  Migration Library (MSK sealing + migratable counters).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro import wire
+from repro.core.baseline import GuMigratableEnclave
+from repro.core.protocol import MigratableEnclave
+from repro.errors import InvalidStateError, ReproError
+from repro.sgx.enclave import ecall
+
+
+class ChannelViolation(ReproError):
+    """The counterparty detected an invalid or conflicting payment."""
+
+
+class _TeechanCore:
+    """Channel state + payment logic (shared by both variants; measured)."""
+
+    def __init__(self):
+        self.channel_key: bytes | None = None
+        self.my_balance = 0
+        self.their_balance = 0
+        self.seq_out = 0
+        self.seq_in = 0
+
+    def open(self, channel_key: bytes, my_balance: int, their_balance: int) -> None:
+        self.channel_key = channel_key
+        self.my_balance = my_balance
+        self.their_balance = their_balance
+        self.seq_out = 0
+        self.seq_in = 0
+
+    def _mac(self, body: bytes) -> bytes:
+        assert self.channel_key is not None
+        return hmac.new(self.channel_key, body, hashlib.sha256).digest()
+
+    def pay(self, amount: int) -> bytes:
+        if self.channel_key is None:
+            raise InvalidStateError("channel not open")
+        if amount <= 0 or amount > self.my_balance:
+            raise ChannelViolation(f"invalid payment amount {amount}")
+        self.my_balance -= amount
+        self.their_balance += amount
+        self.seq_out += 1
+        body = wire.encode(
+            {
+                "seq": self.seq_out,
+                "amount": amount,
+                "payer_balance": self.my_balance,
+                "payee_balance": self.their_balance,
+            }
+        )
+        return wire.encode({"body": body, "mac": self._mac(body)})
+
+    def receive(self, payment: bytes) -> int:
+        if self.channel_key is None:
+            raise InvalidStateError("channel not open")
+        fields = wire.decode(payment)
+        body = fields["body"]
+        if not hmac.compare_digest(self._mac(body), fields["mac"]):
+            raise ChannelViolation("payment MAC invalid")
+        message = wire.decode(body)
+        if message["seq"] != self.seq_in + 1:
+            raise ChannelViolation(
+                f"sequence conflict: expected {self.seq_in + 1}, got {message['seq']}"
+            )
+        self.seq_in = message["seq"]
+        self.my_balance += message["amount"]
+        self.their_balance -= message["amount"]
+        return message["amount"]
+
+    def state_blob(self) -> bytes:
+        assert self.channel_key is not None
+        return wire.encode(
+            {
+                "key": self.channel_key,
+                "my_balance": self.my_balance,
+                "their_balance": self.their_balance,
+                "seq_out": self.seq_out,
+                "seq_in": self.seq_in,
+            }
+        )
+
+    def load_state_blob(self, blob: bytes) -> None:
+        fields = wire.decode(blob)
+        self.channel_key = fields["key"]
+        self.my_balance = fields["my_balance"]
+        self.their_balance = fields["their_balance"]
+        self.seq_out = fields["seq_out"]
+        self.seq_in = fields["seq_in"]
+
+
+class TeechanVulnerable(GuMigratableEnclave):
+    """Teechan persisted with native primitives + Gu memory migration."""
+
+    MEASURED_LIBRARIES = (_TeechanCore,)
+
+    def __init__(self, sdk):
+        super().__init__(sdk)
+        self._core = _TeechanCore()
+        self._counter_uuid = None
+
+    # ------------------------------------------------------- channel ops
+    @ecall
+    def open_channel(self, channel_key: bytes, my_balance: int, their_balance: int):
+        self._require_not_frozen()
+        self._core.open(channel_key, my_balance, their_balance)
+
+    @ecall
+    def pay(self, amount: int) -> bytes:
+        self._require_not_frozen()
+        return self._core.pay(amount)
+
+    @ecall
+    def receive(self, payment: bytes) -> int:
+        self._require_not_frozen()
+        return self._core.receive(payment)
+
+    @ecall
+    def balances(self) -> tuple[int, int]:
+        return self._core.my_balance, self._core.their_balance
+
+    # ------------------------------------------------------- persistence
+    @ecall
+    def persist(self) -> bytes:
+        """Seal state with a fresh counter value as the version number.
+
+        First use requests a monotonic counter — exactly step 1 of the
+        paper's fork attack narrative.
+        """
+        self._require_not_frozen()
+        if self._counter_uuid is None:
+            self._counter_uuid, _ = self.sdk.create_monotonic_counter()
+        version = self.sdk.increment_monotonic_counter(self._counter_uuid)
+        payload = wire.encode(
+            {"state": self._core.state_blob(), "uuid": self._counter_uuid.to_bytes()}
+        )
+        return self.sdk.seal_data(payload, version.to_bytes(4, "big"))
+
+    @ecall
+    def restore(self, sealed_blob: bytes) -> None:
+        """Accept sealed state only if its version matches the counter."""
+        self._require_not_frozen()
+        plaintext, aad = self.sdk.unseal_data(sealed_blob)
+        fields = wire.decode(plaintext)
+        from repro.sgx.platform_services import CounterUuid
+
+        uuid = CounterUuid.from_bytes(fields["uuid"])
+        version = int.from_bytes(aad, "big")
+        current = self.sdk.read_monotonic_counter(uuid)
+        if version != current:
+            raise InvalidStateError(
+                f"stale state rejected: version {version} != counter {current}"
+            )
+        self._counter_uuid = uuid
+        self._core.load_state_blob(fields["state"])
+
+    # ------------------------------------------------- Gu memory interface
+    def get_memory_image(self) -> bytes:
+        return self._core.state_blob()
+
+    def set_memory_image(self, image: bytes) -> None:
+        self._core.load_state_blob(image)
+
+
+class TeechanSecure(MigratableEnclave):
+    """Teechan persisted through the Migration Library."""
+
+    MEASURED_LIBRARIES = MigratableEnclave.MEASURED_LIBRARIES + (_TeechanCore,)
+
+    def __init__(self, sdk):
+        super().__init__(sdk)
+        self._core = _TeechanCore()
+        self._counter_id: int | None = None
+
+    @ecall
+    def open_channel(self, channel_key: bytes, my_balance: int, their_balance: int):
+        self._core.open(channel_key, my_balance, their_balance)
+
+    @ecall
+    def pay(self, amount: int) -> bytes:
+        return self._core.pay(amount)
+
+    @ecall
+    def receive(self, payment: bytes) -> int:
+        return self._core.receive(payment)
+
+    @ecall
+    def balances(self) -> tuple[int, int]:
+        return self._core.my_balance, self._core.their_balance
+
+    @ecall
+    def persist(self) -> bytes:
+        """Version-stamped persistence via the Migration Library."""
+        if self._counter_id is None:
+            self._counter_id, _ = self.miglib.create_migratable_counter()
+        version = self.miglib.increment_migratable_counter(self._counter_id)
+        payload = wire.encode(
+            {"state": self._core.state_blob(), "cid": self._counter_id}
+        )
+        return self.miglib.seal_migratable_data(payload, version.to_bytes(4, "big"))
+
+    @ecall
+    def restore(self, sealed_blob: bytes) -> None:
+        plaintext, aad = self.miglib.unseal_migratable_data(sealed_blob)
+        fields = wire.decode(plaintext)
+        counter_id = fields["cid"]
+        version = int.from_bytes(aad, "big")
+        current = self.miglib.read_migratable_counter(counter_id)
+        if version != current:
+            raise InvalidStateError(
+                f"stale state rejected: version {version} != counter {current}"
+            )
+        self._counter_id = counter_id
+        self._core.load_state_blob(fields["state"])
+
+
+class ChannelCounterparty:
+    """The other end of the channel (e.g. an enclave on a third machine).
+
+    Used by the attack harness to observe double-spends: a fork manifests as
+    two *distinct* valid payments carrying the same sequence number.
+    """
+
+    def __init__(self, channel_key: bytes):
+        self._key = channel_key
+        self._seen: dict[int, bytes] = {}
+        self.balance_received = 0
+
+    def accept(self, payment: bytes) -> int:
+        fields = wire.decode(payment)
+        body = fields["body"]
+        expected = hmac.new(self._key, body, hashlib.sha256).digest()
+        if not hmac.compare_digest(expected, fields["mac"]):
+            raise ChannelViolation("payment MAC invalid")
+        message = wire.decode(body)
+        seq = message["seq"]
+        if seq in self._seen and self._seen[seq] != body:
+            raise ChannelViolation(
+                f"DOUBLE SPEND: two conflicting payments with sequence {seq}"
+            )
+        self._seen[seq] = body
+        self.balance_received += message["amount"]
+        return message["amount"]

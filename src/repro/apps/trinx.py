@@ -1,0 +1,264 @@
+"""TrInX-style trusted counters (Hybster [4]) — the roll-back victim.
+
+TrInX is the SGX-backed trusted subsystem of the Hybster BFT protocol: it
+maintains named *trusted counters* and produces certificates binding each
+counter value to a message.  Hybster's safety rests on the assumption that
+"the execution platform provides a means to prevent undetected replay
+attacks where an adversary saves the (encrypted) state of a trusted
+subsystem and starts a new instance using the exact same state".
+
+The paper's Section III-C shows how that assumption breaks under migration:
+if the state is portable (encrypted under a KDC key and kept in shared
+storage) but the hardware counters are not migrated, the adversary can
+replay an old state on the destination machine because the *fresh* counter
+there happens to match the old version number.
+
+Variants:
+
+* :class:`TrInXVulnerable` — KDC-keyed state encryption + native monotonic
+  counters for versioning (plus Gu-style memory migration).
+* :class:`TrInXSecure` — the same logic persisted via the Migration Library.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro import wire
+from repro.core.baseline import GuMigratableEnclave
+from repro.core.protocol import MigratableEnclave
+from repro.crypto.gcm import AesGcm
+from repro.errors import CryptoError, InvalidStateError, MacMismatchError, ReproError
+from repro.sgx.enclave import ecall
+
+
+class CertificationViolation(ReproError):
+    """Two conflicting certificates for the same (counter, value) pair."""
+
+
+class _TrInXCore:
+    """Trusted-counter logic shared by both variants (measured library)."""
+
+    def __init__(self):
+        self.identity_key: bytes | None = None
+        self.counters: dict[str, int] = {}
+
+    def init_identity(self, identity_key: bytes) -> None:
+        self.identity_key = identity_key
+
+    def create_counter(self, name: str) -> None:
+        if name in self.counters:
+            raise InvalidStateError(f"trusted counter {name!r} already exists")
+        self.counters[name] = 0
+
+    def certify(self, name: str, message: bytes) -> bytes:
+        """Increment the trusted counter and certify (name, value, message)."""
+        if self.identity_key is None:
+            raise InvalidStateError("TrInX identity not initialized")
+        if name not in self.counters:
+            raise InvalidStateError(f"no trusted counter {name!r}")
+        self.counters[name] += 1
+        value = self.counters[name]
+        body = wire.encode({"name": name, "value": value, "message": message})
+        mac = hmac.new(self.identity_key, body, hashlib.sha256).digest()
+        return wire.encode({"body": body, "mac": mac})
+
+    def state_blob(self) -> bytes:
+        assert self.identity_key is not None
+        names = sorted(self.counters)
+        return wire.encode(
+            {
+                "key": self.identity_key,
+                "names": list(names),
+                "values": [self.counters[n] for n in names],
+            }
+        )
+
+    def load_state_blob(self, blob: bytes) -> None:
+        fields = wire.decode(blob)
+        self.identity_key = fields["key"]
+        self.counters = dict(zip(fields["names"], fields["values"]))
+
+
+class TrInXVulnerable(GuMigratableEnclave):
+    """TrInX with KDC persistence and native version counters."""
+
+    MEASURED_LIBRARIES = (_TrInXCore,)
+
+    def __init__(self, sdk):
+        super().__init__(sdk)
+        self._core = _TrInXCore()
+        self._kdc_key: bytes | None = None
+        self._counter_uuid = None
+
+    @ecall
+    def trinx_init(self) -> None:
+        """Provision the identity key and fetch the state key from the KDC.
+
+        The KDC hands out a key that is a pure function of this enclave's
+        identity — the same key on *any* machine — so the encrypted state is
+        portable across migration (the Section III-C premise).
+        """
+        self._require_not_frozen()
+        quote = self.sdk.get_quote(b"trinx-kdc", basename=b"kdc")
+        self._kdc_key = self.sdk.ocall("kdc_request_key", quote.to_bytes())
+        self._core.init_identity(
+            hashlib.sha256(b"trinx-identity|" + self._kdc_key).digest()
+        )
+
+    @ecall
+    def create_counter(self, name: str) -> None:
+        self._require_not_frozen()
+        self._core.create_counter(name)
+
+    @ecall
+    def certify(self, name: str, message: bytes) -> bytes:
+        self._require_not_frozen()
+        return self._core.certify(name, message)
+
+    @ecall
+    def counter_value(self, name: str) -> int:
+        return self._core.counters.get(name, 0)
+
+    @ecall
+    def persist(self) -> bytes:
+        """Encrypt state under the KDC key, versioned by a native counter."""
+        self._require_not_frozen()
+        if self._kdc_key is None:
+            raise InvalidStateError("trinx_init must run first")
+        if self._counter_uuid is None:
+            self._counter_uuid, _ = self.sdk.create_monotonic_counter()
+        version = self.sdk.increment_monotonic_counter(self._counter_uuid)
+        iv = self.sdk.random_bytes(12)
+        payload = self._core.state_blob()
+        ciphertext, tag = AesGcm(self._kdc_key).encrypt(
+            iv, payload, b"trinx|" + version.to_bytes(4, "big")
+        )
+        return wire.encode(
+            {"iv": iv, "ct": ciphertext, "tag": tag, "version": version}
+        )
+
+    @ecall
+    def restore(self, blob: bytes) -> None:
+        """Accept state only if its version matches the local counter —
+        which is exactly the check the roll-back attack defeats."""
+        self._require_not_frozen()
+        if self._kdc_key is None:
+            raise InvalidStateError("trinx_init must run first")
+        fields = wire.decode(blob)
+        version = fields["version"]
+        if self._counter_uuid is None:
+            raise InvalidStateError("no version counter on this machine")
+        current = self.sdk.read_monotonic_counter(self._counter_uuid)
+        if version != current:
+            raise InvalidStateError(
+                f"stale state rejected: version {version} != counter {current}"
+            )
+        try:
+            payload = AesGcm(self._kdc_key).decrypt(
+                fields["iv"], fields["ct"], fields["tag"],
+                b"trinx|" + version.to_bytes(4, "big"),
+            )
+        except CryptoError as exc:
+            raise MacMismatchError(str(exc)) from exc
+        self._core.load_state_blob(payload)
+
+    @ecall
+    def adopt_counter(self, uuid_bytes: bytes) -> None:
+        """Bind to an existing version counter (after an app restart)."""
+        from repro.sgx.platform_services import CounterUuid
+
+        self._counter_uuid = CounterUuid.from_bytes(uuid_bytes)
+
+    @ecall
+    def counter_uuid_bytes(self) -> bytes:
+        if self._counter_uuid is None:
+            raise InvalidStateError("no version counter")
+        return self._counter_uuid.to_bytes()
+
+    # ------------------------------------------------- Gu memory interface
+    def get_memory_image(self) -> bytes:
+        return wire.encode({"core": self._core.state_blob(), "kdc": self._kdc_key or b""})
+
+    def set_memory_image(self, image: bytes) -> None:
+        fields = wire.decode(image)
+        self._core.load_state_blob(fields["core"])
+        if fields["kdc"]:
+            self._kdc_key = fields["kdc"]
+
+
+class TrInXSecure(MigratableEnclave):
+    """TrInX persisted through the Migration Library."""
+
+    MEASURED_LIBRARIES = MigratableEnclave.MEASURED_LIBRARIES + (_TrInXCore,)
+
+    def __init__(self, sdk):
+        super().__init__(sdk)
+        self._core = _TrInXCore()
+        self._counter_id: int | None = None
+
+    @ecall
+    def trinx_init(self) -> None:
+        self._core.init_identity(self.sdk.random_bytes(32))
+
+    @ecall
+    def create_counter(self, name: str) -> None:
+        self._core.create_counter(name)
+
+    @ecall
+    def certify(self, name: str, message: bytes) -> bytes:
+        return self._core.certify(name, message)
+
+    @ecall
+    def counter_value(self, name: str) -> int:
+        return self._core.counters.get(name, 0)
+
+    @ecall
+    def persist(self) -> bytes:
+        if self._counter_id is None:
+            self._counter_id, _ = self.miglib.create_migratable_counter()
+        version = self.miglib.increment_migratable_counter(self._counter_id)
+        payload = wire.encode({"state": self._core.state_blob(), "cid": self._counter_id})
+        return self.miglib.seal_migratable_data(payload, version.to_bytes(4, "big"))
+
+    @ecall
+    def restore(self, blob: bytes) -> None:
+        plaintext, aad = self.miglib.unseal_migratable_data(blob)
+        fields = wire.decode(plaintext)
+        version = int.from_bytes(aad, "big")
+        current = self.miglib.read_migratable_counter(fields["cid"])
+        if version != current:
+            raise InvalidStateError(
+                f"stale state rejected: version {version} != counter {current}"
+            )
+        self._counter_id = fields["cid"]
+        self._core.load_state_blob(fields["state"])
+
+
+class CertificateAuditor:
+    """Hybster-replica view: collects certificates and detects equivocation.
+
+    A roll-back or fork lets the subsystem issue two *different* messages
+    certified under the same (counter, value) — the safety violation the
+    attack harness checks for.
+    """
+
+    def __init__(self, identity_key: bytes):
+        self._key = identity_key
+        self._seen: dict[tuple[str, int], bytes] = {}
+
+    def verify(self, certificate: bytes) -> tuple[str, int, bytes]:
+        fields = wire.decode(certificate)
+        body = fields["body"]
+        expected = hmac.new(self._key, body, hashlib.sha256).digest()
+        if not hmac.compare_digest(expected, fields["mac"]):
+            raise CertificationViolation("certificate MAC invalid")
+        message = wire.decode(body)
+        key = (message["name"], message["value"])
+        if key in self._seen and self._seen[key] != body:
+            raise CertificationViolation(
+                f"EQUIVOCATION: two certificates for counter {key[0]!r} value {key[1]}"
+            )
+        self._seen[key] = body
+        return message["name"], message["value"], message["message"]

@@ -1,0 +1,21 @@
+"""End-to-end reproductions of the paper's Section III attacks."""
+
+from repro.attacks.fork import (
+    ForkAttackResult,
+    run_fork_attack_defended,
+    run_fork_attack_vulnerable,
+)
+from repro.attacks.rollback import (
+    RollbackAttackResult,
+    run_rollback_attack_defended,
+    run_rollback_attack_vulnerable,
+)
+
+__all__ = [
+    "ForkAttackResult",
+    "run_fork_attack_defended",
+    "run_fork_attack_vulnerable",
+    "RollbackAttackResult",
+    "run_rollback_attack_defended",
+    "run_rollback_attack_vulnerable",
+]

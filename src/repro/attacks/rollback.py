@@ -1,0 +1,216 @@
+"""The roll-back attack of Section III-C, executed end to end.
+
+The victim keeps its state portable — encrypted under a KDC (KMS-style) key
+and stored in shared storage — so after migration it can still read its
+state.  But the monotonic counters protecting *freshness* are machine-local:
+
+1. **Start-stop-restart** — first persist on the source creates counter
+   c = 1 and seals state version v = 1.  The adversary keeps that blob.
+2. **Continue** — the enclave keeps working on the source, persisting
+   v = 2, 3, ... under counter c.
+3. **Migrate** — the VM (with Gu-style data-memory migration) moves to the
+   destination machine.
+4. **Terminate** — the enclave persists on the destination; since no
+   counter exists there yet it creates a fresh one: c' = 1.
+5. **Restart** — the adversary feeds the enclave the *step-1* blob
+   (v = 1).  The check v == c' passes and the state rolls back.
+
+The rolled-back TrInX instance then re-issues trusted-counter values it has
+already used — equivocation that breaks Hybster's safety, which the
+:class:`~repro.apps.trinx.CertificateAuditor` detects.
+
+With the Migration Library (``run_rollback_attack_defended``), the counter's
+*effective value* migrates, so the stale blob's version can never match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.trinx import (
+    CertificateAuditor,
+    CertificationViolation,
+    TrInXSecure,
+    TrInXVulnerable,
+)
+from repro.cloud.datacenter import DataCenter
+from repro.cloud.kdc import KeyDistributionCenter, shared_storage
+from repro.core.baseline import GuFlagMode, register_gu_transport
+from repro.core.protocol import MigratableApp, install_all_migration_enclaves
+from repro.errors import InvalidStateError, MigrationError, SgxError
+from repro.sgx.identity import SigningKey
+
+
+@dataclass
+class RollbackAttackResult:
+    """Outcome of one roll-back attack run."""
+
+    defense: str
+    rollback_achieved: bool
+    equivocation_detected: bool
+    blocked_reason: str = ""
+    timeline: list[str] = field(default_factory=list)
+
+    @property
+    def attack_succeeded(self) -> bool:
+        return self.rollback_achieved
+
+
+def _launch_vulnerable(app, signing_key, dc, machine, kdc):
+    enclave = app.launch_enclave(TrInXVulnerable, signing_key)
+    endpoint = register_gu_transport(enclave, app)
+    enclave.register_ocall("kdc_request_key", kdc.request_key)
+    enclave.ecall(
+        "gu_init",
+        GuFlagMode.MEMORY.name,
+        None,
+        dc.ias_verify_for(machine),
+        dc.ias.report_public_key,
+    )
+    enclave.ecall("trinx_init")
+    return enclave, endpoint
+
+
+def run_rollback_attack_vulnerable(seed: int = 77) -> RollbackAttackResult:
+    """KDC-portable state + machine-local counters: the attack succeeds."""
+    result = RollbackAttackResult(
+        defense="kdc-plus-local-counters", rollback_achieved=False,
+        equivocation_detected=False,
+    )
+    log = result.timeline.append
+
+    dc = DataCenter(name="rollback-dc", seed=seed)
+    source = dc.add_machine("machine-a")
+    destination = dc.add_machine("machine-b")
+    kdc = KeyDistributionCenter(dc.ias, dc.rng.child("kdc"), dc.meter)
+    s3 = shared_storage()
+    signing_key = SigningKey.generate(dc.rng.child("trinx-dev"))
+
+    # --- Step 1: start-stop-restart on the source --------------------------
+    vm = source.create_vm("trinx-vm")
+    app = vm.launch_application("trinx")
+    enclave, _ = _launch_vulnerable(app, signing_key, dc, source, kdc)
+    enclave.ecall("create_counter", "r1")
+    cert1 = enclave.ecall("certify", "r1", b"prepare:block-1")
+    auditor = CertificateAuditor(_identity_key_of(kdc, enclave))
+    auditor.verify(cert1)
+    blob_v1 = enclave.ecall("persist")  # creates counter, c = v = 1
+    s3.write("trinx/state", blob_v1)
+    counter_uuid = enclave.ecall("counter_uuid_bytes")
+    log("step1: certified r1=1, persisted v=1 under fresh counter c=1")
+    app.terminate()
+    app.restart()
+    enclave, _ = _launch_vulnerable(app, signing_key, dc, source, kdc)
+    enclave.ecall("adopt_counter", counter_uuid)
+    enclave.ecall("restore", s3.read("trinx/state"))
+    log("step1: restart on source accepted v=1")
+
+    # --- Step 2: continue on the source ------------------------------------
+    cert2 = enclave.ecall("certify", "r1", b"prepare:block-2")
+    auditor.verify(cert2)
+    cert3 = enclave.ecall("certify", "r1", b"prepare:block-3")
+    auditor.verify(cert3)
+    s3.write("trinx/state", enclave.ecall("persist"))  # v = 2
+    s3.write("trinx/state", enclave.ecall("persist"))  # v = 3
+    log("step2: certified r1=2,3 on source; persisted v=2,3")
+
+    # --- Step 3: migrate to the destination --------------------------------
+    dest_vm = destination.create_vm("trinx-vm-dst")
+    dest_app = dest_vm.launch_application("trinx")
+    dest_enclave, dest_endpoint = _launch_vulnerable(
+        dest_app, signing_key, dc, destination, kdc
+    )
+    enclave.ecall("gu_start_migration", dest_endpoint)
+    log("step3: data memory migrated to machine-b")
+
+    # --- Step 4: terminate on the destination ------------------------------
+    blob_dest_v1 = dest_enclave.ecall("persist")  # no counter here: c' = 1
+    s3.write("trinx/state", blob_dest_v1)
+    dest_counter_uuid = dest_enclave.ecall("counter_uuid_bytes")
+    log("step4: destination persisted under a FRESH counter c'=1")
+    dest_app.terminate()
+
+    # --- Step 5: restart on the destination with the step-1 blob -----------
+    dest_app.restart()
+    replayed, _ = _launch_vulnerable(dest_app, signing_key, dc, destination, kdc)
+    replayed.ecall("adopt_counter", dest_counter_uuid)
+    try:
+        replayed.ecall("restore", blob_v1)  # v = 1 == c' = 1 -> accepted!
+        result.rollback_achieved = True
+        log("step5: ROLLBACK ACCEPTED — state reverted to v=1 (r1=1)")
+        # The rolled-back instance re-issues counter value 2 for a
+        # different message: equivocation.
+        conflicting = replayed.ecall("certify", "r1", b"prepare:block-2-EVIL")
+        try:
+            auditor.verify(conflicting)
+        except CertificationViolation as exc:
+            result.equivocation_detected = True
+            log(f"auditor: {exc}")
+    except (InvalidStateError, MigrationError, SgxError) as exc:
+        result.blocked_reason = str(exc)
+        log(f"step5: rollback BLOCKED — {exc}")
+    return result
+
+
+def _identity_key_of(kdc, enclave) -> bytes:
+    """Reconstruct the TrInX identity key for the auditor (test observer).
+
+    In a deployment the replicas learn this key via attestation; here we
+    recompute it the same way the enclave does.
+    """
+    import hashlib
+
+    quote = enclave.trusted.sdk.get_quote(b"trinx-kdc", basename=b"kdc")
+    kdc_key = kdc.request_key(quote.to_bytes())
+    return hashlib.sha256(b"trinx-identity|" + kdc_key).digest()
+
+
+def run_rollback_attack_defended(seed: int = 77) -> RollbackAttackResult:
+    """The same adversary schedule against the Migration Library."""
+    result = RollbackAttackResult(
+        defense="migration-library", rollback_achieved=False,
+        equivocation_detected=False,
+    )
+    log = result.timeline.append
+
+    dc = DataCenter(name="rollback-dc-defended", seed=seed)
+    source = dc.add_machine("machine-a")
+    destination = dc.add_machine("machine-b")
+    install_all_migration_enclaves(dc)
+    s3 = shared_storage()
+    signing_key = SigningKey.generate(dc.rng.child("trinx-dev"))
+
+    mapp = MigratableApp.deploy(dc, source, TrInXSecure, signing_key, vm_name="trinx-vm")
+    enclave = mapp.start_new()
+    enclave.ecall("trinx_init")
+    enclave.ecall("create_counter", "r1")
+    enclave.ecall("certify", "r1", b"prepare:block-1")
+    blob_v1 = enclave.ecall("persist")  # migratable counter -> v = 1
+    s3.write("trinx/state", blob_v1)
+    log("step1: persisted v=1 under migratable counter")
+
+    enclave.ecall("certify", "r1", b"prepare:block-2")
+    enclave.ecall("certify", "r1", b"prepare:block-3")
+    s3.write("trinx/state", enclave.ecall("persist"))  # v = 2
+    s3.write("trinx/state", enclave.ecall("persist"))  # v = 3
+    log("step2: persisted v=2,3 on source")
+
+    dest_enclave = mapp.migrate(destination, migrate_vm=False)
+    log("step3: migrated via Migration Enclaves (counter offset shipped)")
+
+    # The legitimate restart path works: the latest state (v=3) matches the
+    # migrated effective counter value exactly.
+    dest_enclave.ecall("restore", s3.read("trinx/state"))
+    log("step4: destination restored the LATEST state (v=3 == effective 3)")
+
+    # Step 4/5: on the destination the effective counter CONTINUES at 3, so
+    # a fresh persist yields v=4 and the stale blob can never match.
+    s3.write("trinx/state", dest_enclave.ecall("persist"))  # v = 4
+    try:
+        dest_enclave.ecall("restore", blob_v1)
+        result.rollback_achieved = True
+        log("step5: ROLLBACK ACCEPTED (should not happen)")
+    except (InvalidStateError, MigrationError, SgxError) as exc:
+        result.blocked_reason = str(exc)
+        log(f"step5: rollback BLOCKED — {exc}")
+    return result

@@ -1,0 +1,30 @@
+"""Attestation protocols: secure channels, local and remote attestation, IAS."""
+
+from repro.attestation.channel import SecureChannel, channel_pair
+from repro.attestation.ias import AttestationVerdict, IntelAttestationService, check_verdict
+from repro.attestation.local import (
+    LocalAttestationInitiator,
+    LocalAttestationResponder,
+    LocalAttestationResult,
+    attest_locally,
+)
+from repro.attestation.remote import (
+    RemoteAttestationInitiator,
+    RemoteAttestationResponder,
+    RemoteAttestationResult,
+)
+
+__all__ = [
+    "SecureChannel",
+    "channel_pair",
+    "AttestationVerdict",
+    "IntelAttestationService",
+    "check_verdict",
+    "LocalAttestationInitiator",
+    "LocalAttestationResponder",
+    "LocalAttestationResult",
+    "attest_locally",
+    "RemoteAttestationInitiator",
+    "RemoteAttestationResponder",
+    "RemoteAttestationResult",
+]

@@ -1,0 +1,61 @@
+"""Simulated Intel Attestation Service (IAS).
+
+The IAS is the trusted third party that verifies EPID signatures on quotes:
+a verifier submits a quote, the IAS checks the group signature and its
+revocation lists, and returns a signed attestation verdict.  Our simulation
+holds the :class:`~repro.crypto.epid.EpidGroup` directly and signs verdicts
+with an IAS report key so that verdicts themselves are authenticated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import schnorr
+from repro.crypto.epid import EpidGroup
+from repro.errors import AttestationError
+from repro.sgx.quote import Quote
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class AttestationVerdict:
+    """IAS response: is the quote from a genuine, non-revoked platform?"""
+
+    ok: bool
+    quote_bytes: bytes
+    signature: schnorr.SchnorrSignature
+
+    def signed_payload(self) -> bytes:
+        return b"IAS-VERDICT|" + (b"OK" if self.ok else b"NO") + b"|" + self.quote_bytes
+
+
+class IntelAttestationService:
+    """Verifies EPID quotes; the root of trust for remote attestation."""
+
+    def __init__(self, epid_group: EpidGroup, rng: DeterministicRng):
+        self._epid_group = epid_group
+        self._report_key = schnorr.generate_keypair(rng.child("ias-report-key"))
+
+    @property
+    def report_public_key(self) -> int:
+        """Verifiers pin this key to authenticate IAS verdicts."""
+        return self._report_key.public
+
+    def verify_quote(self, quote_bytes: bytes) -> AttestationVerdict:
+        """Check the quote's EPID signature and revocation status."""
+        try:
+            quote = Quote.from_bytes(quote_bytes)
+        except Exception as exc:  # noqa: BLE001 - any parse failure is a bad quote
+            raise AttestationError(f"malformed quote: {exc}") from exc
+        ok = self._epid_group.verify(quote.signed_payload(), quote.epid_signature)
+        verdict_body = b"IAS-VERDICT|" + (b"OK" if ok else b"NO") + b"|" + quote_bytes
+        signature = schnorr.sign(self._report_key.private, verdict_body)
+        return AttestationVerdict(ok=ok, quote_bytes=quote_bytes, signature=signature)
+
+
+def check_verdict(verdict: AttestationVerdict, ias_public_key: int) -> bool:
+    """Client-side authentication of an IAS verdict."""
+    return verdict.ok and schnorr.verify(
+        ias_public_key, verdict.signed_payload(), verdict.signature
+    )

@@ -1,0 +1,140 @@
+"""Mutual remote attestation between enclaves on different machines.
+
+Each side obtains an EPID quote over its DH public value from its local
+Quoting Enclave, the peers exchange quotes over the untrusted network, and
+each side verifies the other's quote through the Intel Attestation Service
+(Section II-A6).  Identity policies let the caller insist, e.g., that the
+peer has *exactly the same MRENCLAVE* — the check the Migration Enclaves
+perform on each other (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro import wire
+from repro.attestation.channel import SecureChannel
+from repro.attestation.ias import AttestationVerdict, check_verdict
+from repro.crypto.dh import DiffieHellman, decode_public, encode_public
+from repro.crypto.kdf import sha256
+from repro.errors import AttestationError
+from repro.sgx.identity import EnclaveIdentity
+from repro.sgx.quote import Quote
+from repro.sgx.report import pad_report_data
+from repro.sgx.sdk import TrustedRuntime
+from repro.sim.rng import DeterministicRng
+
+IdentityPolicy = Callable[[EnclaveIdentity], bool]
+IasVerifier = Callable[[bytes], AttestationVerdict]
+
+
+def _bind_msg1(g_a: int) -> bytes:
+    return pad_report_data(sha256(b"RA-msg1|" + encode_public(g_a)))
+
+
+def _bind_msg2(g_a: int, g_b: int) -> bytes:
+    return pad_report_data(sha256(b"RA-msg2|" + encode_public(g_a) + encode_public(g_b)))
+
+
+def _transcript(g_a: int, g_b: int, id_a: EnclaveIdentity, id_b: EnclaveIdentity) -> bytes:
+    return sha256(
+        b"RA-transcript|"
+        + encode_public(g_a)
+        + encode_public(g_b)
+        + id_a.to_bytes()
+        + id_b.to_bytes()
+    )
+
+
+@dataclass
+class RemoteAttestationResult:
+    """Outcome of a successful mutual remote attestation."""
+
+    peer_identity: EnclaveIdentity
+    channel: SecureChannel
+    transcript: bytes
+
+
+class _RemoteAttestationParty:
+    def __init__(
+        self,
+        sdk: TrustedRuntime,
+        rng: DeterministicRng,
+        ias_verify: IasVerifier,
+        ias_public_key: int,
+        accept: IdentityPolicy | None,
+    ):
+        self._sdk = sdk
+        self._rng = rng
+        self._ias_verify = ias_verify
+        self._ias_public_key = ias_public_key
+        self._accept = accept
+        self._dh = DiffieHellman()
+
+    def _check_quote(self, quote: Quote, expected_binding: bytes) -> None:
+        if quote.report_data != expected_binding:
+            raise AttestationError("peer quote does not bind the DH exchange")
+        verdict = self._ias_verify(quote.to_bytes())
+        if not check_verdict(verdict, self._ias_public_key):
+            raise AttestationError("IAS rejected peer quote (revoked or forged platform)")
+        if verdict.quote_bytes != quote.to_bytes():
+            raise AttestationError("IAS verdict does not match the presented quote")
+        if self._accept is not None and not self._accept(quote.identity):
+            raise AttestationError("peer enclave identity rejected by policy")
+
+
+class RemoteAttestationInitiator(_RemoteAttestationParty):
+    def msg1(self) -> bytes:
+        meter = self._sdk._cpu.meter
+        if meter is not None:
+            meter.charge("dh_keygen", meter.model.dh_keygen)
+        self._keypair = self._dh.generate_keypair(self._rng.child("ra-init-dh"))
+        quote = self._sdk.get_quote(_bind_msg1(self._keypair.public), basename=b"ra")
+        return wire.encode(
+            {"quote": quote.to_bytes(), "g_a": encode_public(self._keypair.public)}
+        )
+
+    def finish(self, msg2: bytes) -> RemoteAttestationResult:
+        fields = wire.decode(msg2)
+        quote = Quote.from_bytes(fields["quote"])
+        g_b = decode_public(fields["g_b"])
+        self._check_quote(quote, _bind_msg2(self._keypair.public, g_b))
+        meter = self._sdk._cpu.meter
+        if meter is not None:
+            meter.charge("dh_shared", meter.model.dh_shared)
+        transcript = _transcript(
+            self._keypair.public, g_b, self._sdk.identity, quote.identity
+        )
+        key = self._dh.derive_session_key(self._keypair.private, g_b, transcript)
+        return RemoteAttestationResult(
+            peer_identity=quote.identity,
+            channel=SecureChannel(session_key=key, initiator=True),
+            transcript=transcript,
+        )
+
+
+class RemoteAttestationResponder(_RemoteAttestationParty):
+    def msg2(self, msg1: bytes) -> tuple[bytes, RemoteAttestationResult]:
+        fields = wire.decode(msg1)
+        quote = Quote.from_bytes(fields["quote"])
+        g_a = decode_public(fields["g_a"])
+        self._check_quote(quote, _bind_msg1(g_a))
+        meter = self._sdk._cpu.meter
+        if meter is not None:
+            meter.charge("dh_keygen", meter.model.dh_keygen)
+        keypair = self._dh.generate_keypair(self._rng.child("ra-resp-dh"))
+        my_quote = self._sdk.get_quote(_bind_msg2(g_a, keypair.public), basename=b"ra")
+        if meter is not None:
+            meter.charge("dh_shared", meter.model.dh_shared)
+        transcript = _transcript(g_a, keypair.public, quote.identity, self._sdk.identity)
+        key = self._dh.derive_session_key(keypair.private, g_a, transcript)
+        result = RemoteAttestationResult(
+            peer_identity=quote.identity,
+            channel=SecureChannel(session_key=key, initiator=False),
+            transcript=transcript,
+        )
+        msg2 = wire.encode(
+            {"quote": my_quote.to_bytes(), "g_b": encode_public(keypair.public)}
+        )
+        return msg2, result

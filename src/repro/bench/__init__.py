@@ -1,0 +1,29 @@
+"""Benchmark harness: statistics, experiment runners, figure regeneration."""
+
+from repro.bench.harness import (
+    build_bench_world,
+    run_fig3,
+    run_fig4_init,
+    run_fig4_sealing,
+    run_migration_bench,
+    run_offset_ablation,
+)
+from repro.bench.stats import (
+    SampleStats,
+    one_tailed_overhead_test,
+    percent_overhead,
+    summarize,
+)
+
+__all__ = [
+    "build_bench_world",
+    "run_fig3",
+    "run_fig4_init",
+    "run_fig4_sealing",
+    "run_migration_bench",
+    "run_offset_ablation",
+    "SampleStats",
+    "one_tailed_overhead_test",
+    "percent_overhead",
+    "summarize",
+]

@@ -1,0 +1,285 @@
+"""Regenerate every table and figure of the paper's evaluation as text.
+
+Run ``python -m repro.bench.figures <target>`` with one of:
+
+* ``fig3``      — Fig. 3: counter-operation durations (miglib vs baseline)
+* ``fig4``      — Fig. 4: init + sealing durations
+* ``migration`` — Section VII-B: enclave-migration overhead vs VM migration
+* ``table1``    — Table I: migrated-data structure
+* ``table2``    — Table II: library persistent structure
+* ``tcb``       — Section VII-A: TCB size (lines of code)
+* ``ablation``  — Section VI-B design choice: offset vs increment-to-value
+* ``attacks``   — Section III: the fork/roll-back attack matrix
+* ``all``       — everything above
+
+Each function also returns its raw data so tests can assert the paper's
+qualitative shape (who wins, by what factor, what is significant).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import (
+    run_fig3,
+    run_fig4_init,
+    run_fig4_sealing,
+    run_migration_bench,
+    run_offset_ablation,
+)
+from repro.bench.stats import one_tailed_overhead_test, percent_overhead, summarize
+from repro.core.datastructures import LIBRARY_STATE_SIZE, MIGRATION_DATA_SIZE
+
+PAPER_INCREMENT_OVERHEAD_PCT = 12.3
+PAPER_MIGRATION_SECONDS = 0.47
+PAPER_TCB_ME_LOC = 217
+PAPER_TCB_LIB_LOC = 940
+
+
+def _header(title: str) -> str:
+    rule = "=" * len(title)
+    return f"{title}\n{rule}"
+
+
+# ------------------------------------------------------------------- Fig. 3
+def figure3(reps: int = 1000, seed: int = 0) -> tuple[str, dict]:
+    data = run_fig3(reps=reps, seed=seed)
+    lines = [_header("Figure 3 — average duration of counter operations")]
+    lines.append(
+        f"{'operation':<12}{'baseline (s)':>16}{'miglib (s)':>16}"
+        f"{'overhead':>12}{'p (1-tailed)':>14}"
+    )
+    for op, series in data.items():
+        base = summarize(series["baseline"])
+        lib = summarize(series["miglib"])
+        overhead = percent_overhead(series["baseline"], series["miglib"])
+        p_value = one_tailed_overhead_test(series["baseline"], series["miglib"])
+        lines.append(
+            f"{op:<12}{base.mean:>12.4f} ±{base.ci99_half_width:.4f}"
+            f"{lib.mean:>12.4f} ±{lib.ci99_half_width:.4f}"
+            f"{overhead:>+11.1f}%{p_value:>14.3g}"
+        )
+    increment_overhead = percent_overhead(
+        data["increment"]["baseline"], data["increment"]["miglib"]
+    )
+    read_p = one_tailed_overhead_test(data["read"]["baseline"], data["read"]["miglib"])
+    lines.append("")
+    lines.append(
+        f"paper: increment overhead 12.3% (significant), read not significant "
+        f"(p ~= 0.12); measured: increment {increment_overhead:+.1f}%, read p = {read_p:.3f}"
+    )
+    return "\n".join(lines), data
+
+
+# ------------------------------------------------------------------- Fig. 4
+def figure4(reps: int = 1000, seed: int = 0, bulk_reps: int | None = None) -> tuple[str, dict]:
+    if bulk_reps is None:
+        bulk_reps = max(100, reps // 5)  # 100 kB AEAD is computed for real
+    init_data = run_fig4_init(reps=min(reps, 300), seed=seed)
+    seal_small = run_fig4_sealing(reps=reps, sizes=(100,), seed=seed)
+    seal_big = run_fig4_sealing(reps=bulk_reps, sizes=(100_000,), seed=seed)
+    data = {**seal_small, **seal_big, **{k: {"miglib": v} for k, v in init_data.items()}}
+
+    lines = [_header("Figure 4 — initialization and sealing durations")]
+    for key, series in init_data.items():
+        stats = summarize(series)
+        lines.append(f"{key:<16}{stats.mean * 1e6:>10.1f} us ±{stats.ci99_half_width * 1e6:.2f}"
+                     f"  (no baseline: native SGX has no library init)")
+    lines.append("")
+    lines.append(f"{'operation':<16}{'baseline (us)':>15}{'miglib (us)':>14}{'delta':>10}")
+    for key in ("seal_100", "unseal_100", "seal_100000", "unseal_100000"):
+        series = data[key]
+        base = summarize(series["baseline"])
+        lib = summarize(series["miglib"])
+        delta = percent_overhead(series["baseline"], series["miglib"])
+        lines.append(
+            f"{key:<16}{base.mean * 1e6:>15.1f}{lib.mean * 1e6:>14.1f}{delta:>+9.1f}%"
+        )
+    lines.append("")
+    lines.append(
+        "paper: migratable sealing is slightly FASTER than native sealing "
+        "(MSK cached vs per-call EGETKEY); init times are negligible"
+    )
+    return "\n".join(lines), data
+
+
+# --------------------------------------------------------------- migration
+def migration(reps: int = 100, seed: int = 0) -> tuple[str, dict]:
+    enclave_data = run_migration_bench(reps=reps, num_counters=0, seed=seed, with_vm=False)
+    vm_data = run_migration_bench(reps=max(3, reps // 20), num_counters=0, seed=seed + 1,
+                                  with_vm=True)
+    per_counter = {
+        n: run_migration_bench(reps=max(4, reps // 10), num_counters=n, seed=seed + n)
+        for n in (1, 4)
+    }
+    enclave_stats = summarize(enclave_data["enclave_migration"])
+    vm_stats = summarize(vm_data["vm_migration"])
+    lines = [_header("Section VII-B — migration overhead")]
+    lines.append(f"enclave migration (no counters): {enclave_stats.format()}")
+    lines.append(f"paper reports:                   0.47 (±0.035) s")
+    for n, series in per_counter.items():
+        stats = summarize(series["enclave_migration"])
+        lines.append(f"enclave migration ({n} counters): {stats.format()}")
+    lines.append(f"VM live migration (4 GiB):       {vm_stats.format()}")
+    lines.append("")
+    lines.append(
+        "shape check: enclave overhead is a fraction of VM migration "
+        f"({enclave_stats.mean / vm_stats.mean:.2f}x)"
+    )
+    data = {
+        "enclave": enclave_data["enclave_migration"],
+        "vm": vm_data["vm_migration"],
+        "per_counter": {n: s["enclave_migration"] for n, s in per_counter.items()},
+    }
+    return "\n".join(lines), data
+
+
+# ------------------------------------------------------------------- tables
+def table1() -> tuple[str, dict]:
+    rows = [
+        ("counters active", "bool[256]", 256, "Shows used counters"),
+        ("counter values", "uint32[256]", 1024, "Used as next offset"),
+        ("MSK", "128-bit SGX key", 16, "Used by migratable seal"),
+    ]
+    lines = [_header("Table I — data structure of the migrated data")]
+    lines.append(f"{'name':<18}{'type':<18}{'bytes':>7}  description")
+    for name, typ, size, desc in rows:
+        lines.append(f"{name:<18}{typ:<18}{size:>7}  {desc}")
+    lines.append(f"{'total':<36}{MIGRATION_DATA_SIZE:>7}")
+    return "\n".join(lines), {"rows": rows, "total": MIGRATION_DATA_SIZE}
+
+
+def table2() -> tuple[str, dict]:
+    rows = [
+        ("frozen", "uint8", 1, "Freeze flag for migration"),
+        ("counters active", "bool[256]", 256, "Shows used counters"),
+        ("counter uuids", "SGX counter[256]", 4096, "UUIDs of the SGX counters"),
+        ("counter offsets", "uint32[256]", 1024, "Offsets of the counters"),
+        ("MSK", "128-bit SGX key", 16, "Used by migratable seal"),
+    ]
+    lines = [_header("Table II — data structure of the Migration Library internals")]
+    lines.append(f"{'name':<18}{'type':<18}{'bytes':>7}  description")
+    for name, typ, size, desc in rows:
+        lines.append(f"{name:<18}{typ:<18}{size:>7}  {desc}")
+    lines.append(f"{'total':<36}{LIBRARY_STATE_SIZE:>7}")
+    return "\n".join(lines), {"rows": rows, "total": LIBRARY_STATE_SIZE}
+
+
+# ---------------------------------------------------------------------- TCB
+def count_loc(path: str) -> int:
+    """Non-blank, non-comment, non-docstring lines of code."""
+    loc = 0
+    in_docstring = False
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if in_docstring:
+                if line.endswith('"""') or line.endswith("'''"):
+                    in_docstring = False
+                continue
+            if line.startswith('"""') or line.startswith("'''"):
+                quote = line[:3]
+                if not (line.endswith(quote) and len(line) > 3):
+                    in_docstring = True
+                continue
+            if line.startswith("#"):
+                continue
+            loc += 1
+    return loc
+
+
+def tcb() -> tuple[str, dict]:
+    import repro.core.migration_enclave as me_module
+    import repro.core.migration_library as lib_module
+
+    me_loc = count_loc(me_module.__file__)
+    lib_loc = count_loc(lib_module.__file__)
+    lines = [_header("Section VII-A — software TCB size")]
+    lines.append(f"{'component':<22}{'paper (C LoC)':>14}{'this repo (Py LoC)':>20}")
+    lines.append(f"{'Migration Enclave':<22}{PAPER_TCB_ME_LOC:>14}{me_loc:>20}")
+    lines.append(f"{'Migration Library':<22}{PAPER_TCB_LIB_LOC:>14}{lib_loc:>20}")
+    lines.append("")
+    lines.append("both implementations remain small enough to audit")
+    return "\n".join(lines), {"me_loc": me_loc, "lib_loc": lib_loc}
+
+
+# ----------------------------------------------------------------- ablation
+def ablation(seed: int = 0) -> tuple[str, dict]:
+    data = run_offset_ablation(seed=seed)
+    lines = [_header("Ablation — counter offset vs increment-to-value (Sec. VI-B)")]
+    lines.append(f"{'counter value':>14}{'offset (s)':>14}{'increment-to-value (s)':>24}")
+    for value, series in data.items():
+        offset_stats = summarize(series["offset"])
+        increment_stats = summarize(series["increment_to_value"])
+        lines.append(
+            f"{value:>14}{offset_stats.mean:>14.3f}{increment_stats.mean:>24.3f}"
+        )
+    lines.append("")
+    lines.append(
+        "the offset design is constant-time; increment-to-value grows "
+        "linearly with the (rate-limited) counter value"
+    )
+    return "\n".join(lines), data
+
+
+# ------------------------------------------------------------------ attacks
+def attacks(seed: int = 2024) -> tuple[str, dict]:
+    from repro.attacks.fork import run_fork_attack_defended, run_fork_attack_vulnerable
+    from repro.attacks.rollback import (
+        run_rollback_attack_defended,
+        run_rollback_attack_vulnerable,
+    )
+    from repro.core.baseline import GuFlagMode
+
+    results = {
+        "fork/gu-none": run_fork_attack_vulnerable(GuFlagMode.NONE, seed),
+        "fork/gu-memory-flag": run_fork_attack_vulnerable(GuFlagMode.MEMORY, seed),
+        "fork/gu-persisted-flag": run_fork_attack_vulnerable(GuFlagMode.PERSISTED, seed),
+        "fork/migration-library": run_fork_attack_defended(seed),
+        "rollback/kdc-local-counters": run_rollback_attack_vulnerable(seed),
+        "rollback/migration-library": run_rollback_attack_defended(seed),
+    }
+    lines = [_header("Section III — attack matrix")]
+    lines.append(f"{'scenario':<30}{'attack':>10}{'migrate-back':>14}")
+    for name, result in results.items():
+        outcome = "SUCCEEDS" if result.attack_succeeded else "blocked"
+        back = getattr(result, "migrate_back_possible", None)
+        back_str = {True: "works", False: "IMPOSSIBLE", None: "-"}[back]
+        lines.append(f"{name:<30}{outcome:>10}{back_str:>14}")
+    return "\n".join(lines), results
+
+
+TARGETS = {
+    "fig3": figure3,
+    "fig4": figure4,
+    "migration": migration,
+    "table1": table1,
+    "table2": table2,
+    "tcb": tcb,
+    "ablation": ablation,
+    "attacks": attacks,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv or argv[0] not in TARGETS and argv[0] != "all":
+        print(__doc__)
+        return 1
+    names = list(TARGETS) if argv[0] == "all" else [argv[0]]
+    reps = int(argv[1]) if len(argv) > 1 else None
+    for name in names:
+        fn = TARGETS[name]
+        if reps is not None and name in ("fig3", "fig4", "migration"):
+            text, _ = fn(reps=reps)
+        else:
+            text, _ = fn()
+        print(text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

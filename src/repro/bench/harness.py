@@ -1,0 +1,237 @@
+"""Experiment harness: builds worlds, times ECALLs on the virtual clock.
+
+The paper times ECALLs with a wall clock on SGX hardware; we time the same
+ECALLs on the simulation's virtual clock (see :mod:`repro.sim.costs` for the
+calibration).  Each experiment below mirrors the paper's measurement
+procedure — e.g. Fig. 3/4 "started the enclave, measured the initialization
+of a new library buffer, restarted the enclave, and measured the other
+ECALLs", repeated 1000 times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.counter_app import BaselineBenchEnclave, MigratableBenchEnclave
+from repro.cloud.datacenter import DataCenter
+from repro.cloud.machine import PhysicalMachine
+from repro.core.migration_library import InitState
+from repro.core.protocol import MigratableApp, install_all_migration_enclaves
+from repro.sgx.enclave import Enclave
+from repro.sgx.identity import SigningKey
+
+DEFAULT_REPS = 1000
+
+
+@dataclass
+class BenchWorld:
+    """A two-machine data center with MEs and both bench enclaves."""
+
+    dc: DataCenter
+    machine_a: PhysicalMachine
+    machine_b: PhysicalMachine
+    signing_key: SigningKey
+    miglib_app: MigratableApp = None
+    miglib_enclave: Enclave = None
+    baseline_enclave: Enclave = None
+    extra: dict = field(default_factory=dict)
+
+    def elapse(self, fn, *args, **kwargs) -> tuple[float, object]:
+        """Run ``fn`` and return (virtual seconds elapsed, result)."""
+        start = self.dc.clock.now
+        result = fn(*args, **kwargs)
+        return self.dc.clock.now - start, result
+
+
+def build_bench_world(seed: int = 0) -> BenchWorld:
+    """Standard benchmark environment (deterministic under ``seed``)."""
+    dc = DataCenter(name="bench", seed=seed)
+    machine_a = dc.add_machine("machine-a")
+    machine_b = dc.add_machine("machine-b")
+    install_all_migration_enclaves(dc)
+    signing_key = SigningKey.generate(dc.rng.child("bench-dev"))
+
+    world = BenchWorld(
+        dc=dc, machine_a=machine_a, machine_b=machine_b, signing_key=signing_key
+    )
+    world.miglib_app = MigratableApp.deploy(
+        dc, machine_a, MigratableBenchEnclave, signing_key, vm_name="bench-vm"
+    )
+    world.miglib_enclave = world.miglib_app.start_new()
+
+    baseline_vm = machine_a.create_vm("baseline-vm")
+    baseline_app = baseline_vm.launch_application("baseline")
+    world.baseline_enclave = baseline_app.launch_enclave(BaselineBenchEnclave, signing_key)
+    return world
+
+
+# --------------------------------------------------------------------- Fig 3
+FIG3_OPERATIONS = ("create", "increment", "read", "destroy")
+
+
+def run_fig3(reps: int = DEFAULT_REPS, seed: int = 0) -> dict[str, dict[str, list[float]]]:
+    """Counter-operation durations, migration library vs baseline.
+
+    Per repetition: create a counter, increment it, read it, destroy it —
+    timing each ECALL — for both enclaves.  Returns
+    ``{operation: {"miglib": samples, "baseline": samples}}``.
+    """
+    world = build_bench_world(seed)
+    results: dict[str, dict[str, list[float]]] = {
+        op: {"miglib": [], "baseline": []} for op in FIG3_OPERATIONS
+    }
+
+    enclave = world.miglib_enclave
+    for _ in range(reps):
+        duration, (counter_id, _) = world.elapse(enclave.ecall, "create_counter")
+        results["create"]["miglib"].append(duration)
+        duration, _ = world.elapse(enclave.ecall, "increment_counter", counter_id)
+        results["increment"]["miglib"].append(duration)
+        duration, _ = world.elapse(enclave.ecall, "read_counter", counter_id)
+        results["read"]["miglib"].append(duration)
+        duration, _ = world.elapse(enclave.ecall, "destroy_counter", counter_id)
+        results["destroy"]["miglib"].append(duration)
+
+    baseline = world.baseline_enclave
+    for _ in range(reps):
+        duration, (uuid, _) = world.elapse(baseline.ecall, "create_counter")
+        results["create"]["baseline"].append(duration)
+        duration, _ = world.elapse(baseline.ecall, "increment_counter", uuid)
+        results["increment"]["baseline"].append(duration)
+        duration, _ = world.elapse(baseline.ecall, "read_counter", uuid)
+        results["read"]["baseline"].append(duration)
+        duration, _ = world.elapse(baseline.ecall, "destroy_counter", uuid)
+        results["destroy"]["baseline"].append(duration)
+    return results
+
+
+# --------------------------------------------------------------------- Fig 4
+FIG4_SIZES = (100, 100_000)  # the paper's "100/100kB" payloads
+
+
+def run_fig4_init(reps: int = DEFAULT_REPS, seed: int = 0) -> dict[str, list[float]]:
+    """Library initialization: new buffer vs restore (no baseline exists)."""
+    world = build_bench_world(seed)
+    dc, machine = world.dc, world.machine_a
+    results: dict[str, list[float]] = {"init_new": [], "init_restore": []}
+    vm = machine.create_vm("init-bench-vm")
+    app = vm.launch_application("init-bench")
+
+    for index in range(reps):
+        enclave = app.launch_enclave(MigratableBenchEnclave, world.signing_key)
+        enclave.register_ocall("send_to_me", lambda addr, p: app.send(f"{addr}/me", p))
+        enclave.register_ocall("save_library_state", lambda blob: None)
+        duration, buffer = world.elapse(
+            enclave.ecall, "migration_init", None, InitState.NEW.name, machine.address
+        )
+        results["init_new"].append(duration)
+        enclave.destroy()
+        machine.on_enclave_destroyed(enclave)
+
+        enclave = app.launch_enclave(MigratableBenchEnclave, world.signing_key)
+        enclave.register_ocall("send_to_me", lambda addr, p: app.send(f"{addr}/me", p))
+        enclave.register_ocall("save_library_state", lambda blob: None)
+        duration, _ = world.elapse(
+            enclave.ecall, "migration_init", buffer, InitState.RESTORE.name, machine.address
+        )
+        results["init_restore"].append(duration)
+        enclave.destroy()
+        machine.on_enclave_destroyed(enclave)
+    return results
+
+
+def run_fig4_sealing(
+    reps: int = DEFAULT_REPS, sizes: tuple[int, ...] = FIG4_SIZES, seed: int = 0
+) -> dict[str, dict[str, list[float]]]:
+    """Seal/unseal durations at each payload size, miglib vs baseline.
+
+    Returns ``{f"{op}_{size}": {"miglib": [...], "baseline": [...]}}``.
+    """
+    world = build_bench_world(seed)
+    results: dict[str, dict[str, list[float]]] = {}
+    payloads = {size: bytes(size) for size in sizes}
+
+    for size in sizes:
+        for op in ("seal", "unseal"):
+            results[f"{op}_{size}"] = {"miglib": [], "baseline": []}
+
+    for variant, enclave in (
+        ("miglib", world.miglib_enclave),
+        ("baseline", world.baseline_enclave),
+    ):
+        for size in sizes:
+            for _ in range(reps):
+                duration, blob = world.elapse(enclave.ecall, "seal", payloads[size])
+                results[f"seal_{size}"][variant].append(duration)
+                duration, _ = world.elapse(enclave.ecall, "unseal", blob)
+                results[f"unseal_{size}"][variant].append(duration)
+    return results
+
+
+# ---------------------------------------------------------------- migration
+def run_migration_bench(
+    reps: int = 100, num_counters: int = 1, seed: int = 0, with_vm: bool = False
+) -> dict[str, list[float]]:
+    """End-to-end enclave migration overhead (Section VII-B, ~0.47 s).
+
+    Migrates the bench enclave back and forth between the two machines,
+    timing the enclave-specific work (library freeze + counter destruction
+    + LA + ME<->ME remote attestation + transfer + destination restore).
+    ``with_vm=True`` additionally times the VM live migration for the
+    comparison the paper makes ("order of seconds").
+    """
+    world = build_bench_world(seed)
+    app = world.miglib_app
+    enclave = world.miglib_enclave
+    counter_ids = [enclave.ecall("create_counter")[0] for _ in range(num_counters)]
+    results: dict[str, list[float]] = {"enclave_migration": [], "vm_migration": []}
+
+    machines = [world.machine_b, world.machine_a]
+    for index in range(reps):
+        target = machines[index % 2]
+        duration, enclave = world.elapse(app.migrate, target, False)
+        results["enclave_migration"].append(duration)
+        if with_vm:
+            # Time a pure VM migration of an equivalent (enclave-free) VM.
+            spare = target.create_vm(f"spare-{index}", memory_bytes=1 << 32)
+            other = world.machine_a if target is world.machine_b else world.machine_b
+            duration, _ = world.elapse(world.dc.hypervisor.migrate_vm, spare, other)
+            results["vm_migration"].append(duration)
+            other.release_vm(spare)
+    # keep the counters alive so ablations can reuse the world
+    world.extra["counter_ids"] = counter_ids
+    return results
+
+
+# ---------------------------------------------------------------- ablations
+def run_offset_ablation(
+    counter_values: tuple[int, ...] = (1, 5, 10, 50, 100),
+    reps: int = 20,
+    seed: int = 0,
+) -> dict[int, dict[str, list[float]]]:
+    """Counter-offset design vs increment-to-value (Section VI-B).
+
+    For each starting counter value, measures the destination-side cost of
+    re-establishing the counter (a) with the paper's offset scheme (one
+    create, constant time) and (b) by incrementing a fresh counter up to the
+    value (linear in the value, and rate-limited on real hardware).
+    """
+    world = build_bench_world(seed)
+    baseline = world.baseline_enclave
+    results: dict[int, dict[str, list[float]]] = {}
+    for value in counter_values:
+        results[value] = {"offset": [], "increment_to_value": []}
+        for _ in range(reps):
+            # (a) offset scheme: one counter creation, offset set in memory.
+            start = world.dc.clock.now
+            uuid, _ = baseline.ecall("create_counter")
+            results[value]["offset"].append(world.dc.clock.now - start)
+            baseline.ecall("destroy_counter", uuid)
+            # (b) increment-to-value: create plus `value` increments.
+            start = world.dc.clock.now
+            uuid, _ = baseline.ecall("create_counter")
+            for _ in range(value):
+                baseline.ecall("increment_counter", uuid)
+            results[value]["increment_to_value"].append(world.dc.clock.now - start)
+            baseline.ecall("destroy_counter", uuid)
+    return results

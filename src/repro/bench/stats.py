@@ -1,0 +1,70 @@
+"""Statistics used by the paper's evaluation (Section VII-B).
+
+The paper reports means with 99 % confidence intervals over 1000 repetitions
+and uses a one-tailed t-test to decide whether the Migration Library's
+overhead over the baseline is statistically significant (increment: p ~ 0,
+significant; read: p ~ 0.12, not significant).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Summary of one measurement series."""
+
+    n: int
+    mean: float
+    std: float
+    ci99_half_width: float
+
+    @property
+    def ci99(self) -> tuple[float, float]:
+        return (self.mean - self.ci99_half_width, self.mean + self.ci99_half_width)
+
+    def format(self, unit: str = "s", scale: float = 1.0) -> str:
+        return (
+            f"{self.mean * scale:.6g} ± {self.ci99_half_width * scale:.2g} {unit} "
+            f"(99% CI, n={self.n})"
+        )
+
+
+def summarize(samples: list[float], confidence: float = 0.99) -> SampleStats:
+    """Mean + t-based confidence interval of a measurement series."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("cannot summarize an empty sample")
+    mean = sum(samples) / n
+    if n == 1:
+        return SampleStats(n=1, mean=mean, std=0.0, ci99_half_width=0.0)
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    std = math.sqrt(variance)
+    t_crit = scipy_stats.t.ppf(0.5 + confidence / 2, df=n - 1)
+    return SampleStats(
+        n=n, mean=mean, std=std, ci99_half_width=t_crit * std / math.sqrt(n)
+    )
+
+
+def one_tailed_overhead_test(baseline: list[float], treatment: list[float]) -> float:
+    """One-tailed Welch t-test p-value for mean(treatment) > mean(baseline).
+
+    This is the paper's significance test for the library's overhead.
+    """
+    result = scipy_stats.ttest_ind(
+        treatment, baseline, equal_var=False, alternative="greater"
+    )
+    return float(result.pvalue)
+
+
+def percent_overhead(baseline: list[float], treatment: list[float]) -> float:
+    """Mean overhead of ``treatment`` over ``baseline`` in percent."""
+    base = summarize(baseline).mean
+    treat = summarize(treatment).mean
+    if base == 0:
+        raise ValueError("baseline mean is zero")
+    return (treat / base - 1.0) * 100.0

@@ -1,0 +1,26 @@
+"""Cloud substrate: machines, VMs, hypervisor, network, storage, KDC."""
+
+from repro.cloud.datacenter import DataCenter, ProviderCredential
+from repro.cloud.hypervisor import Hypervisor, MigrationReport
+from repro.cloud.kdc import KeyDistributionCenter, shared_storage
+from repro.cloud.machine import PhysicalMachine
+from repro.cloud.network import Network
+from repro.cloud.proxy import ProxiedPse
+from repro.cloud.storage import StorageError, UntrustedStorage
+from repro.cloud.vm import Application, VirtualMachine
+
+__all__ = [
+    "DataCenter",
+    "ProviderCredential",
+    "Hypervisor",
+    "MigrationReport",
+    "KeyDistributionCenter",
+    "shared_storage",
+    "PhysicalMachine",
+    "Network",
+    "ProxiedPse",
+    "StorageError",
+    "UntrustedStorage",
+    "Application",
+    "VirtualMachine",
+]

@@ -1,0 +1,164 @@
+"""The data center: machines, shared services, and the provider CA.
+
+Owns the single simulation clock, the Intel-side services (EPID group, IAS),
+the network fabric, the hypervisor, and the cloud provider's certificate
+authority.  The CA implements the paper's **setup phase** (Section V-B): it
+provisions each Migration Enclave with a credential binding the ME identity
+to a machine of this provider, which is how MEs later authenticate each
+other as belonging to the same cloud (Requirement R2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import wire
+from repro.cloud.hypervisor import Hypervisor
+from repro.cloud.machine import PhysicalMachine
+from repro.cloud.network import Network
+from repro.crypto import schnorr
+from repro.crypto.epid import EpidGroup
+from repro.attestation.ias import IntelAttestationService
+from repro.errors import InvalidParameterError
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostMeter, CostModel
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class ProviderCredential:
+    """CA-signed binding of (provider, machine, ME identity, ME signing key).
+
+    Issued during the setup phase; the embedded public key lets the ME sign
+    attestation transcripts so its peer can confirm it belongs to the same
+    cloud provider (Requirement R2).
+    """
+
+    provider: str
+    machine_address: str
+    mrenclave: bytes
+    me_public_key: int
+    signature: schnorr.SchnorrSignature
+
+    def signed_payload(self) -> bytes:
+        return (
+            b"PROVIDER-CRED|"
+            + self.provider.encode()
+            + b"|"
+            + self.machine_address.encode()
+            + b"|"
+            + self.mrenclave
+            + b"|"
+            + self.me_public_key.to_bytes(256, "big")
+        )
+
+    def to_bytes(self) -> bytes:
+        return wire.encode(
+            {
+                "provider": self.provider,
+                "machine": self.machine_address,
+                "mrenclave": self.mrenclave,
+                "me_public_key": self.me_public_key.to_bytes(256, "big"),
+                "sig": self.signature.to_bytes(),
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ProviderCredential":
+        fields = wire.decode(data)
+        return cls(
+            provider=fields["provider"],
+            machine_address=fields["machine"],
+            mrenclave=fields["mrenclave"],
+            me_public_key=int.from_bytes(fields["me_public_key"], "big"),
+            signature=schnorr.SchnorrSignature.from_bytes(fields["sig"]),
+        )
+
+    def verify(self, ca_public_key: int) -> bool:
+        return schnorr.verify(ca_public_key, self.signed_payload(), self.signature)
+
+
+@dataclass
+class DataCenter:
+    """One cloud provider's data center (the whole simulated world)."""
+
+    name: str = "dc-1"
+    seed: int | str = 0
+    cost_model: CostModel = field(default_factory=CostModel)
+    clock: VirtualClock = field(init=False)
+    meter: CostMeter = field(init=False)
+    rng: DeterministicRng = field(init=False)
+    network: Network = field(init=False)
+    hypervisor: Hypervisor = field(init=False)
+    epid_group: EpidGroup = field(init=False)
+    ias: IntelAttestationService = field(init=False)
+    machines: dict[str, PhysicalMachine] = field(default_factory=dict)
+    _ca_keypair: schnorr.SchnorrKeyPair = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.rng = DeterministicRng(self.seed, f"datacenter-{self.name}")
+        self.clock = VirtualClock()
+        self.meter = CostMeter(self.cost_model, self.clock, self.rng.child("meter-noise"))
+        self.network = Network(self.meter)
+        self.hypervisor = Hypervisor(self.meter)
+        self.epid_group = EpidGroup(self.rng.child("intel-epid"))
+        self.ias = IntelAttestationService(self.epid_group, self.rng.child("intel-ias"))
+        self._ca_keypair = schnorr.generate_keypair(self.rng.child("provider-ca"))
+
+    # ------------------------------------------------------------- machines
+    def add_machine(self, name: str) -> PhysicalMachine:
+        if name in self.machines:
+            raise InvalidParameterError(f"machine {name!r} already exists")
+        machine = PhysicalMachine(
+            name=name,
+            rng=self.rng.child(f"machine-{name}"),
+            meter=self.meter,
+            network=self.network,
+            epid_member=self.epid_group.join(),
+        )
+        self.machines[name] = machine
+        return machine
+
+    def machine(self, name: str) -> PhysicalMachine:
+        if name not in self.machines:
+            raise InvalidParameterError(f"unknown machine {name!r}")
+        return self.machines[name]
+
+    # ---------------------------------------------------------- provider CA
+    @property
+    def ca_public_key(self) -> int:
+        return self._ca_keypair.public
+
+    def issue_credential(
+        self, machine_address: str, mrenclave: bytes, me_public_key: int
+    ) -> ProviderCredential:
+        """Setup phase: certify a Migration Enclave on one of our machines."""
+        if machine_address not in self.machines:
+            raise InvalidParameterError(
+                f"cannot certify ME on foreign machine {machine_address!r}"
+            )
+        credential = ProviderCredential(
+            provider=self.name,
+            machine_address=machine_address,
+            mrenclave=mrenclave,
+            me_public_key=me_public_key,
+            signature=None,  # type: ignore[arg-type]
+        )
+        signature = schnorr.sign(self._ca_keypair.private, credential.signed_payload())
+        return ProviderCredential(
+            provider=credential.provider,
+            machine_address=credential.machine_address,
+            mrenclave=credential.mrenclave,
+            me_public_key=credential.me_public_key,
+            signature=signature,
+        )
+
+    # ------------------------------------------------------------- services
+    def ias_verify_for(self, machine: PhysicalMachine):
+        """An IAS verifier as seen from ``machine``: charges the WAN trip."""
+
+        def verify(quote_bytes: bytes):
+            self.meter.charge("ias_round_trip", self.cost_model.ias_verification)
+            return self.ias.verify_quote(quote_bytes)
+
+        return verify

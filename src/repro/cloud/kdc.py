@@ -1,0 +1,60 @@
+"""Key Distribution Center and shared storage (Section III-C's alternative).
+
+The paper observes that instead of SGX sealing, a cloud enclave could fetch
+an encryption key from a KDC (e.g. AWS KMS) and keep its encrypted state in
+shared storage (e.g. S3).  The state then *survives* migration — but if the
+migration mechanism does not also migrate monotonic counters, the roll-back
+attack of Section III-C goes through.  This module provides exactly that
+substrate so the attack can be demonstrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attestation.ias import IntelAttestationService
+from repro.cloud.storage import UntrustedStorage
+from repro.crypto.kdf import derive_key_cmac
+from repro.errors import AttestationError
+from repro.sgx.quote import Quote
+from repro.sim.costs import CostMeter
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass
+class KeyDistributionCenter:
+    """KMS-style service: hands a stable per-identity key to attested enclaves.
+
+    The enclave proves its identity with a quote; the KDC returns a key that
+    is a pure function of (KDC master key, MRENCLAVE, key label) — so the
+    same enclave gets the same key on *any* machine.  That is the property
+    that makes the state portable and the counters the only freshness root.
+    """
+
+    ias: IntelAttestationService
+    rng: DeterministicRng
+    meter: CostMeter | None = None
+    _master_key: bytes = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._master_key = self.rng.child("kdc-master").random_bytes(16)
+
+    def request_key(self, quote_bytes: bytes, label: bytes = b"state") -> bytes:
+        """Verify the quote and derive the caller's stable key."""
+        if self.meter is not None:
+            # Network round trip to the KDC + IAS verification on its side.
+            self.meter.charge("kdc_round_trip", self.meter.model.net_dc_rtt)
+            self.meter.charge("ias_round_trip", self.meter.model.ias_verification)
+        verdict = self.ias.verify_quote(quote_bytes)
+        if not verdict.ok:
+            raise AttestationError("KDC: quote rejected")
+        quote = Quote.from_bytes(quote_bytes)
+        return derive_key_cmac(
+            self._master_key, b"KDC-KEY", quote.identity.mrenclave + b"|" + label
+        )
+
+
+def shared_storage() -> UntrustedStorage:
+    """An S3-like store reachable from every machine (still untrusted —
+    the adversary can replay old object versions)."""
+    return UntrustedStorage(machine_id="shared-storage")

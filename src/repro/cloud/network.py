@@ -1,0 +1,95 @@
+"""The simulated data-center network.
+
+A synchronous request/response fabric: components register named endpoints
+(e.g. ``machine-b/me`` for a Migration Enclave's service port) and peers
+send them byte payloads.  The network itself is **untrusted** — adversary
+taps can observe, modify, or drop any message — so every security property
+must come from the attested channels layered on top.
+
+Timing: each exchange charges one RTT (local or cross-host) plus the
+bandwidth-proportional transfer time of both payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.sim.costs import CostMeter
+
+Handler = Callable[[bytes, str], bytes]
+# tap(src, dst, payload) -> payload | None (None = drop)
+Tap = Callable[[str, str, bytes], bytes | None]
+
+
+def _machine_of(address: str) -> str:
+    return address.split("/", 1)[0]
+
+
+@dataclass
+class Network:
+    """Endpoint registry + message fabric for one data center."""
+
+    meter: CostMeter
+    _endpoints: dict[str, Handler] = field(default_factory=dict)
+    _taps: list[Tap] = field(default_factory=list)
+    messages_sent: int = 0
+    bytes_sent: int = 0
+
+    def register(self, address: str, handler: Handler, replace: bool = False) -> None:
+        """Bind ``address`` (``machine/service``) to a request handler.
+
+        ``replace=True`` rebinds an existing endpoint (e.g. a restarted
+        service re-claiming its port).
+        """
+        if address in self._endpoints and not replace:
+            raise NetworkError(f"endpoint {address!r} already registered")
+        self._endpoints[address] = handler
+
+    def unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+
+    def add_tap(self, tap: Tap) -> None:
+        """Install an adversary tap over all traffic."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Tap) -> None:
+        self._taps.remove(tap)
+
+    def _charge(self, src: str, dst: str, num_bytes: int) -> None:
+        model = self.meter.model
+        rtt = model.net_local_rtt if _machine_of(src) == _machine_of(dst) else model.net_dc_rtt
+        self.meter.charge("net_rtt", rtt)
+        self.meter.charge_exact("net_transfer", model.transfer_time(num_bytes))
+
+    def send(self, src: str, dst: str, payload: bytes) -> bytes:
+        """Request/response exchange; returns the handler's response.
+
+        Raises :class:`NetworkError` for unknown endpoints or messages
+        dropped by a tap — the sender sees a connection failure, exactly as
+        a real untrusted network can induce.
+        """
+        handler = self._endpoints.get(dst)
+        if handler is None:
+            raise NetworkError(f"no endpoint {dst!r}")
+        for tap in self._taps:
+            tapped = tap(src, dst, payload)
+            if tapped is None:
+                raise NetworkError(f"message {src} -> {dst} dropped by adversary")
+            payload = tapped
+        self.messages_sent += 1
+        self.bytes_sent += len(payload)
+        self._charge(src, dst, len(payload))
+        response = handler(payload, src)
+        for tap in self._taps:
+            tapped = tap(dst, src, response)
+            if tapped is None:
+                raise NetworkError(f"response {dst} -> {src} dropped by adversary")
+            response = tapped
+        self.bytes_sent += len(response)
+        self.meter.charge_exact("net_transfer", self.meter.model.transfer_time(len(response)))
+        return response
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._endpoints)

@@ -1,0 +1,65 @@
+"""Untrusted persistent storage.
+
+The OS-controlled disk where sealed blobs live.  Per the SGX threat model the
+adversary fully controls it, so the API *designs in* the adversarial moves
+the paper's attacks need: every write is kept in a version history, and the
+adversary can snapshot any version and put it back later (replay), delete
+blobs, or corrupt them.  Sealing's AEAD detects corruption; only monotonic
+counters detect replay — which is the whole point of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+class StorageError(ReproError):
+    """Requested blob does not exist."""
+
+
+@dataclass
+class UntrustedStorage:
+    """A per-machine blob store with full adversarial control."""
+
+    machine_id: str
+    _blobs: dict[str, bytes] = field(default_factory=dict)
+    _history: dict[str, list[bytes]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ honest API
+    def write(self, path: str, data: bytes) -> None:
+        self._blobs[path] = bytes(data)
+        self._history.setdefault(path, []).append(bytes(data))
+
+    def read(self, path: str) -> bytes:
+        if path not in self._blobs:
+            raise StorageError(f"no blob at {path!r} on {self.machine_id}")
+        return self._blobs[path]
+
+    def exists(self, path: str) -> bool:
+        return path in self._blobs
+
+    def delete(self, path: str) -> None:
+        self._blobs.pop(path, None)
+
+    def paths(self) -> list[str]:
+        return sorted(self._blobs)
+
+    # --------------------------------------------------------- adversary API
+    def versions(self, path: str) -> list[bytes]:
+        """All values ever written to ``path`` (the adversary kept copies)."""
+        return list(self._history.get(path, []))
+
+    def replay(self, path: str, version_index: int) -> None:
+        """Put an old version back — the classic roll-back move."""
+        history = self._history.get(path)
+        if not history:
+            raise StorageError(f"nothing ever written to {path!r}")
+        self._blobs[path] = history[version_index]
+
+    def corrupt(self, path: str, flip_byte: int = 0) -> None:
+        """Flip one byte of the stored blob (integrity-attack helper)."""
+        data = bytearray(self.read(path))
+        data[flip_byte % len(data)] ^= 0xFF
+        self._blobs[path] = bytes(data)

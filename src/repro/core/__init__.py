@@ -1,0 +1,62 @@
+"""The paper's contribution: Migration Library, Migration Enclave, protocol."""
+
+from repro.core.datastructures import (
+    LIBRARY_STATE_SIZE,
+    MIGRATION_DATA_SIZE,
+    NUM_COUNTERS,
+    LibraryState,
+    MigrationData,
+)
+from repro.core.baseline import GuFlagMode, GuMigratableEnclave, register_gu_transport
+from repro.core.combined import FullyMigratableEnclave, LiveMigratableApp
+from repro.core.migration_enclave import MigrationEnclave
+from repro.core.migration_library import InitState, MigrationLibrary
+from repro.core.policy import (
+    AllowedDestinationsPolicy,
+    MigrationContext,
+    MinimumCapabilityPolicy,
+    PolicySet,
+    RegionPolicy,
+    SameProviderPolicy,
+)
+from repro.core.transparent import SemiTransparentMigrator, TransparentMigrationReport
+from repro.core.protocol import (
+    LIBRARY_STATE_PATH,
+    MigratableApp,
+    MigratableEnclave,
+    MigrationEnclaveHost,
+    expected_me_mrenclave,
+    install_all_migration_enclaves,
+    install_migration_enclave,
+)
+
+__all__ = [
+    "GuFlagMode",
+    "GuMigratableEnclave",
+    "register_gu_transport",
+    "FullyMigratableEnclave",
+    "LiveMigratableApp",
+    "SemiTransparentMigrator",
+    "TransparentMigrationReport",
+    "LIBRARY_STATE_SIZE",
+    "MIGRATION_DATA_SIZE",
+    "NUM_COUNTERS",
+    "LibraryState",
+    "MigrationData",
+    "MigrationEnclave",
+    "InitState",
+    "MigrationLibrary",
+    "AllowedDestinationsPolicy",
+    "MigrationContext",
+    "MinimumCapabilityPolicy",
+    "PolicySet",
+    "RegionPolicy",
+    "SameProviderPolicy",
+    "LIBRARY_STATE_PATH",
+    "MigratableApp",
+    "MigratableEnclave",
+    "MigrationEnclaveHost",
+    "expected_me_mrenclave",
+    "install_all_migration_enclaves",
+    "install_migration_enclave",
+]

@@ -1,0 +1,216 @@
+"""Baselines: native-SGX persistence and Gu et al. [2]-style memory migration.
+
+Two comparators from the paper:
+
+* The **native baseline** is simply an enclave using ``sgx_seal_data`` and
+  the native monotonic counters directly — the baseline bars in Fig. 3 and
+  Fig. 4.  (See :mod:`repro.apps.counter_app` for the bench enclaves.)
+
+* :class:`GuMigratableEnclave` reproduces the state-of-the-art *data memory*
+  migration of Gu et al.: a control thread pauses the enclave by
+  spin-locking its worker threads behind a **freeze flag**, re-encrypts the
+  enclave's memory image for the same enclave on the destination machine
+  (established via remote attestation), and ships it out.  Persistent state
+  — sealed data and monotonic counters — is NOT migrated.
+
+  The paper's Section III-B analysis of the freeze flag is parameterised
+  here as :class:`GuFlagMode`:
+
+  - ``NONE`` / ``MEMORY`` — the flag is absent or lives only in enclave
+    memory, so terminating and restarting the source application clears it
+    and the fork attack succeeds;
+  - ``PERSISTED`` — the flag is sealed to disk, which stops the fork but
+    also makes it impossible to ever migrate the enclave *back* to this
+    machine (indistinguishable from a fork), constraining the operator.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro import wire
+from repro.attestation.remote import RemoteAttestationInitiator, RemoteAttestationResponder
+from repro.errors import (
+    AttestationError,
+    InvalidStateError,
+    MigrationError,
+)
+from repro.sgx.enclave import EnclaveBase, ecall
+
+_GU_FLAG_AAD = b"gu-migration-flag-v1"
+
+
+class GuFlagMode(enum.Enum):
+    """How the Gu-style library handles its migrated-away flag."""
+
+    NONE = "NONE"  # no flag at all
+    MEMORY = "MEMORY"  # flag in enclave memory only (lost on restart)
+    PERSISTED = "PERSISTED"  # flag sealed to untrusted disk
+
+
+class GuMigratableEnclave(EnclaveBase):
+    """Base class for enclaves migrated with the Gu et al. mechanism.
+
+    Subclasses override :meth:`get_memory_image` / :meth:`set_memory_image`
+    to expose their migratable data memory (Gu et al. require all migratable
+    memory to be readable by the in-enclave migration functionality).
+    """
+
+    def __init__(self, sdk):
+        super().__init__(sdk)
+        self._gu_mode = GuFlagMode.MEMORY
+        self._gu_frozen = False
+        self._gu_ias_verify = None
+        self._gu_ias_public_key: int | None = None
+        self._gu_sessions: dict[str, dict] = {}
+        self._gu_session_counter = 0
+
+    # ------------------------------------------------------- trusted hooks
+    def get_memory_image(self) -> bytes:
+        """Serialize the enclave's migratable data memory."""
+        raise NotImplementedError
+
+    def set_memory_image(self, image: bytes) -> None:
+        """Install a migrated memory image."""
+        raise NotImplementedError
+
+    def _require_not_frozen(self) -> None:
+        """Subclasses call this at the top of every worker ECALL; it models
+        the worker threads being held in the perpetual spin lock."""
+        if self._gu_frozen:
+            raise InvalidStateError(
+                "enclave worker threads are spin-locked (migrated away)"
+            )
+
+    # ------------------------------------------------------------- ECALLs
+    @ecall
+    def gu_init(
+        self,
+        mode: str,
+        flag_blob: bytes | None,
+        ias_verify,
+        ias_public_key: int,
+    ) -> None:
+        """Initialize the Gu migration support on enclave load."""
+        self._gu_mode = GuFlagMode[mode]
+        self._gu_ias_verify = ias_verify
+        self._gu_ias_public_key = ias_public_key
+        if self._gu_mode is GuFlagMode.PERSISTED and flag_blob is not None:
+            plaintext, aad = self.sdk.unseal_data(flag_blob)
+            if aad != _GU_FLAG_AAD:
+                raise InvalidStateError("bad Gu flag blob")
+            if plaintext == b"\x01":
+                # Once migrated away, never again — including legitimate
+                # migrate-backs (the paper's criticism).
+                self._gu_frozen = True
+
+    @ecall
+    def gu_is_frozen(self) -> bool:
+        return self._gu_frozen
+
+    @ecall
+    def gu_start_migration(self, destination_endpoint: str) -> None:
+        """Control-thread entry: freeze workers, RA to the destination
+        instance, re-encrypt and ship the memory image."""
+        if self._gu_frozen:
+            raise MigrationError("enclave already migrated away")
+        if self._gu_ias_verify is None:
+            raise InvalidStateError("gu_init must be called first")
+
+        my_mrenclave = self.sdk.identity.mrenclave
+
+        def same_enclave(identity) -> bool:
+            return identity.mrenclave == my_mrenclave
+
+        # Freeze first: workers stop dirtying memory while we copy it.
+        self._gu_frozen = True
+        if self._gu_mode is GuFlagMode.PERSISTED:
+            blob = self.sdk.seal_data(b"\x01", _GU_FLAG_AAD)
+            self.sdk.ocall("save_gu_flag", blob)
+        elif self._gu_mode is GuFlagMode.NONE:
+            # No flag at all: the enclave keeps running after export.
+            self._gu_frozen = False
+
+        initiator = RemoteAttestationInitiator(
+            self.sdk,
+            self.sdk._rng.child("gu-ra-init"),
+            self._gu_ias_verify,
+            self._gu_ias_public_key,
+            same_enclave,
+        )
+        reply = wire.decode(
+            self.sdk.ocall(
+                "send_to_peer",
+                destination_endpoint,
+                wire.encode({"t": "gu_ra_msg1", "payload": initiator.msg1()}),
+            )
+        )
+        if "payload" not in reply:
+            raise MigrationError(f"destination refused attestation: {reply}")
+        result = initiator.finish(reply["payload"])
+        record = result.channel.send(
+            wire.encode({"cmd": "install", "image": self.get_memory_image()})
+        )
+        final = wire.decode(
+            self.sdk.ocall(
+                "send_to_peer",
+                destination_endpoint,
+                wire.encode({"t": "gu_rec", "sid": reply["sid"], "payload": record}),
+            )
+        )
+        plaintext, _ = result.channel.recv(final["payload"])
+        ack = wire.decode(plaintext)
+        if ack.get("status") != "ok":
+            raise MigrationError(f"destination did not install image: {ack}")
+
+    @ecall
+    def gu_handle_message(self, payload: bytes, src: str) -> bytes:
+        """Destination-side handler for the Gu migration traffic."""
+        message = wire.decode(payload)
+        if message.get("t") == "gu_ra_msg1":
+            if self._gu_ias_verify is None:
+                return wire.encode({"status": "error", "error": "not initialized"})
+            my_mrenclave = self.sdk.identity.mrenclave
+            responder = RemoteAttestationResponder(
+                self.sdk,
+                self.sdk._rng.child(f"gu-ra-resp-{self._gu_session_counter}"),
+                self._gu_ias_verify,
+                self._gu_ias_public_key,
+                lambda identity: identity.mrenclave == my_mrenclave,
+            )
+            try:
+                msg2, result = responder.msg2(message["payload"])
+            except AttestationError as exc:
+                return wire.encode({"status": "error", "error": str(exc)})
+            self._gu_session_counter += 1
+            sid = f"gu-{self._gu_session_counter}"
+            self._gu_sessions[sid] = {"channel": result.channel}
+            return wire.encode({"sid": sid, "payload": msg2})
+        if message.get("t") == "gu_rec":
+            session = self._gu_sessions.get(message.get("sid"))
+            if session is None:
+                return wire.encode({"status": "error", "error": "no session"})
+            channel = session["channel"]
+            plaintext, _ = channel.recv(message["payload"])
+            command = wire.decode(plaintext)
+            if command.get("cmd") == "install":
+                self.set_memory_image(command["image"])
+                response = {"status": "ok"}
+            else:
+                response = {"status": "error", "error": "unknown command"}
+            return wire.encode({"payload": channel.send(wire.encode(response))})
+        return wire.encode({"status": "error", "error": "unknown message"})
+
+
+def register_gu_transport(enclave, app, endpoint_suffix: str = "gu") -> str:
+    """Host-side wiring: register the network endpoint + OCALLs for the Gu
+    migration traffic of ``enclave``.  Returns the endpoint address."""
+    address = f"{app.machine.address}/{endpoint_suffix}/{app.name}"
+    app.machine.network.register(
+        address,
+        lambda payload, src: enclave.ecall("gu_handle_message", payload, src),
+        replace=True,
+    )
+    enclave.register_ocall("send_to_peer", lambda dst, payload: app.send(dst, payload))
+    enclave.register_ocall("save_gu_flag", lambda blob: app.store("gu_flag", blob))
+    return address

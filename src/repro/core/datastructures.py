@@ -1,0 +1,171 @@
+"""The migration framework's data structures (Tables I and II of the paper).
+
+Both structures use an explicit packed binary layout so their sizes are
+meaningful and stable:
+
+* :class:`MigrationData` (Table I) — what travels from source to destination:
+
+    ===================  =============  =====================================
+    name                 type           description
+    ===================  =============  =====================================
+    counters_active      bool[256]      shows used counters
+    counter_values       uint32[256]    used as next offset
+    msk                  128-bit key    used by migratable seal
+    ===================  =============  =====================================
+
+* :class:`LibraryState` (Table II) — the Migration Library's persistent
+  internals, sealed and stored on the local machine:
+
+    ===================  ==================  ================================
+    name                 type                description
+    ===================  ==================  ================================
+    frozen               uint8               freeze flag for migration
+    counters_active      bool[256]           shows used counters
+    counter_uuids        SGX counter[256]    UUIDs of the SGX counters
+    counter_offsets      uint32[256]         offsets of the counters
+    msk                  128-bit key         used by migratable seal
+    ===================  ==================  ================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidParameterError
+from repro.sgx.platform_services import CounterUuid
+
+NUM_COUNTERS = 256
+_UUID_SIZE = 16
+_MSK_SIZE = 16
+
+MIGRATION_DATA_SIZE = NUM_COUNTERS + 4 * NUM_COUNTERS + _MSK_SIZE  # 1296
+LIBRARY_STATE_SIZE = (
+    1 + NUM_COUNTERS + _UUID_SIZE * NUM_COUNTERS + 4 * NUM_COUNTERS + _MSK_SIZE
+)  # 5393
+
+
+def _check_arrays(active: list[bool], values: list[int]) -> None:
+    if len(active) != NUM_COUNTERS:
+        raise InvalidParameterError(f"counters_active must have {NUM_COUNTERS} entries")
+    if len(values) != NUM_COUNTERS:
+        raise InvalidParameterError(f"counter value array must have {NUM_COUNTERS} entries")
+    for value in values:
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise InvalidParameterError(f"counter value out of uint32 range: {value}")
+
+
+@dataclass
+class MigrationData:
+    """Table I: the payload transferred between Migration Enclaves."""
+
+    counters_active: list[bool]
+    counter_values: list[int]
+    msk: bytes
+
+    def __post_init__(self) -> None:
+        _check_arrays(self.counters_active, self.counter_values)
+        if len(self.msk) != _MSK_SIZE:
+            raise InvalidParameterError("MSK must be a 128-bit key")
+
+    @classmethod
+    def empty(cls) -> "MigrationData":
+        return cls(
+            counters_active=[False] * NUM_COUNTERS,
+            counter_values=[0] * NUM_COUNTERS,
+            msk=b"\x00" * _MSK_SIZE,
+        )
+
+    def to_bytes(self) -> bytes:
+        parts = [bytes(1 if a else 0 for a in self.counters_active)]
+        parts.extend(value.to_bytes(4, "big") for value in self.counter_values)
+        parts.append(self.msk)
+        blob = b"".join(parts)
+        assert len(blob) == MIGRATION_DATA_SIZE
+        return blob
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MigrationData":
+        if len(data) != MIGRATION_DATA_SIZE:
+            raise InvalidParameterError(
+                f"MigrationData must be {MIGRATION_DATA_SIZE} bytes, got {len(data)}"
+            )
+        active = [b != 0 for b in data[:NUM_COUNTERS]]
+        values = []
+        offset = NUM_COUNTERS
+        for _ in range(NUM_COUNTERS):
+            values.append(int.from_bytes(data[offset : offset + 4], "big"))
+            offset += 4
+        return cls(counters_active=active, counter_values=values, msk=data[offset:])
+
+
+@dataclass
+class LibraryState:
+    """Table II: the Migration Library's sealed persistent internals."""
+
+    frozen: bool = False
+    counters_active: list[bool] = field(
+        default_factory=lambda: [False] * NUM_COUNTERS
+    )
+    counter_uuids: list[CounterUuid | None] = field(
+        default_factory=lambda: [None] * NUM_COUNTERS
+    )
+    counter_offsets: list[int] = field(default_factory=lambda: [0] * NUM_COUNTERS)
+    msk: bytes = b"\x00" * _MSK_SIZE
+
+    def __post_init__(self) -> None:
+        _check_arrays(self.counters_active, self.counter_offsets)
+        if len(self.counter_uuids) != NUM_COUNTERS:
+            raise InvalidParameterError(f"counter_uuids must have {NUM_COUNTERS} entries")
+        if len(self.msk) != _MSK_SIZE:
+            raise InvalidParameterError("MSK must be a 128-bit key")
+
+    def free_slot(self) -> int:
+        """Lowest unused internal counter id, or -1 when all 256 are taken."""
+        for index, active in enumerate(self.counters_active):
+            if not active:
+                return index
+        return -1
+
+    def active_slots(self) -> list[int]:
+        return [i for i, active in enumerate(self.counters_active) if active]
+
+    def to_bytes(self) -> bytes:
+        parts = [bytes([1 if self.frozen else 0])]
+        parts.append(bytes(1 if a else 0 for a in self.counters_active))
+        for uuid in self.counter_uuids:
+            parts.append(uuid.to_bytes() if uuid is not None else b"\x00" * _UUID_SIZE)
+        parts.extend(offset.to_bytes(4, "big") for offset in self.counter_offsets)
+        parts.append(self.msk)
+        blob = b"".join(parts)
+        assert len(blob) == LIBRARY_STATE_SIZE
+        return blob
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LibraryState":
+        if len(data) != LIBRARY_STATE_SIZE:
+            raise InvalidParameterError(
+                f"LibraryState must be {LIBRARY_STATE_SIZE} bytes, got {len(data)}"
+            )
+        frozen = data[0] != 0
+        offset = 1
+        active = [b != 0 for b in data[offset : offset + NUM_COUNTERS]]
+        offset += NUM_COUNTERS
+        uuids: list[CounterUuid | None] = []
+        for index in range(NUM_COUNTERS):
+            raw = data[offset : offset + _UUID_SIZE]
+            offset += _UUID_SIZE
+            if active[index] and raw != b"\x00" * _UUID_SIZE:
+                uuids.append(CounterUuid.from_bytes(raw))
+            else:
+                uuids.append(None)
+        offsets = []
+        for _ in range(NUM_COUNTERS):
+            offsets.append(int.from_bytes(data[offset : offset + 4], "big"))
+            offset += 4
+        return cls(
+            frozen=frozen,
+            counters_active=active,
+            counter_uuids=uuids,
+            counter_offsets=offsets,
+            msk=data[offset:],
+        )

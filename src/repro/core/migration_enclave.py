@@ -1,0 +1,582 @@
+"""The Migration Enclave (Sections V-B and VI-A of the paper).
+
+One Migration Enclave (ME) runs in the non-migratable management VM of every
+physical machine and brokers all migrations for that host:
+
+* **Local side** — application enclaves local-attest to the ME; the ME
+  records each caller's MRENCLAVE from the attestation REPORT and uses it to
+  match migration data to recipients.
+* **Outgoing** — on a ``migrate_out`` command the ME remote-attests the
+  destination ME (requiring *exactly its own MRENCLAVE*), then both MEs
+  authenticate with provider credentials issued during the setup phase and
+  exchange signatures over the attestation transcript (Requirement R2).
+  Only then is the migration data forwarded, and it is retained until the
+  destination confirms, so a failed migration can be retried or redirected.
+* **Incoming** — data is stored until an enclave whose MRENCLAVE equals the
+  source enclave's performs a local attestation and fetches it; the ME then
+  returns a confirmation token to the source ME, which releases its copy.
+"""
+
+from __future__ import annotations
+
+
+from repro import wire
+from repro.attestation.local import LocalAttestationResponder
+from repro.attestation.remote import RemoteAttestationInitiator, RemoteAttestationResponder
+from repro.cloud.datacenter import ProviderCredential
+from repro.core.policy import MigrationContext, PolicySet
+from repro.crypto import schnorr
+from repro.errors import (
+    AttestationError,
+    ChannelError,
+    InvalidStateError,
+    MigrationError,
+    NetworkError,
+    PolicyViolationError,
+)
+from repro.sgx.enclave import EnclaveBase, ecall
+
+
+
+def _public_of(private: int) -> int:
+    """Recompute a Schnorr public key from its private scalar."""
+    from repro.crypto.dh import MODP_2048_P
+
+    return pow(4, private, MODP_2048_P)
+
+
+class MigrationEnclave(EnclaveBase):
+    """Trusted code of the per-machine Migration Enclave."""
+
+    def __init__(self, sdk):
+        super().__init__(sdk)
+        self._keypair = schnorr.generate_keypair(sdk._rng.child("me-signing"))
+        self._credential: ProviderCredential | None = None
+        self._ca_public_key: int | None = None
+        self._ias_verify = None
+        self._ias_public_key: int | None = None
+        self._my_address: str | None = None
+        self._policies = PolicySet()
+        # sid -> session dict(kind, channel, peer_identity, authenticated, peer_credential)
+        self._sessions: dict[str, dict] = {}
+        self._session_seq = 0
+        # target mrenclave -> {"data": bytes, "source_me": str, "token": bytes}
+        self._incoming: dict[bytes, dict] = {}
+        # target mrenclave -> {"data": bytes, "dest": str, "token": bytes}
+        self._pending_outgoing: dict[bytes, dict] = {}
+
+    # ------------------------------------------------------------- ECALLs
+    @ecall
+    def signing_public_key(self) -> int:
+        """The ME's transcript-signing key, certified during setup."""
+        return self._keypair.public
+
+    @ecall
+    def provision(
+        self,
+        credential_bytes: bytes,
+        ca_public_key: int,
+        ias_verify,
+        ias_public_key: int,
+        my_address: str,
+        policies: PolicySet | None = None,
+    ) -> None:
+        """Setup phase (Section V-B): install the provider credential, the
+        pinned CA key, the IAS access, and any operator policies."""
+        credential = ProviderCredential.from_bytes(credential_bytes)
+        if credential.me_public_key != self._keypair.public:
+            raise InvalidStateError("credential does not certify this ME's signing key")
+        if not credential.verify(ca_public_key):
+            raise InvalidStateError("provider credential signature invalid")
+        if credential.mrenclave != self.sdk.identity.mrenclave:
+            raise InvalidStateError("credential certifies a different ME identity")
+        self._credential = credential
+        self._ca_public_key = ca_public_key
+        self._ias_verify = ias_verify
+        self._ias_public_key = ias_public_key
+        self._my_address = my_address
+        if policies is not None:
+            self._policies = policies
+
+    @ecall
+    def handle_message(self, payload: bytes, src: str) -> bytes:
+        """Single network entry point (dispatched by the management app).
+
+        Anything the untrusted network delivers must at worst produce an
+        error response — never corrupt ME state or crash the service.
+        """
+        try:
+            message = wire.decode(payload)
+        except wire.WireError as exc:
+            return wire.encode({"status": "error", "error": f"malformed message: {exc}"})
+        try:
+            return self._dispatch_message(message)
+        except (KeyError, TypeError, ValueError) as exc:
+            return wire.encode({"status": "error", "error": f"bad message fields: {exc}"})
+        except wire.WireError as exc:
+            return wire.encode({"status": "error", "error": f"malformed payload: {exc}"})
+
+    def _dispatch_message(self, message: dict) -> bytes:
+        msg_type = message.get("t")
+        if msg_type == "la_hello":
+            return self._on_la_hello()
+        if msg_type == "la_msg1":
+            return self._on_la_msg1(message)
+        if msg_type == "la_rec":
+            return self._on_la_record(message)
+        if msg_type == "ra_msg1":
+            return self._on_ra_msg1(message)
+        if msg_type == "ra_rec":
+            return self._on_ra_record(message)
+        if msg_type == "done_notice":
+            return self._on_done_notice(message)
+        return wire.encode({"status": "error", "error": f"unknown message {msg_type!r}"})
+
+    # -------------------------------------------------------- diagnostics
+    @ecall
+    def has_incoming(self, mrenclave: bytes) -> bool:
+        return mrenclave in self._incoming
+
+    @ecall
+    def has_pending_outgoing(self, mrenclave: bytes) -> bool:
+        return mrenclave in self._pending_outgoing
+
+    # ------------------------------------------------------- durability
+    @ecall
+    def export_sealed_state(self) -> bytes:
+        """Checkpoint the stored migration data (sealed, machine-bound).
+
+        The paper's ME "stores the data temporarily until the local enclave
+        has been started"; checkpointing makes that store survive a
+        management-VM restart.  Sessions and keys are NOT checkpointed —
+        peers simply re-attest.
+        """
+
+        def encode_store(store: dict[bytes, dict]) -> list:
+            rows = []
+            for target, entry in sorted(store.items()):
+                rows.append(
+                    wire.encode(
+                        {
+                            "target": target,
+                            "data": entry["data"],
+                            "peer": entry.get("source_me", entry.get("dest", "")),
+                            "token": entry["token"],
+                        }
+                    )
+                )
+            return rows
+
+        payload = wire.encode(
+            {
+                "incoming": encode_store(self._incoming),
+                "pending": encode_store(self._pending_outgoing),
+                "signing_private": self._keypair.private.to_bytes(256, "big"),
+            }
+        )
+        # MRENCLAVE policy: only the same ME *code* on the same machine can
+        # restore the checkpoint, regardless of deployment signer.
+        from repro.sgx.identity import KeyPolicy
+
+        return self.sdk.seal_data(payload, b"me-checkpoint-v1", KeyPolicy.MRENCLAVE)
+
+    @ecall
+    def import_sealed_state(self, checkpoint: bytes) -> None:
+        """Restore a checkpoint after a restart (same machine only)."""
+        plaintext, aad = self.sdk.unseal_data(checkpoint)
+        if aad != b"me-checkpoint-v1":
+            raise InvalidStateError("not a Migration Enclave checkpoint")
+        fields = wire.decode(plaintext)
+        # The signing key must persist or the provisioned credential (which
+        # certifies the key) would no longer match.
+        restored_private = int.from_bytes(fields["signing_private"], "big")
+        self._keypair = schnorr.SchnorrKeyPair(
+            private=restored_private,
+            public=self._keypair.public
+            if self._keypair.private == restored_private
+            else _public_of(restored_private),
+        )
+        for name, store in (("incoming", self._incoming), ("pending", self._pending_outgoing)):
+            store.clear()
+            for row in fields[name]:
+                entry = wire.decode(row)
+                if name == "incoming":
+                    store[entry["target"]] = {
+                        "data": entry["data"],
+                        "source_me": entry["peer"],
+                        "token": entry["token"],
+                    }
+                else:
+                    store[entry["target"]] = {
+                        "data": entry["data"],
+                        "dest": entry["peer"],
+                        "token": entry["token"],
+                    }
+
+    # ---------------------------------------------------- local attestation
+    def _require_provisioned(self) -> None:
+        if self._credential is None or self._ias_verify is None:
+            raise InvalidStateError("Migration Enclave not provisioned")
+
+    def _next_sid(self, kind: str) -> str:
+        self._session_seq += 1
+        return f"{kind}-{self._session_seq}"
+
+    def _next_and_get_seq(self) -> int:
+        self._session_seq += 1
+        return self._session_seq
+
+    def _on_la_hello(self) -> bytes:
+        sid = self._next_sid("la")
+        responder = LocalAttestationResponder(
+            self.sdk, self.sdk._rng.child(f"me-la-{sid}")
+        )
+        self._sessions[sid] = {"kind": "la", "responder": responder}
+        return wire.encode({"sid": sid, "payload": responder.msg0()})
+
+    def _on_la_msg1(self, message: dict) -> bytes:
+        session = self._sessions.get(message.get("sid"))
+        if session is None or session["kind"] != "la" or "channel" in session:
+            return wire.encode({"status": "error", "error": "bad LA session"})
+        try:
+            msg2, result = session["responder"].msg2(message["payload"])
+        except AttestationError as exc:
+            return wire.encode({"status": "error", "error": str(exc)})
+        # Store the caller's MRENCLAVE from the attestation REPORT; it keys
+        # all matching of migration data to recipients (Section VI-A).
+        session["channel"] = result.channel
+        session["peer_identity"] = result.peer_identity
+        return wire.encode({"payload": msg2})
+
+    def _on_la_record(self, message: dict) -> bytes:
+        session = self._sessions.get(message.get("sid"))
+        if session is None or session.get("channel") is None or session["kind"] != "la":
+            return wire.encode({"status": "error", "error": "no such LA channel"})
+        channel = session["channel"]
+        try:
+            plaintext, _ = channel.recv(message["payload"])
+        except ChannelError as exc:
+            return wire.encode({"status": "error", "error": str(exc)})
+        command = wire.decode(plaintext)
+        response = self._dispatch_library_command(command, session)
+        return wire.encode({"payload": channel.send(wire.encode(response))})
+
+    def _dispatch_library_command(self, command: dict, session: dict) -> dict:
+        cmd = command.get("cmd")
+        if cmd == "migrate_out":
+            return self._handle_migrate_out(command, session)
+        if cmd == "retry":
+            return self._handle_retry(command, session)
+        if cmd == "fetch":
+            return self._handle_fetch(session)
+        if cmd == "done":
+            return self._handle_done(session)
+        return {"status": "error", "error": f"unknown command {cmd!r}"}
+
+    # ------------------------------------------------------------- outgoing
+    def _handle_migrate_out(self, command: dict, session: dict) -> dict:
+        destination = command["dest"]
+        target_mrenclave = session["peer_identity"].mrenclave
+        try:
+            self._require_provisioned()
+            self._send_to_destination(destination, target_mrenclave, command["data"])
+        except (
+            MigrationError,
+            AttestationError,
+            PolicyViolationError,
+            NetworkError,
+            InvalidStateError,
+        ) as exc:
+            # The data stays here until the error is resolved or another
+            # destination is selected (Section V-D).
+            self._pending_outgoing[target_mrenclave] = {
+                "data": command["data"],
+                "dest": destination,
+                "token": b"",
+            }
+            return {"status": "error", "error": str(exc)}
+        return {"status": "ok"}
+
+    def _handle_retry(self, command: dict, session: dict) -> dict:
+        """The frozen source library (or its operator) selects a new
+        destination for migration data this ME still holds."""
+        target_mrenclave = session["peer_identity"].mrenclave
+        pending = self._pending_outgoing.get(target_mrenclave)
+        if pending is None:
+            return {"status": "error", "error": "no pending migration data"}
+        try:
+            self._require_provisioned()
+            self._send_to_destination(command["dest"], target_mrenclave, pending["data"])
+        except (
+            MigrationError,
+            AttestationError,
+            PolicyViolationError,
+            NetworkError,
+            InvalidStateError,
+        ) as exc:
+            return {"status": "error", "error": str(exc)}
+        return {"status": "ok"}
+
+    @ecall
+    def retry_pending(self, mrenclave: bytes, destination: str) -> None:
+        """Operator action: retry a failed migration, possibly elsewhere."""
+        self._require_provisioned()
+        pending = self._pending_outgoing.get(mrenclave)
+        if pending is None:
+            raise MigrationError("no pending migration for that enclave")
+        self._send_to_destination(destination, mrenclave, pending["data"])
+
+    def _send_to_destination(
+        self, destination: str, target_mrenclave: bytes, data: bytes
+    ) -> None:
+        """RA + provider auth + transfer to the destination ME."""
+        my_mrenclave = self.sdk.identity.mrenclave
+
+        def same_me(identity) -> bool:
+            # The peer must run exactly the same ME code (Section VI-A).
+            return identity.mrenclave == my_mrenclave
+
+        initiator = RemoteAttestationInitiator(
+            self.sdk,
+            self.sdk._rng.child(f"me-ra-out-{destination}-{self._next_and_get_seq()}"),
+            self._ias_verify,
+            self._ias_public_key,
+            same_me,
+        )
+        msg1 = initiator.msg1()
+        reply = wire.decode(
+            self._net_send(destination, wire.encode({"t": "ra_msg1", "payload": msg1}))
+        )
+        if "payload" not in reply:
+            raise MigrationError(f"destination ME refused attestation: {reply}")
+        remote_sid = reply["sid"]
+        result = initiator.finish(reply["payload"])
+        channel = result.channel
+
+        # Mutual provider authentication over the attested channel: exchange
+        # credentials + signatures over the attestation transcript.
+        my_sig = schnorr.sign(
+            self._keypair.private, b"ME-AUTH|init|" + result.transcript
+        )
+        auth_reply = self._ra_exchange(
+            destination,
+            remote_sid,
+            channel,
+            {
+                "cmd": "auth",
+                "credential": self._credential.to_bytes(),
+                "transcript_sig": my_sig.to_bytes(),
+            },
+        )
+        if auth_reply.get("status") != "ok":
+            raise AttestationError(f"provider authentication failed: {auth_reply}")
+        peer_credential = ProviderCredential.from_bytes(auth_reply["credential"])
+        peer_sig = schnorr.SchnorrSignature.from_bytes(auth_reply["transcript_sig"])
+        self._verify_peer_credential(
+            peer_credential, peer_sig, result, role=b"resp", expected_machine=destination
+        )
+
+        # Operator / provider policies (R2 + Section X).
+        self._policies.check(
+            MigrationContext(
+                source_machine=self._my_address or "",
+                destination_machine=destination,
+                enclave_identity=self.sdk.identity,
+                destination_credential=peer_credential,
+            )
+        )
+
+        token = self.sdk.random_bytes(16)
+        transfer_reply = self._ra_exchange(
+            destination,
+            remote_sid,
+            channel,
+            {
+                "cmd": "transfer",
+                "data": data,
+                "target_mrenclave": target_mrenclave,
+                "source_me": self._my_address or "",
+                "token": token,
+            },
+        )
+        if transfer_reply.get("status") != "stored":
+            raise MigrationError(f"destination ME did not store data: {transfer_reply}")
+        self._pending_outgoing[target_mrenclave] = {
+            "data": data,
+            "dest": destination,
+            "token": token,
+        }
+
+    def _verify_peer_credential(
+        self,
+        credential: ProviderCredential,
+        transcript_sig: schnorr.SchnorrSignature,
+        ra_result,
+        role: bytes,
+        expected_machine: str | None,
+    ) -> None:
+        if self._ca_public_key is None:
+            raise InvalidStateError("no CA key pinned")
+        if not credential.verify(self._ca_public_key):
+            raise AttestationError("peer credential not signed by our provider CA")
+        if credential.mrenclave != ra_result.peer_identity.mrenclave:
+            raise AttestationError("peer credential certifies a different enclave")
+        if expected_machine is not None and credential.machine_address != expected_machine:
+            raise AttestationError(
+                f"peer ME is certified for machine {credential.machine_address!r}, "
+                f"not the requested destination {expected_machine!r} (R2)"
+            )
+        if not schnorr.verify(
+            credential.me_public_key,
+            b"ME-AUTH|" + role + b"|" + ra_result.transcript,
+            transcript_sig,
+        ):
+            raise AttestationError("peer transcript signature invalid")
+
+    def _ra_exchange(self, destination: str, sid: str, channel, command: dict) -> dict:
+        record = channel.send(wire.encode(command))
+        reply = wire.decode(
+            self._net_send(
+                destination, wire.encode({"t": "ra_rec", "sid": sid, "payload": record})
+            )
+        )
+        if "payload" not in reply:
+            raise MigrationError(f"destination ME error: {reply}")
+        plaintext, _ = channel.recv(reply["payload"])
+        return wire.decode(plaintext)
+
+    def _net_send(self, destination: str, payload: bytes) -> bytes:
+        return self.sdk.ocall("net_send", f"{destination}/me", payload)
+
+    # ------------------------------------------------------------- incoming
+    def _on_ra_msg1(self, message: dict) -> bytes:
+        self._require_provisioned()
+        my_mrenclave = self.sdk.identity.mrenclave
+
+        def same_me(identity) -> bool:
+            return identity.mrenclave == my_mrenclave
+
+        sid = self._next_sid("ra")
+        responder = RemoteAttestationResponder(
+            self.sdk,
+            self.sdk._rng.child(f"me-ra-in-{sid}"),
+            self._ias_verify,
+            self._ias_public_key,
+            same_me,
+        )
+        try:
+            msg2, result = responder.msg2(message["payload"])
+        except AttestationError as exc:
+            return wire.encode({"status": "error", "error": str(exc)})
+        self._sessions[sid] = {
+            "kind": "ra",
+            "channel": result.channel,
+            "peer_identity": result.peer_identity,
+            "transcript": result.transcript,
+            "authenticated": False,
+        }
+        return wire.encode({"sid": sid, "payload": msg2})
+
+    def _on_ra_record(self, message: dict) -> bytes:
+        session = self._sessions.get(message.get("sid"))
+        if session is None or session["kind"] != "ra":
+            return wire.encode({"status": "error", "error": "no such RA session"})
+        channel = session["channel"]
+        try:
+            plaintext, _ = channel.recv(message["payload"])
+        except ChannelError as exc:
+            return wire.encode({"status": "error", "error": str(exc)})
+        command = wire.decode(plaintext)
+        response = self._dispatch_me_command(command, session)
+        return wire.encode({"payload": channel.send(wire.encode(response))})
+
+    def _dispatch_me_command(self, command: dict, session: dict) -> dict:
+        cmd = command.get("cmd")
+        if cmd == "auth":
+            return self._handle_peer_auth(command, session)
+        if cmd == "transfer":
+            return self._handle_transfer(command, session)
+        return {"status": "error", "error": f"unknown ME command {cmd!r}"}
+
+    def _handle_peer_auth(self, command: dict, session: dict) -> dict:
+        try:
+            peer_credential = ProviderCredential.from_bytes(command["credential"])
+            peer_sig = schnorr.SchnorrSignature.from_bytes(command["transcript_sig"])
+
+            class _RaView:
+                peer_identity = session["peer_identity"]
+                transcript = session["transcript"]
+
+            self._verify_peer_credential(
+                peer_credential, peer_sig, _RaView, role=b"init", expected_machine=None
+            )
+        except (AttestationError, Exception) as exc:  # noqa: BLE001
+            return {"status": "error", "error": str(exc)}
+        session["authenticated"] = True
+        session["peer_credential"] = peer_credential
+        my_sig = schnorr.sign(
+            self._keypair.private, b"ME-AUTH|resp|" + session["transcript"]
+        )
+        return {
+            "status": "ok",
+            "credential": self._credential.to_bytes(),
+            "transcript_sig": my_sig.to_bytes(),
+        }
+
+    def _handle_transfer(self, command: dict, session: dict) -> dict:
+        if not session.get("authenticated"):
+            return {"status": "error", "error": "transfer before provider auth"}
+        target = command["target_mrenclave"]
+        self._incoming[target] = {
+            "data": command["data"],
+            "source_me": command["source_me"],
+            "token": command["token"],
+        }
+        return {"status": "stored"}
+
+    # ------------------------------------- delivery to the local destination
+    def _handle_fetch(self, session: dict) -> dict:
+        """Release stored migration data — only to an enclave whose
+        attested MRENCLAVE matches the source enclave's."""
+        target = session["peer_identity"].mrenclave
+        entry = self._incoming.get(target)
+        if entry is None:
+            return {"status": "none"}
+        return {"status": "ok", "data": entry["data"]}
+
+    def _handle_done(self, session: dict) -> dict:
+        target = session["peer_identity"].mrenclave
+        entry = self._incoming.pop(target, None)
+        if entry is None:
+            return {"status": "error", "error": "no migration to confirm"}
+        if entry["source_me"]:
+            try:
+                self._net_send_raw(
+                    entry["source_me"],
+                    wire.encode(
+                        {
+                            "t": "done_notice",
+                            "target_mrenclave": target,
+                            "token": entry["token"],
+                        }
+                    ),
+                )
+            except NetworkError:
+                # Losing the notice is safe: the source just retains its
+                # copy; it can never be delivered twice to the destination.
+                pass
+        return {"status": "ok"}
+
+    def _net_send_raw(self, destination: str, payload: bytes) -> bytes:
+        return self.sdk.ocall("net_send", f"{destination}/me", payload)
+
+    def _on_done_notice(self, message: dict) -> bytes:
+        target = message["target_mrenclave"]
+        pending = self._pending_outgoing.get(target)
+        if pending is None:
+            return wire.encode({"status": "ok"})  # idempotent
+        if pending["token"] != message["token"]:
+            return wire.encode({"status": "error", "error": "bad confirmation token"})
+        # The destination confirmed: safe to delete the migration data.
+        del self._pending_outgoing[target]
+        return wire.encode({"status": "ok"})

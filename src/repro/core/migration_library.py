@@ -1,0 +1,436 @@
+"""The Migration Library (Section V-C / VI-B of the paper).
+
+Linked into every migratable enclave (and therefore part of its MRENCLAVE),
+the library substitutes the two machine-bound SGX primitives with migratable
+counterparts:
+
+* **Migratable sealing** — data is sealed under a Migration Sealing Key
+  (MSK) generated once per enclave lifetime instead of the CPU sealing key.
+  The MSK itself is sealed with the *native* sealing key and stored locally,
+  and travels to the destination inside the migration data.  Because the MSK
+  is cached in enclave memory, migratable sealing skips the per-call
+  ``EGETKEY`` and is slightly *faster* than native sealing (Fig. 4).
+
+* **Migratable counters** — the library wraps the native monotonic counters
+  and adds a per-counter **offset**: ``effective = current + offset``.  On
+  migration the effective values are shipped and installed as the new
+  offsets over fresh (zero-valued) destination counters, making migration
+  cost constant per counter regardless of its value.  Before the migration
+  data leaves the enclave, all source counters are **destroyed** (and the
+  library requires ``SGX_SUCCESS``), so stale library state cannot be used
+  to fork the enclave on the source machine (Requirement R3).
+
+The library also maintains the Table II persistent buffer, with a **freeze
+flag**: once the enclave has migrated away, a restore from that buffer
+refuses to operate (Requirement R3 again).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro import wire
+from repro.core.datastructures import NUM_COUNTERS, LibraryState, MigrationData
+from repro.crypto.gcm import AesGcm
+from repro.errors import (
+    CounterNotFoundError,
+    CryptoError,
+    InvalidParameterError,
+    InvalidStateError,
+    MacMismatchError,
+    MigrationError,
+    SgxError,
+    SgxStatus,
+)
+from repro.sgx.sdk import TrustedRuntime
+from repro.attestation.local import LocalAttestationInitiator
+
+_MSK_SIZE = 16
+_STATE_AAD = b"migration-library-state-v1"
+
+
+class InitState(enum.Enum):
+    """``init_state`` argument of ``migration_init`` (Listing 1 / Fig. 1)."""
+
+    NEW = "NEW"  # first start of this enclave, generate MSK
+    RESTORE = "RESTORE"  # restart on the same machine (system restart)
+    MIGRATE = "MIGRATE"  # first start on a destination machine
+
+
+class MigrationLibrary:
+    """The in-enclave migration support library.
+
+    ``me_mrenclave`` pins the identity of the Migration Enclave the library
+    will trust during local attestation; pass the measured identity of the
+    deployed :class:`~repro.core.migration_enclave.MigrationEnclave` build.
+    """
+
+    def __init__(
+        self,
+        sdk: TrustedRuntime,
+        me_mrenclave: bytes | None = None,
+        destination_policy=None,
+    ):
+        self._sdk = sdk
+        self._me_mrenclave = me_mrenclave
+        # Enclave-provider policy (Section X): a trusted in-enclave check
+        # over the destination address, evaluated BEFORE any state leaves.
+        # Complements the operator policies enforced by the ME.
+        self._destination_policy = destination_policy
+        self._state: LibraryState | None = None
+        self._channel = None
+        self._me_address: str | None = None
+        self._session_id: str | None = None
+
+    # ------------------------------------------------------------ utilities
+    @property
+    def initialized(self) -> bool:
+        return self._state is not None
+
+    @property
+    def frozen(self) -> bool:
+        return self._state is not None and self._state.frozen
+
+    def _require_operational(self) -> None:
+        if self._state is None:
+            raise InvalidStateError("Migration Library not initialized")
+        if self._state.frozen:
+            raise InvalidStateError(
+                "Migration Library is frozen: this enclave has migrated away"
+            )
+
+    def _charge(self, label: str, cost_attr: str) -> None:
+        meter = self._sdk._cpu.meter
+        if meter is not None:
+            meter.charge(label, getattr(meter.model, cost_attr))
+
+    # ------------------------------------------------- persistent state blob
+    def _persist(self) -> bytes:
+        """Seal the Table II buffer with the *native* sealing key and hand it
+        to the untrusted application for storage."""
+        assert self._state is not None
+        blob = self._sdk.seal_data(self._state.to_bytes(), _STATE_AAD)
+        try:
+            self._sdk.ocall("save_library_state", blob)
+        except InvalidParameterError:
+            # Host did not register the OCALL; callers use the return value.
+            pass
+        return blob
+
+    def _load_state(self, data_buffer: bytes) -> LibraryState:
+        try:
+            plaintext, aad = self._sdk.unseal_data(data_buffer)
+        except MacMismatchError as exc:
+            raise MigrationError(
+                "library state buffer cannot be unsealed on this machine "
+                "(wrong machine or tampered)"
+            ) from exc
+        if aad != _STATE_AAD:
+            raise MigrationError("library state buffer has wrong context tag")
+        return LibraryState.from_bytes(plaintext)
+
+    # -------------------------------------------------------- ME connection
+    def _me_send(self, message: dict) -> dict:
+        """One request/response exchange with the Migration Enclave.
+
+        Transport is an OCALL into the untrusted app, which relays over the
+        (untrusted) network; confidentiality and integrity come from the
+        attested channel, not the transport.
+        """
+        if self._me_address is None:
+            raise InvalidStateError("no Migration Enclave address configured")
+        response = self._sdk.ocall("send_to_me", self._me_address, wire.encode(message))
+        return wire.decode(response)
+
+    def _ensure_channel(self) -> None:
+        """Open the ME channel on first use (lazy: plain NEW/RESTORE inits
+        never talk to the ME, so init stays cheap — Fig. 4)."""
+        if self._channel is None:
+            if self._me_address is None:
+                raise InvalidStateError("no Migration Enclave address configured")
+            self._connect_me(self._me_address)
+
+    def _connect_me(self, me_address: str) -> None:
+        """Local-attest the Migration Enclave and open the secure channel."""
+        self._me_address = me_address
+
+        def accept(identity) -> bool:
+            if self._me_mrenclave is None:
+                return True
+            return identity.mrenclave == self._me_mrenclave
+
+        initiator = LocalAttestationInitiator(
+            self._sdk, self._sdk._rng.child("lib-la"), accept
+        )
+        hello = self._me_send({"t": "la_hello"})
+        self._session_id = hello["sid"]
+        msg1 = initiator.msg1(hello["payload"])
+        msg2 = self._me_send({"t": "la_msg1", "sid": self._session_id, "payload": msg1})
+        result = initiator.finish(msg2["payload"])
+        self._channel = result.channel
+
+    def _me_command(self, command: dict) -> dict:
+        """Send one command over the (lazily established) secure channel."""
+        self._ensure_channel()
+        record = self._channel.send(wire.encode(command))
+        response = self._me_send(
+            {"t": "la_rec", "sid": self._session_id, "payload": record}
+        )
+        plaintext, _ = self._channel.recv(response["payload"])
+        return wire.decode(plaintext)
+
+    # ------------------------------------------------------------ Listing 1
+    def migration_init(
+        self,
+        data_buffer: bytes | None,
+        init_state: InitState,
+        me_address: str,
+    ) -> bytes:
+        """Initialize the library (must be called every time the enclave is
+        loaded).  Returns the sealed Table II buffer to store untrusted.
+
+        * ``NEW`` — generate the MSK and empty counter arrays.
+        * ``RESTORE`` — reload ``data_buffer`` after a restart on the same
+          machine; refuses to operate if the freeze flag is set.
+        * ``MIGRATE`` — fetch this enclave's migration data from the local
+          Migration Enclave and install it (fresh counters, new offsets).
+        """
+        if self._state is not None:
+            raise InvalidStateError("Migration Library already initialized")
+        self._me_address = me_address
+
+        if init_state is InitState.NEW:
+            self._charge("lib_init_new", "lib_counter_read_wrap")
+            state = LibraryState()
+            state.msk = self._sdk.random_bytes(_MSK_SIZE)
+            self._state = state
+            return self._persist()
+
+        if init_state is InitState.RESTORE:
+            if data_buffer is None:
+                raise InvalidParameterError("RESTORE requires the sealed state buffer")
+            state = self._load_state(data_buffer)
+            if state.frozen:
+                # Keep the frozen state loaded so diagnostics can see it,
+                # but refuse every operation.
+                self._state = state
+                raise InvalidStateError(
+                    "refusing to operate: this enclave has been migrated "
+                    "(freeze flag set in persistent state)"
+                )
+            self._state = state
+            return self._persist()
+
+        if init_state is InitState.MIGRATE:
+            migration = self._fetch_incoming()
+            state = LibraryState()
+            state.msk = migration.msk
+            for slot in range(NUM_COUNTERS):
+                if not migration.counters_active[slot]:
+                    continue
+                state.counters_active[slot] = True
+                # Fresh destination counter starts at zero; the shipped
+                # effective value becomes the offset, so the effective value
+                # is preserved exactly (roll-back prevention, R4).
+                uuid, value = self._sdk.create_monotonic_counter()
+                assert value == 0
+                state.counter_uuids[slot] = uuid
+                state.counter_offsets[slot] = migration.counter_values[slot]
+            self._state = state
+            blob = self._persist()
+            ack = self._me_command({"cmd": "done"})
+            if ack.get("status") != "ok":
+                raise MigrationError(f"Migration Enclave rejected DONE: {ack}")
+            return blob
+
+        raise InvalidParameterError(f"unknown init state: {init_state}")
+
+    def _fetch_incoming(self) -> MigrationData:
+        response = self._me_command({"cmd": "fetch"})
+        if response.get("status") != "ok":
+            raise MigrationError(
+                "no incoming migration data for this enclave at the "
+                f"Migration Enclave ({response.get('status')!r})"
+            )
+        return MigrationData.from_bytes(response["data"])
+
+    def migration_start(self, destination_address: str) -> None:
+        """Begin migrating this enclave to ``destination_address``.
+
+        Order matters for fork prevention: effective counter values are
+        captured, then every source counter is destroyed (requiring
+        ``SGX_SUCCESS``), then the freeze flag is persisted, and only then
+        does the migration data leave for the Migration Enclave.
+
+        If a previous attempt failed after the freeze (the ME retained the
+        data, Section V-D), calling this again asks the ME to retry towards
+        ``destination_address`` — possibly a different machine.
+        """
+        if self._state is None:
+            raise InvalidStateError("Migration Library not initialized")
+        if self._destination_policy is not None and not self._destination_policy(
+            destination_address
+        ):
+            raise MigrationError(
+                f"enclave policy forbids migration to {destination_address!r}"
+            )
+        if self._state.frozen:
+            response = self._me_command({"cmd": "retry", "dest": destination_address})
+            if response.get("status") != "ok":
+                raise MigrationError(
+                    f"retry of pending migration failed: "
+                    f"{response.get('error', response.get('status'))}"
+                )
+            return
+        state = self._state
+        assert state is not None
+
+        data = MigrationData.empty()
+        data.msk = state.msk
+        for slot in state.active_slots():
+            uuid = state.counter_uuids[slot]
+            assert uuid is not None
+            current = self._sdk.read_monotonic_counter(uuid)
+            data.counters_active[slot] = True
+            data.counter_values[slot] = current + state.counter_offsets[slot]
+
+        # Delete all source counters BEFORE the data leaves the enclave; a
+        # restart from stale persistent state then hits MC_NOT_FOUND errors
+        # no matter what offsets it holds (Section VI-B).
+        for slot in state.active_slots():
+            uuid = state.counter_uuids[slot]
+            assert uuid is not None
+            status = self._sdk.destroy_monotonic_counter(uuid)
+            if status is not SgxStatus.SGX_SUCCESS:
+                raise MigrationError(
+                    f"counter destroy returned {status.name}; aborting migration"
+                )
+            state.counter_uuids[slot] = None
+
+        state.frozen = True
+        self._persist()
+
+        response = self._me_command(
+            {
+                "cmd": "migrate_out",
+                "dest": destination_address,
+                "data": data.to_bytes(),
+            }
+        )
+        if response.get("status") != "ok":
+            raise MigrationError(
+                f"Migration Enclave could not deliver migration data: "
+                f"{response.get('error', response.get('status'))}"
+            )
+
+    # --------------------------------------------- Listing 2: sealing (MSK)
+    def seal_migratable_data(
+        self, plaintext: bytes, additional_mac_text: bytes = b""
+    ) -> bytes:
+        """``sgx_seal_migratable_data``: AES-GCM under the cached MSK.
+
+        Parameter-compatible with native sealing; no EGETKEY is needed
+        because the MSK lives in enclave memory.
+        """
+        self._require_operational()
+        meter = self._sdk._cpu.meter
+        if meter is not None:
+            meter.charge(
+                "msk_seal",
+                meter.model.aes_gcm_base
+                + meter.model.aes_gcm_per_byte
+                * (len(plaintext) + len(additional_mac_text)),
+            )
+        iv = self._sdk.random_bytes(12)
+        ciphertext, tag = AesGcm(self._state.msk).encrypt(
+            iv, plaintext, b"msk-seal|" + additional_mac_text
+        )
+        return wire.encode(
+            {"iv": iv, "ct": ciphertext, "tag": tag, "aad": additional_mac_text}
+        )
+
+    def unseal_migratable_data(self, sealed_blob: bytes) -> tuple[bytes, bytes]:
+        """``sgx_unseal_migratable_data``: returns (plaintext, MAC text)."""
+        self._require_operational()
+        fields = wire.decode(sealed_blob)
+        meter = self._sdk._cpu.meter
+        if meter is not None:
+            meter.charge(
+                "msk_unseal",
+                meter.model.aes_gcm_base
+                + meter.model.aes_gcm_per_byte
+                * (len(fields["ct"]) + len(fields["aad"])),
+            )
+        try:
+            plaintext = AesGcm(self._state.msk).decrypt(
+                fields["iv"], fields["ct"], fields["tag"], b"msk-seal|" + fields["aad"]
+            )
+        except CryptoError as exc:
+            raise MacMismatchError(f"migratable unseal failed: {exc}") from exc
+        return plaintext, fields["aad"]
+
+    # -------------------------------------------- Listing 2: counters (ids)
+    def _slot(self, counter_id: int):
+        state = self._state
+        assert state is not None
+        if not 0 <= counter_id < NUM_COUNTERS:
+            raise InvalidParameterError(f"counter id out of range: {counter_id}")
+        if not state.counters_active[counter_id] or state.counter_uuids[counter_id] is None:
+            raise CounterNotFoundError(f"migratable counter {counter_id} does not exist")
+        return state.counter_uuids[counter_id]
+
+    def create_migratable_counter(self) -> tuple[int, int]:
+        """``sgx_create_migratable_counter``: returns (counter id, value).
+
+        The id replaces the SGX UUID in the developer-facing API; the
+        library keeps the UUID in its persistent buffer.
+        """
+        self._require_operational()
+        state = self._state
+        slot = state.free_slot()
+        if slot < 0:
+            raise SgxError(status=SgxStatus.SGX_ERROR_MC_OVER_QUOTA)
+        uuid, value = self._sdk.create_monotonic_counter()
+        state.counters_active[slot] = True
+        state.counter_uuids[slot] = uuid
+        state.counter_offsets[slot] = 0
+        self._charge("lib_counter_create_wrap", "lib_counter_array_ops")
+        self._persist()  # the UUID must survive a restart
+        return slot, value + 0  # offset is zero at creation
+
+    def destroy_migratable_counter(self, counter_id: int) -> SgxStatus:
+        """``sgx_destroy_migratable_counter``."""
+        self._require_operational()
+        uuid = self._slot(counter_id)
+        status = self._sdk.destroy_monotonic_counter(uuid)
+        state = self._state
+        state.counters_active[counter_id] = False
+        state.counter_uuids[counter_id] = None
+        state.counter_offsets[counter_id] = 0
+        self._charge("lib_counter_destroy_wrap", "lib_counter_array_ops")
+        self._persist()
+        return status
+
+    def increment_migratable_counter(self, counter_id: int) -> int:
+        """``sgx_increment_migratable_counter``: returns the new effective
+        value, guarding against uint32 overflow introduced by the offset."""
+        self._require_operational()
+        uuid = self._slot(counter_id)
+        offset = self._state.counter_offsets[counter_id]
+        self._charge("lib_counter_increment_wrap", "lib_counter_increment_wrap")
+        current = self._sdk.increment_monotonic_counter(uuid)
+        effective = current + offset
+        if effective > 0xFFFFFFFF:
+            raise SgxError(
+                "effective counter would overflow uint32",
+                status=SgxStatus.SGX_ERROR_MC_USED_UP,
+            )
+        return effective
+
+    def read_migratable_counter(self, counter_id: int) -> int:
+        """``sgx_read_migratable_counter``: returns the effective value."""
+        self._require_operational()
+        uuid = self._slot(counter_id)
+        self._charge("lib_counter_read_wrap", "lib_counter_read_wrap")
+        current = self._sdk.read_monotonic_counter(uuid)
+        return current + self._state.counter_offsets[counter_id]

@@ -1,0 +1,115 @@
+"""Migration policies (Requirement R2 and the paper's future-work Section X).
+
+The Migration Enclave consults its policies before letting migration data
+leave the machine.  Beyond the built-in checks (valid provider credential,
+identical ME identity), operators and enclave providers can provision
+policies such as geographic restrictions or minimum destination capability
+— the examples the paper sketches as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.cloud.datacenter import ProviderCredential
+from repro.errors import PolicyViolationError
+from repro.sgx.identity import EnclaveIdentity
+
+
+@dataclass(frozen=True)
+class MigrationContext:
+    """What a policy gets to look at before an outgoing migration."""
+
+    source_machine: str
+    destination_machine: str
+    enclave_identity: EnclaveIdentity
+    destination_credential: ProviderCredential | None = None
+
+
+class MigrationPolicy(Protocol):
+    """One provisioned policy; raise :class:`PolicyViolationError` to veto."""
+
+    def check(self, context: MigrationContext) -> None: ...
+
+
+@dataclass(frozen=True)
+class SameProviderPolicy:
+    """Destination must present a credential from this provider (R2)."""
+
+    provider: str
+
+    def check(self, context: MigrationContext) -> None:
+        credential = context.destination_credential
+        if credential is None:
+            raise PolicyViolationError("destination presented no provider credential")
+        if credential.provider != self.provider:
+            raise PolicyViolationError(
+                f"destination belongs to provider {credential.provider!r}, "
+                f"not {self.provider!r}"
+            )
+
+
+@dataclass(frozen=True)
+class AllowedDestinationsPolicy:
+    """Restrict migration to an explicit set of machines, e.g. to keep an
+    enclave inside a regulatory boundary (Section X)."""
+
+    allowed: frozenset[str]
+
+    def check(self, context: MigrationContext) -> None:
+        if context.destination_machine not in self.allowed:
+            raise PolicyViolationError(
+                f"machine {context.destination_machine!r} is outside the "
+                "allowed destination set"
+            )
+
+
+@dataclass(frozen=True)
+class RegionPolicy:
+    """Geographic restriction: machines are mapped to regions and the
+    enclave must stay inside ``allowed_regions``."""
+
+    machine_regions: dict[str, str]
+    allowed_regions: frozenset[str]
+
+    def check(self, context: MigrationContext) -> None:
+        region = self.machine_regions.get(context.destination_machine)
+        if region is None:
+            raise PolicyViolationError(
+                f"machine {context.destination_machine!r} has no known region"
+            )
+        if region not in self.allowed_regions:
+            raise PolicyViolationError(
+                f"region {region!r} violates the enclave's geographic policy"
+            )
+
+
+@dataclass(frozen=True)
+class MinimumCapabilityPolicy:
+    """Destination must meet minimum computational requirements
+    (Section X's example); capabilities are provisioned per machine."""
+
+    machine_capabilities: dict[str, int]
+    minimum: int
+
+    def check(self, context: MigrationContext) -> None:
+        capability = self.machine_capabilities.get(context.destination_machine, 0)
+        if capability < self.minimum:
+            raise PolicyViolationError(
+                f"destination capability {capability} below required {self.minimum}"
+            )
+
+
+@dataclass
+class PolicySet:
+    """All policies provisioned into one Migration Enclave."""
+
+    policies: list[MigrationPolicy] = field(default_factory=list)
+
+    def add(self, policy: MigrationPolicy) -> None:
+        self.policies.append(policy)
+
+    def check(self, context: MigrationContext) -> None:
+        for policy in self.policies:
+            policy.check(context)

@@ -1,0 +1,252 @@
+"""End-to-end wiring of the migration framework (Fig. 1 / Fig. 2).
+
+Provides:
+
+* :class:`MigratableEnclave` — base class for application enclaves that
+  embed the Migration Library; exposes the paper's Listing 1 interface
+  (``migration_init`` / ``migration_start``) as ECALLs.
+* :func:`install_migration_enclave` — stands up the per-machine Migration
+  Enclave in the management VM, binds its network endpoint, and runs the
+  provider's setup phase (credential provisioning).
+* :class:`MigratableApp` — the untrusted application half: launches the
+  enclave, relays its Migration Library traffic, stores the sealed library
+  buffer, and drives the migrate / restart flows used by examples, attacks,
+  and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.datacenter import DataCenter
+from repro.cloud.machine import PhysicalMachine
+from repro.core.migration_enclave import MigrationEnclave
+from repro.core.migration_library import InitState, MigrationLibrary
+from repro.core.policy import PolicySet, SameProviderPolicy
+from repro.errors import InvalidStateError, MigrationError
+from repro.sgx.enclave import Enclave, EnclaveBase, ecall
+from repro.sgx.identity import SigningKey
+from repro.sgx.measurement import measure_source
+
+LIBRARY_STATE_PATH = "miglib_state"
+
+
+def expected_me_mrenclave() -> bytes:
+    """The measured identity of the deployed Migration Enclave build.
+
+    Application enclaves pin this value so their local attestation only
+    trusts the genuine ME (Section V-C).
+    """
+    return measure_source(MigrationEnclave)
+
+
+class MigratableEnclave(EnclaveBase):
+    """Base class for enclaves that include the Migration Library.
+
+    The library is part of the enclave's measured identity (it is listed in
+    ``MEASURED_LIBRARIES``), matching the paper's model where the developer
+    links the library into the enclave.
+    """
+
+    def __init__(self, sdk):
+        super().__init__(sdk)
+        self.miglib = MigrationLibrary(sdk, me_mrenclave=expected_me_mrenclave())
+
+    # ------------------------------------------------ Listing 1 interface
+    @ecall
+    def migration_init(
+        self, data_buffer: bytes | None, init_state: str, me_address: str
+    ) -> bytes:
+        """Initialize the Migration Library; must be called on every load."""
+        return self.miglib.migration_init(data_buffer, InitState[init_state], me_address)
+
+    @ecall
+    def migration_start(self, destination_address: str) -> None:
+        """Ask the library to migrate this enclave's persistent state."""
+        self.miglib.migration_start(destination_address)
+
+    # ----------------------------------------------------------- helpers
+    @ecall
+    def is_frozen(self) -> bool:
+        return self.miglib.frozen
+
+
+# The base class and library sources are both folded into subclasses'
+# MRENCLAVEs: trusted code the developer ships is trusted code measured.
+MigratableEnclave.MEASURED_LIBRARIES = (MigrationLibrary, MigratableEnclave)
+
+
+@dataclass
+class MigrationEnclaveHost:
+    """The running ME on one machine plus its service endpoint."""
+
+    machine: PhysicalMachine
+    enclave: Enclave
+    address: str  # machine address; service endpoint is f"{address}/me"
+
+
+def install_migration_enclave(
+    dc: DataCenter,
+    machine: PhysicalMachine,
+    me_signing_key: SigningKey,
+    policies: PolicySet | None = None,
+) -> MigrationEnclaveHost:
+    """Deploy + provision the Migration Enclave on ``machine``.
+
+    Runs in the management VM (which also hosts Platform Services per
+    Section VI-C), registers the ``<machine>/me`` network endpoint, and
+    performs the provider's setup phase.
+    """
+    mgmt_app = machine.management_vm.launch_application("migration-service")
+    me_enclave = mgmt_app.launch_enclave(MigrationEnclave, me_signing_key)
+    me_enclave.register_ocall(
+        "net_send", lambda dst, payload: mgmt_app.send(dst, payload)
+    )
+
+    # Setup phase: the data-center operator certifies this ME.
+    me_public = me_enclave.ecall("signing_public_key")
+    credential = dc.issue_credential(
+        machine.address, me_enclave.identity.mrenclave, me_public
+    )
+    if policies is None:
+        policies = PolicySet([SameProviderPolicy(dc.name)])
+    me_enclave.ecall(
+        "provision",
+        credential.to_bytes(),
+        dc.ca_public_key,
+        dc.ias_verify_for(machine),
+        dc.ias.report_public_key,
+        machine.address,
+        policies,
+    )
+
+    dc.network.register(
+        f"{machine.address}/me",
+        lambda payload, src: me_enclave.ecall("handle_message", payload, src),
+    )
+    return MigrationEnclaveHost(machine=machine, enclave=me_enclave, address=machine.address)
+
+
+def install_all_migration_enclaves(
+    dc: DataCenter, me_signing_key: SigningKey | None = None
+) -> dict[str, MigrationEnclaveHost]:
+    """Deploy the ME on every machine of the data center."""
+    if me_signing_key is None:
+        me_signing_key = SigningKey.generate(dc.rng.child("me-signer"))
+    return {
+        name: install_migration_enclave(dc, machine, me_signing_key)
+        for name, machine in dc.machines.items()
+    }
+
+
+@dataclass
+class MigratableApp:
+    """Untrusted application hosting one migratable enclave.
+
+    Owns the Listing 1 lifecycle: it decides when to call
+    ``migration_init`` (and with which ``init_state``) and when to trigger
+    ``migration_start``, and it stores the sealed Table II buffer.
+    """
+
+    vm_name: str
+    app_name: str
+    enclave_class: type
+    signing_key: SigningKey
+    dc: DataCenter
+    vm: object = None
+    app: object = None
+    enclave: Enclave | None = None
+
+    @classmethod
+    def deploy(
+        cls,
+        dc: DataCenter,
+        machine: PhysicalMachine,
+        enclave_class: type,
+        signing_key: SigningKey,
+        vm_name: str = "guest",
+        app_name: str = "app",
+        vm_memory: int = 1 << 30,
+    ) -> "MigratableApp":
+        vm = machine.create_vm(vm_name, memory_bytes=vm_memory)
+        instance = cls(
+            vm_name=vm_name,
+            app_name=app_name,
+            enclave_class=enclave_class,
+            signing_key=signing_key,
+            dc=dc,
+        )
+        instance.vm = vm
+        instance.app = vm.launch_application(app_name)
+        return instance
+
+    # ----------------------------------------------------------- lifecycle
+    def launch(self, init_state: InitState) -> Enclave:
+        """Load the enclave and initialize its Migration Library."""
+        app = self.app
+        if not app.running:
+            app.restart()
+        enclave = app.launch_enclave(self.enclave_class, self.signing_key)
+        enclave.register_ocall(
+            "send_to_me", lambda addr, payload: app.send(f"{addr}/me", payload)
+        )
+        enclave.register_ocall(
+            "save_library_state", lambda blob: app.store(LIBRARY_STATE_PATH, blob)
+        )
+        buffer = app.load(LIBRARY_STATE_PATH) if app.has_stored(LIBRARY_STATE_PATH) else None
+        if init_state is not InitState.NEW and buffer is None and init_state is InitState.RESTORE:
+            raise InvalidStateError("no stored library buffer to restore from")
+        blob = enclave.ecall(
+            "migration_init", buffer, init_state.name, app.machine.address
+        )
+        app.store(LIBRARY_STATE_PATH, blob)
+        self.enclave = enclave
+        return enclave
+
+    def start_new(self) -> Enclave:
+        return self.launch(InitState.NEW)
+
+    def restart(self) -> Enclave:
+        """Terminate the app process and restart from the stored buffer."""
+        if self.app.running:
+            self.app.terminate()
+        return self.launch(InitState.RESTORE)
+
+    def launch_from_incoming(self) -> Enclave:
+        """Start the enclave on the destination and pull its migration data
+        from the local Migration Enclave (Fig. 1's 'Migrated enclave')."""
+        return self.launch(InitState.MIGRATE)
+
+    def migrate(
+        self, destination: PhysicalMachine, migrate_vm: bool = True
+    ) -> Enclave:
+        """The full paper flow (Fig. 2): notify the enclave, ship persistent
+        state via the MEs, live-migrate the VM, and re-initialize on the
+        destination.  Returns the destination enclave handle."""
+        if self.enclave is None or not self.enclave.alive:
+            raise MigrationError("no running enclave to migrate")
+        # Step 1-3: the application notifies the enclave; the library
+        # freezes, destroys counters, and hands the data to the source ME,
+        # which forwards it to the destination ME.
+        self.enclave.ecall("migration_start", destination.address)
+        # The VM (with the now-terminated enclave) moves to the destination.
+        self.app.terminate()
+        if migrate_vm:
+            self.dc.hypervisor.migrate_vm(self.vm, destination)
+        else:
+            # State-only relocation (e.g. redeploying from an image): the
+            # app is recreated on the destination.
+            self.vm.machine.release_vm(self.vm)
+            destination.adopt_vm(self.vm)
+        # Step 4: on the destination, the restarted enclave fetches its
+        # migration data from the local ME.
+        return self.launch(InitState.MIGRATE)
+
+    # -------------------------------------------------------------- helpers
+    def stored_library_buffer(self) -> bytes:
+        return self.app.load(LIBRARY_STATE_PATH)
+
+    def ecall(self, name: str, *args, **kwargs):
+        if self.enclave is None:
+            raise InvalidStateError("enclave not launched")
+        return self.enclave.ecall(name, *args, **kwargs)

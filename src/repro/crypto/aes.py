@@ -1,0 +1,214 @@
+"""AES block cipher (FIPS 197), implemented from scratch.
+
+Two code paths are provided:
+
+* a scalar reference path (:meth:`AES.encrypt_block` /
+  :meth:`AES.decrypt_block`) used for single blocks — key schedules, CMAC
+  subkeys, GHASH key derivation; and
+* a numpy-vectorised batch path (:meth:`AES.encrypt_blocks`) that encrypts
+  many blocks in parallel, used by CTR/GCM for bulk payloads such as the
+  100 kB sealing benchmark.
+
+The S-box and its inverse are computed programmatically from the GF(2^8)
+inverse plus the affine transform, rather than transcribed, to rule out
+copy errors; known-answer tests against the FIPS 197 vectors live in
+``tests/unit/test_aes.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CryptoError
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    # Multiplicative inverses via exponentiation: a^254 = a^-1 in GF(2^8).
+    inverse = [0] * 256
+    for a in range(1, 256):
+        x = a
+        for _ in range(253):  # a^255 = 1, so a^254 = a^-1
+            x = _gf_mul(x, a)
+        inverse[a] = x
+    sbox = [0] * 256
+    for a in range(256):
+        x = inverse[a]
+        # Affine transform: b = x ^ rotl(x,1) ^ rotl(x,2) ^ rotl(x,3) ^ rotl(x,4) ^ 0x63
+        b = x
+        for shift in range(1, 5):
+            b ^= ((x << shift) | (x >> (8 - shift))) & 0xFF
+        sbox[a] = b ^ 0x63
+    inv_sbox = [0] * 256
+    for a, s in enumerate(sbox):
+        inv_sbox[s] = a
+    return bytes(sbox), bytes(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_gf_mul(_RCON[-1], 2))
+
+# Numpy lookup tables for the batch path.
+_SBOX_NP = np.frombuffer(SBOX, dtype=np.uint8)
+_XTIME_NP = np.array([_gf_mul(i, 2) for i in range(256)], dtype=np.uint8)
+# ShiftRows permutation on the flat 16-byte column-major state:
+# flat index = 4*col + row; row r rotates left by r columns.
+_SHIFT_ROWS_IDX = np.array(
+    [4 * ((col + row) % 4) + row for col in range(4) for row in range(4)],
+    dtype=np.intp,
+)
+_INV_SHIFT_ROWS_IDX = np.argsort(_SHIFT_ROWS_IDX)
+
+_KEY_ROUNDS = {16: 10, 24: 12, 32: 14}
+
+
+class AES:
+    """AES-128/192/256 block cipher over 16-byte blocks."""
+
+    def __init__(self, key: bytes):
+        if len(key) not in _KEY_ROUNDS:
+            raise CryptoError(f"invalid AES key length: {len(key)}")
+        self.rounds = _KEY_ROUNDS[len(key)]
+        self._round_keys = self._expand_key(key)
+        self._round_keys_np = np.array(
+            [np.frombuffer(rk, dtype=np.uint8) for rk in self._round_keys]
+        )
+
+    # ----------------------------------------------------------- key schedule
+    def _expand_key(self, key: bytes) -> list[bytes]:
+        nk = len(key) // 4
+        nr = self.rounds
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        for i in range(nk, 4 * (nr + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [SBOX[b] for b in temp]
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+        round_keys = []
+        for r in range(nr + 1):
+            rk = bytes(b for w in words[4 * r : 4 * r + 4] for b in w)
+            round_keys.append(rk)
+        return round_keys
+
+    # ----------------------------------------------------------- scalar path
+    @staticmethod
+    def _sub_bytes(state: list[int]) -> list[int]:
+        return [SBOX[b] for b in state]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> list[int]:
+        return [state[i] for i in _SHIFT_ROWS_IDX]
+
+    @staticmethod
+    def _mix_single_column(col: list[int]) -> list[int]:
+        a0, a1, a2, a3 = col
+        return [
+            _gf_mul(a0, 2) ^ _gf_mul(a1, 3) ^ a2 ^ a3,
+            a0 ^ _gf_mul(a1, 2) ^ _gf_mul(a2, 3) ^ a3,
+            a0 ^ a1 ^ _gf_mul(a2, 2) ^ _gf_mul(a3, 3),
+            _gf_mul(a0, 3) ^ a1 ^ a2 ^ _gf_mul(a3, 2),
+        ]
+
+    @classmethod
+    def _mix_columns(cls, state: list[int]) -> list[int]:
+        out: list[int] = []
+        for c in range(4):
+            out.extend(cls._mix_single_column(state[4 * c : 4 * c + 4]))
+        return out
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt a single 16-byte block (scalar reference path)."""
+        if len(block) != 16:
+            raise CryptoError(f"AES block must be 16 bytes, got {len(block)}")
+        state = [b ^ k for b, k in zip(block, self._round_keys[0])]
+        for r in range(1, self.rounds):
+            state = self._sub_bytes(state)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            state = [b ^ k for b, k in zip(state, self._round_keys[r])]
+        state = self._sub_bytes(state)
+        state = self._shift_rows(state)
+        state = [b ^ k for b, k in zip(state, self._round_keys[self.rounds])]
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt a single 16-byte block (inverse cipher)."""
+        if len(block) != 16:
+            raise CryptoError(f"AES block must be 16 bytes, got {len(block)}")
+        state = [b ^ k for b, k in zip(block, self._round_keys[self.rounds])]
+        state = [state[i] for i in _INV_SHIFT_ROWS_IDX]
+        state = [INV_SBOX[b] for b in state]
+        for r in range(self.rounds - 1, 0, -1):
+            state = [b ^ k for b, k in zip(state, self._round_keys[r])]
+            state = self._inv_mix_columns(state)
+            state = [state[i] for i in _INV_SHIFT_ROWS_IDX]
+            state = [INV_SBOX[b] for b in state]
+        state = [b ^ k for b, k in zip(state, self._round_keys[0])]
+        return bytes(state)
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> list[int]:
+        out: list[int] = []
+        for c in range(4):
+            a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+            out.extend(
+                [
+                    _gf_mul(a0, 14) ^ _gf_mul(a1, 11) ^ _gf_mul(a2, 13) ^ _gf_mul(a3, 9),
+                    _gf_mul(a0, 9) ^ _gf_mul(a1, 14) ^ _gf_mul(a2, 11) ^ _gf_mul(a3, 13),
+                    _gf_mul(a0, 13) ^ _gf_mul(a1, 9) ^ _gf_mul(a2, 14) ^ _gf_mul(a3, 11),
+                    _gf_mul(a0, 11) ^ _gf_mul(a1, 13) ^ _gf_mul(a2, 9) ^ _gf_mul(a3, 14),
+                ]
+            )
+        return out
+
+    # ------------------------------------------------------------ batch path
+    def encrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Encrypt ``blocks`` of shape (n, 16) uint8 in parallel.
+
+        This is the bulk path used by CTR/GCM; it implements the same round
+        function as :meth:`encrypt_block` but over whole arrays.
+        """
+        if blocks.ndim != 2 or blocks.shape[1] != 16 or blocks.dtype != np.uint8:
+            raise CryptoError("encrypt_blocks expects an (n, 16) uint8 array")
+        state = blocks ^ self._round_keys_np[0]
+        for r in range(1, self.rounds):
+            state = _SBOX_NP[state]
+            state = state[:, _SHIFT_ROWS_IDX]
+            state = self._mix_columns_np(state)
+            state ^= self._round_keys_np[r]
+        state = _SBOX_NP[state]
+        state = state[:, _SHIFT_ROWS_IDX]
+        state = state ^ self._round_keys_np[self.rounds]
+        return state
+
+    @staticmethod
+    def _mix_columns_np(state: np.ndarray) -> np.ndarray:
+        s = state.reshape(-1, 4, 4)  # (n, column, row)
+        a0, a1, a2, a3 = s[:, :, 0], s[:, :, 1], s[:, :, 2], s[:, :, 3]
+        x0, x1, x2, x3 = _XTIME_NP[a0], _XTIME_NP[a1], _XTIME_NP[a2], _XTIME_NP[a3]
+        out = np.empty_like(s)
+        out[:, :, 0] = x0 ^ (x1 ^ a1) ^ a2 ^ a3
+        out[:, :, 1] = a0 ^ x1 ^ (x2 ^ a2) ^ a3
+        out[:, :, 2] = a0 ^ a1 ^ x2 ^ (x3 ^ a3)
+        out[:, :, 3] = (x0 ^ a0) ^ a1 ^ a2 ^ x3
+        return out.reshape(-1, 16)

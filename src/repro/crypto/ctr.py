@@ -1,0 +1,43 @@
+"""AES-CTR keystream generation (bulk, numpy-vectorised).
+
+Used internally by GCM; counter blocks are generated as 16-byte big-endian
+integers and encrypted through the batch AES path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.aes import AES
+from repro.errors import CryptoError
+
+
+def counter_blocks(initial_counter: int, count: int) -> np.ndarray:
+    """Build ``count`` consecutive 16-byte counter blocks starting at
+    ``initial_counter`` (GCM-style: only the low 32 bits increment and wrap).
+    """
+    if count < 0:
+        raise CryptoError("block count must be non-negative")
+    high = (initial_counter >> 32) << 32
+    low = initial_counter & 0xFFFFFFFF
+    lows = (low + np.arange(count, dtype=np.uint64)) & np.uint64(0xFFFFFFFF)
+    blocks = np.empty((count, 16), dtype=np.uint8)
+    high_bytes = np.frombuffer((high >> 32).to_bytes(12, "big"), dtype=np.uint8)
+    blocks[:, :12] = high_bytes
+    lows32 = lows.astype(">u4")
+    blocks[:, 12:] = lows32.view(np.uint8).reshape(-1, 4)
+    return blocks
+
+
+def ctr_transform(cipher: AES, initial_counter: int, data: bytes) -> bytes:
+    """Encrypt/decrypt ``data`` with the keystream starting at
+    ``initial_counter``.  CTR is an involution, so one function serves both
+    directions.
+    """
+    if not data:
+        return b""
+    nblocks = (len(data) + 15) // 16
+    keystream = cipher.encrypt_blocks(counter_blocks(initial_counter, nblocks))
+    keystream_flat = keystream.reshape(-1)[: len(data)]
+    plain = np.frombuffer(data, dtype=np.uint8)
+    return (plain ^ keystream_flat).tobytes()

@@ -1,0 +1,70 @@
+"""Key derivation functions.
+
+Two KDFs are used in the simulator:
+
+* :func:`derive_key_cmac` — a counter-mode KDF per NIST SP 800-108 using
+  AES-CMAC as the PRF.  This is the shape of the SGX ``EGETKEY`` derivation:
+  a CPU root secret plus a serialized key request yields the sealing/report
+  key.
+* :class:`HkdfSha256` — RFC 5869 HKDF, used to turn Diffie-Hellman shared
+  secrets into secure-channel keys during attestation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.crypto.bytesutil import u32
+from repro.crypto.cmac import aes_cmac
+from repro.errors import CryptoError
+
+
+def derive_key_cmac(root_key: bytes, label: bytes, context: bytes, length: int = 16) -> bytes:
+    """SP 800-108 KDF in counter mode with AES-CMAC as the PRF.
+
+    ``root_key`` must be 16/24/32 bytes; output is ``length`` bytes.
+    """
+    if length <= 0:
+        raise CryptoError("derived key length must be positive")
+    blocks = []
+    n = (length + 15) // 16
+    for counter in range(1, n + 1):
+        message = u32(counter) + label + b"\x00" + context + u32(length * 8)
+        blocks.append(aes_cmac(root_key, message))
+    return b"".join(blocks)[:length]
+
+
+class HkdfSha256:
+    """RFC 5869 HKDF with SHA-256."""
+
+    HASH_LEN = 32
+
+    @staticmethod
+    def extract(salt: bytes, ikm: bytes) -> bytes:
+        if not salt:
+            salt = b"\x00" * HkdfSha256.HASH_LEN
+        return hmac.new(salt, ikm, hashlib.sha256).digest()
+
+    @staticmethod
+    def expand(prk: bytes, info: bytes, length: int) -> bytes:
+        if length > 255 * HkdfSha256.HASH_LEN:
+            raise CryptoError("HKDF output too long")
+        okm = b""
+        t = b""
+        counter = 1
+        while len(okm) < length:
+            t = hmac.new(prk, t + info + bytes([counter]), hashlib.sha256).digest()
+            okm += t
+            counter += 1
+        return okm[:length]
+
+    @classmethod
+    def derive(cls, ikm: bytes, salt: bytes, info: bytes, length: int) -> bytes:
+        """One-shot extract-then-expand."""
+        return cls.expand(cls.extract(salt, ikm), info, length)
+
+
+def sha256(data: bytes) -> bytes:
+    """Plain SHA-256 digest (measurement, transcript hashing)."""
+    return hashlib.sha256(data).digest()

@@ -1,0 +1,131 @@
+"""SGX status codes and the exception hierarchy used across the simulator.
+
+The real Intel SGX SDK reports errors through ``sgx_status_t`` return codes.
+This module mirrors the subset of codes that the paper's system interacts
+with, and adds an exception hierarchy so Python call sites can use either
+style: trusted SDK facades raise :class:`SgxError` subclasses carrying a
+:class:`SgxStatus`, and code that wants C-style handling can catch them and
+inspect ``.status``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SgxStatus(enum.Enum):
+    """Subset of ``sgx_status_t`` values relevant to sealing, counters,
+    attestation, and the migration framework."""
+
+    SGX_SUCCESS = 0x0000
+    SGX_ERROR_UNEXPECTED = 0x0001
+    SGX_ERROR_INVALID_PARAMETER = 0x0002
+    SGX_ERROR_OUT_OF_MEMORY = 0x0003
+    SGX_ERROR_ENCLAVE_LOST = 0x0004
+    SGX_ERROR_INVALID_STATE = 0x0005
+    SGX_ERROR_INVALID_ENCLAVE = 0x2001
+    SGX_ERROR_INVALID_SIGNATURE = 0x2004
+    SGX_ERROR_ENCLAVE_CRASHED = 0x2006
+    SGX_ERROR_MAC_MISMATCH = 0x3001
+    SGX_ERROR_INVALID_ATTRIBUTE = 0x3002
+    SGX_ERROR_INVALID_CPUSVN = 0x3003
+    SGX_ERROR_INVALID_ISVSVN = 0x3004
+    SGX_ERROR_INVALID_KEYNAME = 0x3005
+    SGX_ERROR_SERVICE_UNAVAILABLE = 0x4001
+    SGX_ERROR_SERVICE_TIMEOUT = 0x4002
+    SGX_ERROR_BUSY = 0x400A
+    SGX_ERROR_MC_NOT_FOUND = 0x400C
+    SGX_ERROR_MC_NO_ACCESS_RIGHT = 0x400D
+    SGX_ERROR_MC_USED_UP = 0x400E
+    SGX_ERROR_MC_OVER_QUOTA = 0x400F
+
+    def is_success(self) -> bool:
+        return self is SgxStatus.SGX_SUCCESS
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SgxError(ReproError):
+    """An SGX-level failure carrying an ``sgx_status_t``-style code."""
+
+    status: SgxStatus = SgxStatus.SGX_ERROR_UNEXPECTED
+
+    def __init__(self, message: str = "", status: SgxStatus | None = None):
+        if status is not None:
+            self.status = status
+        if not message:
+            message = self.status.name
+        super().__init__(message)
+
+
+class InvalidParameterError(SgxError):
+    status = SgxStatus.SGX_ERROR_INVALID_PARAMETER
+
+
+class EnclaveLostError(SgxError):
+    """The enclave was destroyed (app closed/crashed, machine hibernated)."""
+
+    status = SgxStatus.SGX_ERROR_ENCLAVE_LOST
+
+
+class InvalidStateError(SgxError):
+    status = SgxStatus.SGX_ERROR_INVALID_STATE
+
+
+class MacMismatchError(SgxError):
+    """Authenticated decryption failed — wrong key or tampered ciphertext."""
+
+    status = SgxStatus.SGX_ERROR_MAC_MISMATCH
+
+
+class CounterNotFoundError(SgxError):
+    """Monotonic counter does not exist (never created, or destroyed)."""
+
+    status = SgxStatus.SGX_ERROR_MC_NOT_FOUND
+
+
+class CounterAccessError(SgxError):
+    """Caller enclave does not own the counter (nonce mismatch)."""
+
+    status = SgxStatus.SGX_ERROR_MC_NO_ACCESS_RIGHT
+
+
+class CounterQuotaError(SgxError):
+    """Enclave exceeded its quota of 256 monotonic counters."""
+
+    status = SgxStatus.SGX_ERROR_MC_OVER_QUOTA
+
+
+class ServiceUnavailableError(SgxError):
+    """Platform Services (PSE) could not be reached."""
+
+    status = SgxStatus.SGX_ERROR_SERVICE_UNAVAILABLE
+
+
+class AttestationError(ReproError):
+    """Local or remote attestation failed (identity mismatch, bad MAC,
+    revoked platform, stale quote...)."""
+
+
+class ChannelError(ReproError):
+    """Secure channel violation: bad record MAC, replayed or out-of-order
+    sequence number, or use of a closed channel."""
+
+
+class MigrationError(ReproError):
+    """Migration protocol failure (library frozen, wrong destination,
+    unauthorized machine, no matching enclave...)."""
+
+
+class PolicyViolationError(MigrationError):
+    """A migration policy (R2 / future-work policies) rejected the request."""
+
+
+class CryptoError(ReproError):
+    """Low-level cryptographic failure (tag mismatch, bad key size...)."""
+
+
+class NetworkError(ReproError):
+    """Simulated network failure (unknown endpoint, dropped connection)."""

@@ -1,0 +1,139 @@
+"""Enclave Page Cache (EPC) simulation.
+
+Models the SGX Memory Encryption Engine's guarantees for enclave pages that
+spill to DRAM (Section II-A2): confidentiality (pages stored encrypted under
+a per-boot key), integrity (AEAD tag), and **anti-replay** (a per-page
+version counter mixed into the AAD, so an old encrypted page cannot be
+substituted back).
+
+The migration baselines use this component: Gu-style migration must decrypt
+pages *inside* the enclave and re-encrypt them for the destination, because
+raw EPC ciphertext is useless off-machine (per-boot key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.gcm import AesGcm
+from repro.errors import CryptoError, InvalidParameterError, SgxError, SgxStatus
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass
+class _StoredPage:
+    ciphertext: bytes
+    tag: bytes
+    version: int
+
+
+@dataclass
+class EnclavePageCache:
+    """Encrypted, integrity- and replay-protected page store."""
+
+    rng: DeterministicRng
+    _key: bytes = field(init=False, repr=False)
+    _boot_epoch: int = 0
+    _pages: dict[tuple[str, int], _StoredPage] = field(default_factory=dict)
+    # The anti-replay version tree lives ON DIE (with the MEE), not in the
+    # replayable DRAM image — that separation is what defeats replay.
+    _versions: dict[tuple[str, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._rekey()
+
+    def _rekey(self) -> None:
+        # Per-boot memory encryption key: everything in the EPC dies with it.
+        self._key = self.rng.child(f"mee-key-{self._boot_epoch}").random_bytes(16)
+        self._aead = AesGcm(self._key)
+
+    def power_cycle(self) -> None:
+        """A reboot/hibernate: the MEE key rolls and all pages are lost."""
+        self._boot_epoch += 1
+        self._pages.clear()
+        self._versions.clear()
+        self._rekey()
+
+    def _aad(self, enclave_id: str, page_index: int, version: int) -> bytes:
+        return (
+            b"epc|"
+            + enclave_id.encode()
+            + b"|"
+            + page_index.to_bytes(8, "big")
+            + version.to_bytes(8, "big")
+        )
+
+    def _iv(self, enclave_id: str, page_index: int, version: int) -> bytes:
+        # Deterministic IV from (page, version) is safe: each (key, page,
+        # version) triple encrypts exactly once.
+        material = self._aad(enclave_id, page_index, version)
+        import hashlib
+
+        return hashlib.sha256(b"epc-iv|" + material).digest()[:12]
+
+    def store_page(self, enclave_id: str, page_index: int, plaintext: bytes) -> None:
+        """Write a page; bumps its anti-replay version."""
+        if page_index < 0:
+            raise InvalidParameterError("page index must be non-negative")
+        version = self._versions.get((enclave_id, page_index), 0) + 1
+        iv = self._iv(enclave_id, page_index, version)
+        ciphertext, tag = self._aead.encrypt(
+            iv, plaintext, self._aad(enclave_id, page_index, version)
+        )
+        self._pages[(enclave_id, page_index)] = _StoredPage(
+            ciphertext=ciphertext, tag=tag, version=version
+        )
+        self._versions[(enclave_id, page_index)] = version
+
+    def load_page(self, enclave_id: str, page_index: int) -> bytes:
+        """Read a page back, verifying integrity and freshness."""
+        stored = self._pages.get((enclave_id, page_index))
+        if stored is None:
+            raise SgxError(
+                f"EPC page ({enclave_id}, {page_index}) not present",
+                status=SgxStatus.SGX_ERROR_ENCLAVE_LOST,
+            )
+        # Always decrypt against the ON-DIE version, not whatever version a
+        # (possibly replayed) DRAM record claims.
+        version = self._versions.get((enclave_id, page_index), 0)
+        iv = self._iv(enclave_id, page_index, version)
+        try:
+            return self._aead.decrypt(
+                iv,
+                stored.ciphertext,
+                stored.tag,
+                self._aad(enclave_id, page_index, version),
+            )
+        except CryptoError as exc:
+            raise SgxError(
+                "EPC integrity violation", status=SgxStatus.SGX_ERROR_MAC_MISMATCH
+            ) from exc
+
+    def attempt_replay(self, enclave_id: str, page_index: int, old: _StoredPage) -> bytes:
+        """Adversary hook: substitute an old ciphertext. Must always fail.
+
+        Kept as an explicit API so tests can demonstrate the anti-replay
+        property rather than assume it.
+        """
+        current = self._pages.get((enclave_id, page_index))
+        if current is None:
+            raise SgxError(status=SgxStatus.SGX_ERROR_ENCLAVE_LOST)
+        self._pages[(enclave_id, page_index)] = old
+        try:
+            return self.load_page(enclave_id, page_index)
+        finally:
+            self._pages[(enclave_id, page_index)] = current
+
+    def snapshot_page(self, enclave_id: str, page_index: int) -> _StoredPage:
+        """Adversary hook: capture the current ciphertext of a page."""
+        stored = self._pages.get((enclave_id, page_index))
+        if stored is None:
+            raise SgxError(status=SgxStatus.SGX_ERROR_ENCLAVE_LOST)
+        return _StoredPage(stored.ciphertext, stored.tag, stored.version)
+
+    def evict_enclave(self, enclave_id: str) -> None:
+        """Drop all pages of a destroyed enclave."""
+        for key in [k for k in self._pages if k[0] == enclave_id]:
+            del self._pages[key]
+        for key in [k for k in self._versions if k[0] == enclave_id]:
+            del self._versions[key]

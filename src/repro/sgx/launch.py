@@ -1,0 +1,102 @@
+"""Launch control: the Launch Enclave / EINIT-token analogue.
+
+Before EINIT accepts an enclave, SGX requires an EINIT token from the
+Launch Enclave (or, with Flexible Launch Control, a platform-configured
+authority).  The paper's threat model takes this machinery as given; we
+model it so that the load path is complete: a platform can restrict which
+signers may launch enclaves (e.g. a cloud provider allow-listing tenants),
+and debug-attribute requests are policed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.cmac import AesCmac
+from repro.crypto.kdf import derive_key_cmac
+from repro.errors import InvalidParameterError, SgxError, SgxStatus
+from repro.sgx.identity import Attributes, EnclaveIdentity
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class EinitToken:
+    """Permission to initialize one specific enclave on one machine."""
+
+    mrenclave: bytes
+    mrsigner: bytes
+    attributes: Attributes
+    machine_id: str
+    mac: bytes
+
+    def body_bytes(self) -> bytes:
+        return (
+            b"EINITTOKEN|"
+            + self.mrenclave
+            + self.mrsigner
+            + self.attributes.to_bytes()
+            + self.machine_id.encode()
+        )
+
+
+@dataclass
+class LaunchControl:
+    """Per-machine launch authority.
+
+    With an empty allow-list every signer may launch (the common
+    production configuration); otherwise only allow-listed MRSIGNER values
+    get tokens.  Debug launches can be disabled platform-wide.
+    """
+
+    machine_id: str
+    rng: DeterministicRng
+    allowed_signers: set[bytes] = field(default_factory=set)
+    allow_debug: bool = True
+    _token_key: bytes = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        launch_fuse = self.rng.child("launch-fuse").random_bytes(16)
+        self._token_key = derive_key_cmac(
+            launch_fuse, b"EINIT_TOKEN_KEY", self.machine_id.encode()
+        )
+
+    def allow_signer(self, mrsigner: bytes) -> None:
+        if len(mrsigner) != 32:
+            raise InvalidParameterError("MRSIGNER must be 32 bytes")
+        self.allowed_signers.add(mrsigner)
+
+    def get_token(self, identity: EnclaveIdentity) -> EinitToken:
+        """The Launch Enclave's decision: issue or refuse an EINIT token."""
+        if self.allowed_signers and identity.mrsigner not in self.allowed_signers:
+            raise SgxError(
+                "signer not allow-listed by launch control",
+                status=SgxStatus.SGX_ERROR_INVALID_SIGNATURE,
+            )
+        if identity.attributes.debug and not self.allow_debug:
+            raise SgxError(
+                "debug launches disabled on this platform",
+                status=SgxStatus.SGX_ERROR_INVALID_ATTRIBUTE,
+            )
+        token = EinitToken(
+            mrenclave=identity.mrenclave,
+            mrsigner=identity.mrsigner,
+            attributes=identity.attributes,
+            machine_id=self.machine_id,
+            mac=b"",
+        )
+        mac = AesCmac(self._token_key).mac(token.body_bytes())
+        return EinitToken(
+            mrenclave=token.mrenclave,
+            mrsigner=token.mrsigner,
+            attributes=token.attributes,
+            machine_id=token.machine_id,
+            mac=mac,
+        )
+
+    def verify_token(self, identity: EnclaveIdentity, token: EinitToken) -> bool:
+        """The EINIT-side check: token matches this enclave and machine."""
+        if token.machine_id != self.machine_id:
+            return False
+        if token.mrenclave != identity.mrenclave or token.mrsigner != identity.mrsigner:
+            return False
+        return AesCmac(self._token_key).verify(token.body_bytes(), token.mac)

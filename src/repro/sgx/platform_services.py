@@ -1,0 +1,172 @@
+"""Intel Platform Services (PSE) simulation: hardware monotonic counters.
+
+Each enclave identity gets up to 256 monotonic counters (Section II-A5).
+The properties the paper's attacks and defence depend on are enforced here:
+
+* counters are **machine-specific** — they live in this machine's PSE and
+  nothing about them transfers to another machine;
+* a counter can **never be decremented**;
+* a counter UUID contains a **nonce** so only the creating enclave identity
+  can access it; and
+* a **destroyed counter is gone forever** — its id is tombstoned, so "it is
+  not possible to destroy a counter and create a new one with the same
+  identifier but lower value on the same physical machine".
+
+Counter operations are slow and rate-limited on real hardware (they round-
+trip to the Management Engine); the cost model charges accordingly, which is
+what makes the paper's counter-offset design (constant-time migration)
+meaningfully better than increment-to-value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.kdf import sha256
+from repro.errors import (
+    CounterAccessError,
+    CounterNotFoundError,
+    CounterQuotaError,
+    InvalidParameterError,
+    ServiceUnavailableError,
+    SgxError,
+    SgxStatus,
+)
+from repro.sgx.identity import EnclaveIdentity
+from repro.sim.costs import CostMeter
+from repro.sim.rng import DeterministicRng
+
+MAX_COUNTERS_PER_ENCLAVE = 256
+COUNTER_MAX_VALUE = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class CounterUuid:
+    """``sgx_mc_uuid_t`` analogue: counter id + access nonce."""
+
+    counter_id: bytes  # 4 bytes, unique per machine forever
+    nonce: bytes  # 12 bytes, proves the caller created the counter
+
+    def __post_init__(self) -> None:
+        if len(self.counter_id) != 4:
+            raise InvalidParameterError("counter_id must be 4 bytes")
+        if len(self.nonce) != 12:
+            raise InvalidParameterError("counter nonce must be 12 bytes")
+
+    def to_bytes(self) -> bytes:
+        return self.counter_id + self.nonce
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CounterUuid":
+        if len(data) != 16:
+            raise InvalidParameterError("counter UUID must be 16 bytes")
+        return cls(counter_id=data[:4], nonce=data[4:])
+
+
+@dataclass
+class _CounterRecord:
+    owner: bytes  # hash of the owning enclave identity
+    nonce: bytes
+    value: int
+
+
+def _owner_token(identity: EnclaveIdentity) -> bytes:
+    """Counters are bound to the creating enclave identity."""
+    return sha256(b"pse-owner|" + identity.to_bytes())
+
+
+@dataclass
+class PlatformServices:
+    """The per-machine PSE (runs in the management VM; see Section VI-C)."""
+
+    machine_id: str
+    rng: DeterministicRng
+    meter: CostMeter | None = None
+    available: bool = True
+    _counters: dict[bytes, _CounterRecord] = field(default_factory=dict)
+    _tombstones: set[bytes] = field(default_factory=set)
+    _next_id: int = 1
+
+    # ------------------------------------------------------------- helpers
+    def _charge(self, label: str, mean_cost: float) -> None:
+        if self.meter is not None:
+            self.meter.charge(label, mean_cost)
+
+    def _require_available(self) -> None:
+        if not self.available:
+            raise ServiceUnavailableError("Platform Services unreachable")
+
+    def _lookup(self, identity: EnclaveIdentity, uuid: CounterUuid) -> _CounterRecord:
+        record = self._counters.get(uuid.counter_id)
+        if record is None:
+            raise CounterNotFoundError(
+                f"counter {uuid.counter_id.hex()} does not exist on {self.machine_id}"
+            )
+        if record.nonce != uuid.nonce or record.owner != _owner_token(identity):
+            raise CounterAccessError("counter UUID nonce/owner mismatch")
+        return record
+
+    def owned_count(self, identity: EnclaveIdentity) -> int:
+        token = _owner_token(identity)
+        return sum(1 for record in self._counters.values() if record.owner == token)
+
+    # ---------------------------------------------------------- operations
+    def create_counter(self, identity: EnclaveIdentity) -> tuple[CounterUuid, int]:
+        """``sgx_create_monotonic_counter``: returns (UUID, initial value 0)."""
+        self._require_available()
+        self._charge("pse_create_counter", self.meter.model.pse_create_counter if self.meter else 0)
+        if self.owned_count(identity) >= MAX_COUNTERS_PER_ENCLAVE:
+            raise CounterQuotaError(
+                f"enclave already owns {MAX_COUNTERS_PER_ENCLAVE} counters"
+            )
+        counter_id = self._next_id.to_bytes(4, "big")
+        self._next_id += 1
+        # Ids are never reused, even after destroy (tombstoned below), so a
+        # same-id-lower-value counter cannot be recreated.
+        nonce = self.rng.child(f"mc-nonce-{counter_id.hex()}").random_bytes(12)
+        self._counters[counter_id] = _CounterRecord(
+            owner=_owner_token(identity), nonce=nonce, value=0
+        )
+        return CounterUuid(counter_id=counter_id, nonce=nonce), 0
+
+    def read_counter(self, identity: EnclaveIdentity, uuid: CounterUuid) -> int:
+        """``sgx_read_monotonic_counter``."""
+        self._require_available()
+        self._charge("pse_read_counter", self.meter.model.pse_read_counter if self.meter else 0)
+        return self._lookup(identity, uuid).value
+
+    def increment_counter(self, identity: EnclaveIdentity, uuid: CounterUuid) -> int:
+        """``sgx_increment_monotonic_counter``: returns the new value."""
+        self._require_available()
+        self._charge(
+            "pse_increment_counter",
+            self.meter.model.pse_increment_counter if self.meter else 0,
+        )
+        record = self._lookup(identity, uuid)
+        if record.value >= COUNTER_MAX_VALUE:
+            raise SgxError(status=SgxStatus.SGX_ERROR_MC_USED_UP)
+        record.value += 1
+        return record.value
+
+    def destroy_counter(self, identity: EnclaveIdentity, uuid: CounterUuid) -> SgxStatus:
+        """``sgx_destroy_monotonic_counter``: irreversible.
+
+        Returns ``SGX_SUCCESS`` — the Migration Library refuses to proceed
+        with a migration until it sees this status (Section VI-B).
+        """
+        self._require_available()
+        self._charge(
+            "pse_destroy_counter", self.meter.model.pse_destroy_counter if self.meter else 0
+        )
+        self._lookup(identity, uuid)
+        del self._counters[uuid.counter_id]
+        self._tombstones.add(uuid.counter_id)
+        return SgxStatus.SGX_SUCCESS
+
+    # ------------------------------------------------------------ forensic
+    def counter_exists(self, counter_id: bytes) -> bool:
+        """Whether a counter id is live (test/diagnostic helper)."""
+        return counter_id in self._counters
+
+    def was_destroyed(self, counter_id: bytes) -> bool:
+        return counter_id in self._tombstones

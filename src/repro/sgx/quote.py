@@ -1,0 +1,112 @@
+"""The Quoting Enclave (QE) and SGX quotes for remote attestation.
+
+The QE is an architectural enclave provided by Intel.  A prover enclave
+local-attests to the QE (sends it a REPORT targeted at the QE); the QE
+verifies the REPORT via the CPU and signs a *quote* — the prover's identity
+plus its report data — with the platform's EPID member key.  A remote
+verifier submits the quote to the IAS, which checks the EPID group signature
+and revocation lists (Section II-A6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import wire
+from repro.crypto.epid import EpidMemberKey, EpidSignature
+from repro.crypto.kdf import sha256
+from repro.crypto.schnorr import SchnorrSignature
+from repro.errors import AttestationError
+from repro.sgx.cpu import SgxCpu
+from repro.sgx.identity import Attributes, EnclaveIdentity
+from repro.sgx.report import Report, TargetInfo
+
+
+@dataclass(frozen=True)
+class Quote:
+    """An EPID-signed statement of a prover enclave's identity + user data."""
+
+    identity: EnclaveIdentity
+    report_data: bytes
+    basename: bytes
+    epid_signature: EpidSignature
+
+    def signed_payload(self) -> bytes:
+        return (
+            b"QUOTE|" + self.identity.to_bytes() + self.report_data + b"|" + self.basename
+        )
+
+    def to_bytes(self) -> bytes:
+        return wire.encode(
+            {
+                "mrenclave": self.identity.mrenclave,
+                "mrsigner": self.identity.mrsigner,
+                "isv_prod_id": self.identity.isv_prod_id,
+                "isv_svn": self.identity.isv_svn,
+                "debug": self.identity.attributes.debug,
+                "report_data": self.report_data,
+                "basename": self.basename,
+                "nym": self.epid_signature.pseudonym,
+                "sig": self.epid_signature.signature.to_bytes(),
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Quote":
+        fields = wire.decode(data)
+        identity = EnclaveIdentity(
+            mrenclave=fields["mrenclave"],
+            mrsigner=fields["mrsigner"],
+            isv_prod_id=fields["isv_prod_id"],
+            isv_svn=fields["isv_svn"],
+            attributes=Attributes(debug=fields["debug"]),
+        )
+        return cls(
+            identity=identity,
+            report_data=fields["report_data"],
+            basename=fields["basename"],
+            epid_signature=EpidSignature(
+                pseudonym=fields["nym"],
+                basename=fields["basename"],
+                signature=SchnorrSignature.from_bytes(fields["sig"]),
+            ),
+        )
+
+
+class QuotingEnclave:
+    """Architectural enclave that turns local REPORTs into EPID quotes."""
+
+    def __init__(self, cpu: SgxCpu, epid_member: EpidMemberKey):
+        self._cpu = cpu
+        self._epid_member = epid_member
+        # The QE's own (architectural) identity, stable across machines.
+        qe_measure = sha256(b"INTEL-QUOTING-ENCLAVE-v1")
+        self.identity = EnclaveIdentity(
+            mrenclave=qe_measure,
+            mrsigner=sha256(b"INTEL-ARCHITECTURAL-SIGNER"),
+            attributes=Attributes(),
+        )
+
+    def target_info(self) -> TargetInfo:
+        """What a prover needs to direct its REPORT at this QE."""
+        return TargetInfo(mrenclave=self.identity.mrenclave)
+
+    def generate_quote(self, report: Report, basename: bytes = b"") -> Quote:
+        """Verify the local REPORT and wrap it in an EPID signature."""
+        if not self._cpu.verify_report(self.identity, report):
+            raise AttestationError("QE: report MAC invalid (not from this platform)")
+        if self._cpu.meter is not None:
+            self._cpu.meter.charge("quote_generation", self._cpu.meter.model.quote_generation)
+        quote = Quote(
+            identity=report.identity,
+            report_data=report.report_data,
+            basename=basename,
+            epid_signature=None,  # type: ignore[arg-type]
+        )
+        signature = self._epid_member.sign(quote.signed_payload(), basename)
+        return Quote(
+            identity=quote.identity,
+            report_data=quote.report_data,
+            basename=basename,
+            epid_signature=signature,
+        )

@@ -1,0 +1,94 @@
+"""Local-attestation REPORT and TARGETINFO structures (EREPORT analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import wire
+from repro.errors import InvalidParameterError
+from repro.sgx.identity import Attributes, EnclaveIdentity
+
+REPORT_DATA_SIZE = 64
+
+
+@dataclass(frozen=True)
+class TargetInfo:
+    """Identifies the enclave that will *verify* a report.
+
+    The CPU derives the report MAC key from the target's MRENCLAVE, so only
+    the target enclave (on the same machine) can check the MAC.
+    """
+
+    mrenclave: bytes
+    attributes: Attributes = Attributes()
+
+    def __post_init__(self) -> None:
+        if len(self.mrenclave) != 32:
+            raise InvalidParameterError("TARGETINFO MRENCLAVE must be 32 bytes")
+
+
+@dataclass(frozen=True)
+class Report:
+    """An EREPORT: the prover's identity + user data, MACed for the target."""
+
+    identity: EnclaveIdentity
+    report_data: bytes
+    target_mrenclave: bytes
+    cpusvn: bytes
+    key_id: bytes
+    mac: bytes
+
+    def body_bytes(self) -> bytes:
+        """The MACed portion of the report."""
+        return (
+            b"REPORT|"
+            + self.identity.to_bytes()
+            + self.report_data
+            + self.target_mrenclave
+            + self.cpusvn
+            + self.key_id
+        )
+
+    def to_bytes(self) -> bytes:
+        return wire.encode(
+            {
+                "mrenclave": self.identity.mrenclave,
+                "mrsigner": self.identity.mrsigner,
+                "isv_prod_id": self.identity.isv_prod_id,
+                "isv_svn": self.identity.isv_svn,
+                "debug": self.identity.attributes.debug,
+                "report_data": self.report_data,
+                "target_mrenclave": self.target_mrenclave,
+                "cpusvn": self.cpusvn,
+                "key_id": self.key_id,
+                "mac": self.mac,
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Report":
+        fields = wire.decode(data)
+        identity = EnclaveIdentity(
+            mrenclave=fields["mrenclave"],
+            mrsigner=fields["mrsigner"],
+            isv_prod_id=fields["isv_prod_id"],
+            isv_svn=fields["isv_svn"],
+            attributes=Attributes(debug=fields["debug"]),
+        )
+        return cls(
+            identity=identity,
+            report_data=fields["report_data"],
+            target_mrenclave=fields["target_mrenclave"],
+            cpusvn=fields["cpusvn"],
+            key_id=fields["key_id"],
+            mac=fields["mac"],
+        )
+
+
+def pad_report_data(data: bytes) -> bytes:
+    """Right-pad user report data to the fixed 64-byte field."""
+    if len(data) > REPORT_DATA_SIZE:
+        raise InvalidParameterError(
+            f"report data exceeds {REPORT_DATA_SIZE} bytes: {len(data)}"
+        )
+    return data + b"\x00" * (REPORT_DATA_SIZE - len(data))

@@ -1,0 +1,7 @@
+"""Simulation substrate: virtual time, calibrated cost model, deterministic RNG."""
+
+from repro.sim.clock import Timer, VirtualClock
+from repro.sim.costs import CostMeter, CostModel
+from repro.sim.rng import DeterministicRng
+
+__all__ = ["Timer", "VirtualClock", "CostMeter", "CostModel", "DeterministicRng"]

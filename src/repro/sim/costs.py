@@ -1,0 +1,133 @@
+"""Cost model calibrated to the magnitudes reported in the paper.
+
+Every constant is the *mean* virtual-time cost of one primitive operation.
+Components charge these costs to their machine's :class:`~repro.sim.clock.
+VirtualClock` as they execute, with small multiplicative Gaussian noise so
+that confidence intervals and t-tests behave like real measurements.
+
+Calibration sources (Section VII-B of the paper):
+
+* Monotonic counter ECALLs take 0.05–0.35 s, dominated by the round trip to
+  the Platform Services / Management Engine, which is also rate-limited.
+* Sealing ECALLs take 0.2–0.8 ms depending on payload size; the baseline
+  pays an extra ``EGETKEY`` per call while the Migration Library reuses the
+  cached MSK (which is why migratable sealing is *slightly faster*).
+* One enclave migration costs 0.47 ± 0.035 s on top of VM migration, which
+  itself takes "in the order of seconds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass
+class CostModel:
+    """Mean costs (seconds) of simulated primitives plus a noise level.
+
+    ``rel_noise`` is the relative standard deviation applied to every charge;
+    ``abs_noise`` is an additive jitter floor so that even near-zero costs
+    show measurement spread, as a real timer would.
+    """
+
+    # --- ECALL / OCALL transition overhead -------------------------------
+    ecall: float = 8.0e-6
+    ocall: float = 6.0e-6
+
+    # --- CPU crypto primitives -------------------------------------------
+    egetkey: float = 1.2e-5          # sealing-key derivation instruction
+    ereport: float = 3.0e-5          # local-attestation report generation
+    aes_gcm_base: float = 6.0e-5     # fixed AEAD setup (IV, tag, J0)
+    aes_gcm_per_byte: float = 4.0e-9  # bulk AES-NI-style throughput
+    sha256_base: float = 1.5e-6
+    sha256_per_byte: float = 1.0e-9
+    dh_keygen: float = 3.0e-4        # modular exponentiation
+    dh_shared: float = 3.0e-4
+    signature_sign: float = 4.0e-4
+    signature_verify: float = 5.0e-4
+    epid_sign: float = 5.0e-2        # EPID group signatures are slow
+    epid_verify: float = 2.0e-2
+
+    # --- Platform Services (PSE / Management Engine) round trips ---------
+    # Rate-limited firmware transactions; by far the dominant costs.
+    pse_session: float = 1.2e-2
+    pse_create_counter: float = 0.239
+    pse_increment_counter: float = 0.1445
+    pse_read_counter: float = 0.0595
+    pse_destroy_counter: float = 0.308
+
+    # --- Migration Library internal bookkeeping ---------------------------
+    # Wrapper work on top of the raw PSE call: id translation, the offset
+    # addition, overflow checks, and (for create/destroy) resealing the
+    # library's internal persistent buffer.  Calibrated so the increment
+    # wrapper lands at the paper's reported 12.3 % overhead and the read
+    # wrapper stays inside measurement noise (paper: p ~= 0.12).
+    lib_counter_increment_wrap: float = 0.0178
+    lib_counter_read_wrap: float = 1.5e-5
+    lib_counter_array_ops: float = 6.0e-3
+
+    # --- Quoting / remote attestation -------------------------------------
+    quote_generation: float = 1.67e-1  # local attestation to QE + EPID sign
+    ias_verification: float = 6.5e-2   # remote round trip to the IAS
+
+    # --- Network ----------------------------------------------------------
+    net_local_rtt: float = 2.0e-4      # same-host (VM<->management VM)
+    net_dc_rtt: float = 5.0e-4         # cross-host inside the data center
+    net_bandwidth_bytes_per_s: float = 1.25e9   # 10 Gbit/s data-center links
+
+    # --- VM live migration -----------------------------------------------
+    vm_migration_fixed: float = 0.35   # handshake, device state, switchover
+    vm_dirty_round_fraction: float = 0.08  # pages re-dirtied per pre-copy round
+
+    # --- noise ------------------------------------------------------------
+    rel_noise: float = 0.018
+    abs_noise: float = 2.5e-6
+
+    def noisy(self, mean_cost: float, rng: DeterministicRng) -> float:
+        """Sample an observed duration for an operation of ``mean_cost``."""
+        if mean_cost < 0:
+            raise ValueError(f"negative cost: {mean_cost}")
+        noise = rng.gauss(0.0, mean_cost * self.rel_noise + self.abs_noise)
+        return max(0.0, mean_cost + noise)
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Time to push ``num_bytes`` over a data-center link."""
+        return num_bytes / self.net_bandwidth_bytes_per_s
+
+
+@dataclass
+class CostMeter:
+    """Binds a :class:`CostModel` to a clock and RNG and charges costs.
+
+    One meter exists per simulated physical machine, so all components on a
+    machine share a clock, and experiments stay deterministic under a seed.
+    """
+
+    model: CostModel
+    clock: VirtualClock
+    rng: DeterministicRng
+    enabled: bool = True
+    charges: list[tuple[str, float]] = field(default_factory=list)
+
+    def charge(self, label: str, mean_cost: float) -> float:
+        """Charge a noisy sample of ``mean_cost``; returns the charged time."""
+        if not self.enabled:
+            return 0.0
+        cost = self.model.noisy(mean_cost, self.rng)
+        self.clock.advance(cost)
+        self.charges.append((label, cost))
+        return cost
+
+    def charge_exact(self, label: str, cost: float) -> float:
+        """Charge an exact (noise-free) cost, e.g. deterministic transfer."""
+        if not self.enabled:
+            return 0.0
+        self.clock.advance(cost)
+        self.charges.append((label, cost))
+        return cost
+
+    def reset_charges(self) -> None:
+        self.charges.clear()

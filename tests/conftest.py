@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+World-building is relatively expensive (Diffie-Hellman, EPID joins), so
+fixtures that only *read* from a world are module-scoped where safe; any
+test that mutates shared state builds its own world.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.datacenter import DataCenter
+from repro.sgx.cpu import SgxCpu
+from repro.sgx.identity import SigningKey
+from repro.sgx.platform_services import PlatformServices
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostMeter, CostModel
+from repro.sim.rng import DeterministicRng
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(1234, "tests")
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def meter(clock, rng) -> CostMeter:
+    return CostMeter(CostModel(), clock, rng.child("meter"))
+
+
+@pytest.fixture
+def cpu(rng, meter) -> SgxCpu:
+    return SgxCpu("test-machine", rng.child("cpu"), meter)
+
+
+@pytest.fixture
+def cpu_b(rng, meter) -> SgxCpu:
+    return SgxCpu("other-machine", rng.child("cpu-b"), meter)
+
+
+@pytest.fixture
+def pse(rng, meter) -> PlatformServices:
+    return PlatformServices("test-machine", rng.child("pse"), meter)
+
+
+@pytest.fixture
+def signing_key(rng) -> SigningKey:
+    return SigningKey.generate(rng.child("signer"))
+
+
+@pytest.fixture
+def datacenter() -> DataCenter:
+    dc = DataCenter(name="test-dc", seed=42)
+    dc.add_machine("machine-a")
+    dc.add_machine("machine-b")
+    return dc

@@ -1,0 +1,84 @@
+"""The Section III attack matrix as assertions.
+
+Each scenario runs the paper's adversary schedule end to end and asserts the
+outcome the paper predicts:
+
+=============================  ========  ===============
+configuration                  fork      migrate-back
+=============================  ========  ===============
+Gu, no flag                    succeeds  n/a
+Gu, in-memory flag             succeeds  n/a
+Gu, persisted flag             blocked   IMPOSSIBLE
+Migration Library (ours)       blocked   works
+=============================  ========  ===============
+
+and for roll-back: KDC-portable state + machine-local counters → succeeds;
+Migration Library → blocked.
+"""
+
+import pytest
+
+from repro.attacks.fork import run_fork_attack_defended, run_fork_attack_vulnerable
+from repro.attacks.rollback import (
+    run_rollback_attack_defended,
+    run_rollback_attack_vulnerable,
+)
+from repro.core.baseline import GuFlagMode
+
+
+class TestForkAttack:
+    def test_succeeds_without_flag(self):
+        result = run_fork_attack_vulnerable(GuFlagMode.NONE)
+        assert result.attack_succeeded
+        assert result.double_spend_detected
+
+    def test_succeeds_with_memory_flag(self):
+        """Gu et al.'s flag, if not persisted, is cleared by a restart —
+        the paper's Section III-B observation."""
+        result = run_fork_attack_vulnerable(GuFlagMode.MEMORY)
+        assert result.attack_succeeded
+        assert result.double_spend_detected
+
+    def test_persisted_flag_blocks_fork_but_kills_migrate_back(self):
+        result = run_fork_attack_vulnerable(GuFlagMode.PERSISTED)
+        assert not result.attack_succeeded
+        assert result.migrate_back_possible is False
+
+    def test_migration_library_blocks_fork(self):
+        result = run_fork_attack_defended()
+        assert not result.attack_succeeded
+        assert result.blocked_reason
+
+    def test_migration_library_allows_migrate_back(self):
+        """Unlike the persisted flag, our scheme distinguishes a legitimate
+        migrate-back from a fork."""
+        result = run_fork_attack_defended()
+        assert result.migrate_back_possible is True
+
+    def test_deterministic_under_seed(self):
+        a = run_fork_attack_vulnerable(GuFlagMode.MEMORY, seed=5)
+        b = run_fork_attack_vulnerable(GuFlagMode.MEMORY, seed=5)
+        assert a.timeline == b.timeline
+
+
+class TestRollbackAttack:
+    def test_succeeds_with_portable_state_and_local_counters(self):
+        result = run_rollback_attack_vulnerable()
+        assert result.attack_succeeded
+
+    def test_rollback_causes_equivocation(self):
+        """The consequence the paper warns about: the rolled-back TrInX
+        instance re-certifies an already-used counter value."""
+        result = run_rollback_attack_vulnerable()
+        assert result.equivocation_detected
+
+    def test_migration_library_blocks_rollback(self):
+        result = run_rollback_attack_defended()
+        assert not result.attack_succeeded
+        assert "stale state rejected" in result.blocked_reason
+
+    def test_timelines_explain_the_attack(self):
+        result = run_rollback_attack_vulnerable()
+        text = "\n".join(result.timeline)
+        assert "FRESH counter" in text
+        assert "ROLLBACK ACCEPTED" in text

@@ -1,0 +1,114 @@
+"""The audit-log app: hash chaining, roll-back rejection, provider policy."""
+
+import pytest
+
+from repro.apps.audit_log import AuditLogEnclave
+from repro.cloud.datacenter import DataCenter
+from repro.core.protocol import MigratableApp, install_all_migration_enclaves
+from repro.errors import InvalidStateError, MigrationError
+from repro.sgx.identity import SigningKey
+
+
+@pytest.fixture
+def world():
+    dc = DataCenter(name="audit", seed=53)
+    machine_a = dc.add_machine("machine-a")
+    machine_b = dc.add_machine("machine-b")
+    machine_c = dc.add_machine("machine-c")
+    install_all_migration_enclaves(dc)
+    key = SigningKey.generate(dc.rng.child("dev"))
+    return dc, (machine_a, machine_b, machine_c), key
+
+
+class TestAuditLog:
+    def test_append_and_reload(self, world):
+        dc, (machine_a, *_), key = world
+        app = MigratableApp.deploy(dc, machine_a, AuditLogEnclave, key)
+        enclave = app.start_new()
+        enclave.ecall("log_init")
+        enclave.ecall("append", b"login alice")
+        sealed = enclave.ecall("append", b"delete record 7")
+        enclave = app.restart()
+        assert enclave.ecall("load", sealed) == 2
+        assert enclave.ecall("entries") == [b"login alice", b"delete record 7"]
+
+    def test_truncation_rejected(self, world):
+        dc, (machine_a, *_), key = world
+        app = MigratableApp.deploy(dc, machine_a, AuditLogEnclave, key)
+        enclave = app.start_new()
+        enclave.ecall("log_init")
+        short_log = enclave.ecall("append", b"entry-1")
+        enclave.ecall("append", b"entry-2-incriminating")
+        enclave = app.restart()
+        with pytest.raises(InvalidStateError):
+            enclave.ecall("load", short_log)  # version 1 != counter 2
+
+    def test_log_survives_migration(self, world):
+        dc, (machine_a, machine_b, _), key = world
+        app = MigratableApp.deploy(dc, machine_a, AuditLogEnclave, key)
+        enclave = app.start_new()
+        enclave.ecall("log_init")
+        enclave.ecall("append", b"e1")
+        sealed = enclave.ecall("append", b"e2")
+        enclave = app.migrate(machine_b, migrate_vm=False)
+        assert enclave.ecall("load", sealed) == 2
+        enclave.ecall("append", b"e3-on-machine-b")
+        assert len(enclave.ecall("entries")) == 3
+
+    def test_pre_migration_log_rejected_after_migration(self, world):
+        dc, (machine_a, machine_b, _), key = world
+        app = MigratableApp.deploy(dc, machine_a, AuditLogEnclave, key)
+        enclave = app.start_new()
+        enclave.ecall("log_init")
+        stale = enclave.ecall("append", b"e1")
+        enclave.ecall("append", b"e2")
+        enclave = app.migrate(machine_b, migrate_vm=False)
+        with pytest.raises(InvalidStateError):
+            enclave.ecall("load", stale)
+
+
+class TestProviderPolicy:
+    def test_library_policy_blocks_destination(self, world):
+        dc, (machine_a, machine_b, machine_c), key = world
+
+        class PinnedAuditLog(AuditLogEnclave):
+            ALLOWED_DESTINATIONS = frozenset({"machine-c"})
+
+        app = MigratableApp.deploy(
+            dc, machine_a, PinnedAuditLog, key, vm_name="pinned-vm"
+        )
+        enclave = app.start_new()
+        enclave.ecall("log_init")
+        with pytest.raises(MigrationError) as excinfo:
+            enclave.ecall("migration_start", "machine-b")
+        assert "policy forbids" in str(excinfo.value)
+        # the policy fired BEFORE any counter was destroyed: still usable
+        enclave.ecall("append", b"still-alive")
+
+    def test_library_policy_allows_listed_destination(self, world):
+        dc, (machine_a, machine_b, machine_c), key = world
+
+        class PinnedAuditLog(AuditLogEnclave):
+            ALLOWED_DESTINATIONS = frozenset({"machine-c"})
+
+        app = MigratableApp.deploy(
+            dc, machine_a, PinnedAuditLog, key, vm_name="pinned-vm-2"
+        )
+        enclave = app.start_new()
+        enclave.ecall("log_init")
+        sealed = enclave.ecall("append", b"entry")
+        enclave = app.migrate(machine_c, migrate_vm=False)
+        assert enclave.ecall("load", sealed) == 1
+
+    def test_policy_is_part_of_identity(self, world):
+        """Two builds with different pinned destinations are different
+        enclaves (the policy is a class attribute folded into the source)."""
+        from repro.sgx.measurement import measure_source
+
+        class PinnedA(AuditLogEnclave):
+            ALLOWED_DESTINATIONS = frozenset({"machine-a"})
+
+        class PinnedB(AuditLogEnclave):
+            ALLOWED_DESTINATIONS = frozenset({"machine-b"})
+
+        assert measure_source(PinnedA) != measure_source(PinnedB)

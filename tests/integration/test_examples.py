@@ -1,0 +1,35 @@
+"""Every shipped example must run to a successful exit."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> int:
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    except SystemExit as exit_info:
+        return int(exit_info.code or 0)
+    return 0
+
+
+class TestExamples:
+    def test_all_examples_present(self):
+        assert {
+            "quickstart.py",
+            "teechan_channel.py",
+            "attack_fork.py",
+            "attack_rollback.py",
+            "datacenter_ops.py",
+            "live_migration.py",
+        } <= set(EXAMPLES)
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_example_succeeds(self, name, capsys):
+        assert run_example(name) == 0
+        # every example narrates what it demonstrated
+        assert "✔" in capsys.readouterr().out

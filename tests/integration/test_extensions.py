@@ -1,0 +1,161 @@
+"""Future-work features: combined live migration and semi-transparency."""
+
+import pytest
+
+from repro.cloud.datacenter import DataCenter
+from repro.core.combined import FullyMigratableEnclave, LiveMigratableApp
+from repro.core.protocol import MigratableApp, install_all_migration_enclaves
+from repro.core.transparent import SemiTransparentMigrator
+from repro.apps.kvstore import SecureKvStore
+from repro.errors import MigrationError
+from repro.sgx.enclave import ecall
+from repro.sgx.identity import SigningKey
+
+
+class LiveStatefulEnclave(FullyMigratableEnclave):
+    """An enclave with BOTH live memory and persistent state."""
+
+    def __init__(self, sdk):
+        super().__init__(sdk)
+        self.session_cache: dict[str, str] = {}  # live memory, never sealed
+        self.counter_id = None
+
+    @ecall
+    def setup(self):
+        self.counter_id, _ = self.miglib.create_migratable_counter()
+
+    @ecall
+    def record_session(self, user: str, token: str):
+        self.session_cache[user] = token
+        return self.miglib.increment_migratable_counter(self.counter_id)
+
+    @ecall
+    def session_of(self, user: str) -> str:
+        return self.session_cache[user]
+
+    @ecall
+    def counter_value(self) -> int:
+        return self.miglib.read_migratable_counter(self.counter_id)
+
+    # ---- Gu memory interface: the live session cache + bindings ----
+    def get_memory_image(self) -> bytes:
+        from repro import wire
+
+        users = sorted(self.session_cache)
+        return wire.encode(
+            {
+                "users": list(users),
+                "tokens": [self.session_cache[u] for u in users],
+                "counter_id": -1 if self.counter_id is None else self.counter_id,
+            }
+        )
+
+    def set_memory_image(self, image: bytes) -> None:
+        from repro import wire
+
+        fields = wire.decode(image)
+        self.session_cache = dict(zip(fields["users"], fields["tokens"]))
+        self.counter_id = None if fields["counter_id"] < 0 else fields["counter_id"]
+
+
+@pytest.fixture
+def world():
+    dc = DataCenter(name="ext", seed=19)
+    machine_a = dc.add_machine("machine-a")
+    machine_b = dc.add_machine("machine-b")
+    install_all_migration_enclaves(dc)
+    key = SigningKey.generate(dc.rng.child("dev"))
+    return dc, machine_a, machine_b, key
+
+
+class TestCombinedLiveMigration:
+    def test_memory_and_persistent_state_both_survive(self, world):
+        dc, machine_a, machine_b, key = world
+        app = LiveMigratableApp.deploy(dc, machine_a, LiveStatefulEnclave, key)
+        enclave = app.start_new()
+        enclave.ecall("setup")
+        enclave.ecall("record_session", "alice", "token-1")
+        enclave.ecall("record_session", "bob", "token-2")
+
+        migrated = app.live_migrate(machine_b)
+        # live memory survived WITHOUT any seal/restore round trip
+        assert migrated.ecall("session_of", "alice") == "token-1"
+        assert migrated.ecall("session_of", "bob") == "token-2"
+        # and persistent state continued too
+        assert migrated.ecall("counter_value") == 2
+        assert migrated.ecall("record_session", "carol", "token-3") == 3
+
+    def test_source_fully_retired(self, world):
+        dc, machine_a, machine_b, key = world
+        app = LiveMigratableApp.deploy(dc, machine_a, LiveStatefulEnclave, key)
+        enclave = app.start_new()
+        enclave.ecall("setup")
+        app.live_migrate(machine_b)
+        assert not enclave.alive
+
+    def test_live_migrate_requires_running_enclave(self, world):
+        dc, machine_a, machine_b, key = world
+        app = LiveMigratableApp.deploy(dc, machine_a, LiveStatefulEnclave, key)
+        with pytest.raises(MigrationError):
+            app.live_migrate(machine_b)
+
+    def test_combined_identity_measures_both_libraries(self, world):
+        """Both the Migration Library and the Gu machinery are part of the
+        enclave's measured identity."""
+        from repro.sgx.measurement import measure_source
+
+        class OnlyMiglib(SecureKvStore):
+            pass
+
+        assert measure_source(LiveStatefulEnclave) != measure_source(OnlyMiglib)
+
+
+class TestSemiTransparentMigration:
+    def test_whole_vm_migrates_with_enclaves(self, world):
+        dc, machine_a, machine_b, key = world
+        migrator = SemiTransparentMigrator(dc)
+
+        app1 = MigratableApp.deploy(
+            dc, machine_a, SecureKvStore, key, vm_name="tenant-vm", app_name="kv1",
+            vm_memory=1 << 32,  # a 4 GiB guest, as in the paper's comparison
+        )
+        enclave1 = app1.start_new()
+        enclave1.ecall("kv_init")
+        snap1 = enclave1.ecall("put", "a", b"1")
+        migrator.register(app1)
+
+        # second enclave (a DIFFERENT build: matching at the ME is by
+        # MRENCLAVE, so two identical builds in one VM would collide)
+        class SecondKvStore(SecureKvStore):
+            pass
+
+        app2 = MigratableApp(
+            vm_name="tenant-vm", app_name="kv2", enclave_class=SecondKvStore,
+            signing_key=SigningKey.generate(dc.rng.child("dev2")), dc=dc,
+        )
+        app2.vm = app1.vm
+        app2.app = app1.vm.launch_application("kv2")
+        enclave2 = app2.start_new()
+        enclave2.ecall("kv_init")
+        snap2 = enclave2.ecall("put", "b", b"2")
+        migrator.register(app2)
+
+        report = migrator.migrate_vm(app1.vm, machine_b)
+        assert report.enclaves_migrated == 2
+        assert app1.vm.machine is machine_b
+        # the paper's performance goal: enclave overhead well under VM time
+        assert report.vm_migration_seconds > 1.0
+        assert report.enclave_overhead_seconds < report.vm_migration_seconds
+
+        # both enclaves are back up with their state
+        app1.enclave.ecall("load_snapshot", snap1)
+        assert app1.enclave.ecall("get", "a") == b"1"
+        app2.enclave.ecall("load_snapshot", snap2)
+        assert app2.enclave.ecall("get", "b") == b"2"
+
+    def test_vm_without_enclaves_rejected(self, world):
+        dc, machine_a, machine_b, key = world
+        migrator = SemiTransparentMigrator(dc)
+        vm = machine_a.create_vm("empty-vm")
+        with pytest.raises(MigrationError):
+            migrator.migrate_vm(vm, machine_b)

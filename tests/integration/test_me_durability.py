@@ -1,0 +1,104 @@
+"""Migration Enclave checkpointing: stored data survives a mgmt-VM restart."""
+
+import pytest
+
+from repro.apps.counter_app import MigratableBenchEnclave
+from repro.cloud.datacenter import DataCenter
+from repro.core.migration_enclave import MigrationEnclave
+from repro.core.protocol import MigratableApp, install_all_migration_enclaves
+from repro.errors import InvalidStateError, MacMismatchError, MigrationError
+from repro.sgx.identity import SigningKey
+
+
+@pytest.fixture
+def world():
+    dc = DataCenter(name="durable", seed=47)
+    dc.add_machine("machine-a")
+    dc.add_machine("machine-b")
+    hosts = install_all_migration_enclaves(dc)
+    key = SigningKey.generate(dc.rng.child("dev"))
+    app = MigratableApp.deploy(dc, dc.machine("machine-a"), MigratableBenchEnclave, key)
+    return dc, hosts, app
+
+
+def restart_me(dc, machine, me_signing_key, checkpoint):
+    """Tear down and re-deploy the ME on a machine, restoring a checkpoint."""
+    dc.network.unregister(f"{machine.address}/me")
+    mgmt_app = machine.management_vm.launch_application("migration-service-2")
+    me = mgmt_app.launch_enclave(MigrationEnclave, me_signing_key)
+    me.register_ocall("net_send", lambda dst, p: mgmt_app.send(dst, p))
+    me.ecall("import_sealed_state", checkpoint)
+    credential = dc.issue_credential(
+        machine.address, me.identity.mrenclave, me.ecall("signing_public_key")
+    )
+    me.ecall(
+        "provision",
+        credential.to_bytes(),
+        dc.ca_public_key,
+        dc.ias_verify_for(machine),
+        dc.ias.report_public_key,
+        machine.address,
+        None,
+    )
+    dc.network.register(
+        f"{machine.address}/me", lambda p, s: me.ecall("handle_message", p, s)
+    )
+    return me
+
+
+class TestCheckpointRestore:
+    def test_incoming_data_survives_me_restart(self, world):
+        dc, hosts, app = world
+        enclave = app.start_new()
+        counter_id, _ = enclave.ecall("create_counter")
+        enclave.ecall("increment_counter", counter_id)
+        enclave.ecall("migration_start", "machine-b")
+        mrenclave = enclave.identity.mrenclave
+
+        # checkpoint machine-b's ME, then "crash" and redeploy it
+        machine_b = dc.machine("machine-b")
+        checkpoint = hosts["machine-b"].enclave.ecall("export_sealed_state")
+        hosts["machine-b"].enclave.destroy()
+        me_key = SigningKey.generate(dc.rng.child("me-signer"))
+        # the original install used the same derivation, so reuse it:
+        new_me = restart_me(dc, machine_b, me_key, checkpoint)
+        assert new_me.ecall("has_incoming", mrenclave)
+
+        # the destination enclave can still fetch its data from the new ME
+        app.app.terminate()
+        app.vm.machine.release_vm(app.vm)
+        machine_b.adopt_vm(app.vm)
+        migrated = app.launch_from_incoming()
+        assert migrated.ecall("read_counter", counter_id) == 1
+
+    def test_checkpoint_is_machine_bound(self, world):
+        dc, hosts, app = world
+        checkpoint = hosts["machine-a"].enclave.ecall("export_sealed_state")
+        # an ME on ANOTHER machine cannot import it (native sealing)
+        machine_b = dc.machine("machine-b")
+        me_key = SigningKey.generate(dc.rng.child("me2"))
+        mgmt = machine_b.management_vm.launch_application("imposter-me")
+        foreign_me = mgmt.launch_enclave(MigrationEnclave, me_key)
+        with pytest.raises((MacMismatchError, MigrationError)):
+            foreign_me.ecall("import_sealed_state", checkpoint)
+
+    def test_garbage_checkpoint_rejected(self, world):
+        dc, hosts, app = world
+        me = hosts["machine-a"].enclave
+        blob = me.trusted.sdk.seal_data(b"not-a-checkpoint", b"wrong-context")
+        with pytest.raises(InvalidStateError):
+            me.ecall("import_sealed_state", blob)
+
+    def test_signing_key_survives_checkpoint(self, world):
+        """The credential certifies the ME key, so the key must persist."""
+        dc, hosts, app = world
+        me = hosts["machine-a"].enclave
+        public_before = me.ecall("signing_public_key")
+        checkpoint = me.ecall("export_sealed_state")
+        machine_a = dc.machine("machine-a")
+        me_key = SigningKey.generate(dc.rng.child("me3"))
+        mgmt = machine_a.management_vm.launch_application("restarted-me")
+        new_me = mgmt.launch_enclave(MigrationEnclave, me_key)
+        assert new_me.ecall("signing_public_key") != public_before
+        new_me.ecall("import_sealed_state", checkpoint)
+        assert new_me.ecall("signing_public_key") == public_before

@@ -1,0 +1,157 @@
+"""Migration Enclave protocol robustness: bad messages, provisioning, auth."""
+
+import pytest
+
+from repro import wire
+from repro.apps.counter_app import MigratableBenchEnclave
+from repro.cloud.datacenter import DataCenter
+from repro.core.migration_enclave import MigrationEnclave
+from repro.core.policy import AllowedDestinationsPolicy, PolicySet, SameProviderPolicy
+from repro.core.protocol import MigratableApp, install_all_migration_enclaves, install_migration_enclave
+from repro.errors import InvalidStateError, MigrationError
+from repro.sgx.identity import SigningKey
+
+
+@pytest.fixture
+def world():
+    dc = DataCenter(name="me-proto", seed=13)
+    dc.add_machine("machine-a")
+    dc.add_machine("machine-b")
+    hosts = install_all_migration_enclaves(dc)
+    return dc, hosts
+
+
+class TestMessageHandling:
+    def test_unknown_message_type(self, world):
+        dc, hosts = world
+        response = wire.decode(
+            dc.network.send("machine-b", "machine-a/me", wire.encode({"t": "bogus"}))
+        )
+        assert response["status"] == "error"
+
+    def test_record_for_unknown_session(self, world):
+        dc, hosts = world
+        message = wire.encode({"t": "la_rec", "sid": "la-9999", "payload": b"x"})
+        response = wire.decode(dc.network.send("machine-b", "machine-a/me", message))
+        assert response["status"] == "error"
+
+    def test_ra_record_for_unknown_session(self, world):
+        dc, hosts = world
+        message = wire.encode({"t": "ra_rec", "sid": "ra-9999", "payload": b"x"})
+        response = wire.decode(dc.network.send("machine-b", "machine-a/me", message))
+        assert response["status"] == "error"
+
+    def test_la_msg1_without_hello(self, world):
+        dc, hosts = world
+        message = wire.encode({"t": "la_msg1", "sid": "nope", "payload": b"x"})
+        response = wire.decode(dc.network.send("machine-b", "machine-a/me", message))
+        assert response["status"] == "error"
+
+    def test_garbage_ra_msg1(self, world):
+        dc, hosts = world
+        message = wire.encode({"t": "ra_msg1", "payload": b"garbage"})
+        response = wire.decode(dc.network.send("machine-b", "machine-a/me", message))
+        assert response["status"] == "error"
+
+    def test_forged_done_notice_ignored(self, world):
+        dc, hosts = world
+        key = SigningKey.generate(dc.rng.child("dev"))
+        app = MigratableApp.deploy(dc, dc.machine("machine-a"), MigratableBenchEnclave, key)
+        enclave = app.start_new()
+        mrenclave = enclave.identity.mrenclave
+        enclave.ecall("migration_start", "machine-b")
+        # adversary forges a done notice without knowing the token
+        notice = wire.encode(
+            {"t": "done_notice", "target_mrenclave": mrenclave, "token": bytes(16)}
+        )
+        response = wire.decode(dc.network.send("evil", "machine-a/me", notice))
+        assert response["status"] == "error"
+        assert hosts["machine-a"].enclave.ecall("has_pending_outgoing", mrenclave)
+
+
+class TestProvisioning:
+    def test_unprovisioned_me_refuses_migrations(self):
+        dc = DataCenter(name="unprov", seed=3)
+        machine = dc.add_machine("machine-a")
+        dc.add_machine("machine-b")
+        key = SigningKey.generate(dc.rng.child("me"))
+        mgmt_app = machine.management_vm.launch_application("svc")
+        me = mgmt_app.launch_enclave(MigrationEnclave, key)
+        me.register_ocall("net_send", lambda dst, p: mgmt_app.send(dst, p))
+        dc.network.register("machine-a/me", lambda p, s: me.ecall("handle_message", p, s))
+
+        dev_key = SigningKey.generate(dc.rng.child("dev"))
+        app = MigratableApp.deploy(dc, machine, MigratableBenchEnclave, dev_key)
+        enclave = app.start_new()  # LA to the ME still works
+        with pytest.raises(MigrationError):
+            enclave.ecall("migration_start", "machine-b")
+
+    def test_credential_for_wrong_key_rejected(self, world):
+        dc, hosts = world
+        machine = dc.machine("machine-a")
+        key = SigningKey.generate(dc.rng.child("me2"))
+        mgmt_app = machine.management_vm.launch_application("svc2")
+        me = mgmt_app.launch_enclave(MigrationEnclave, key)
+        wrong_credential = dc.issue_credential(
+            "machine-a", me.identity.mrenclave, 12345  # not the ME's key
+        )
+        with pytest.raises(InvalidStateError):
+            me.ecall(
+                "provision",
+                wrong_credential.to_bytes(),
+                dc.ca_public_key,
+                dc.ias_verify_for(machine),
+                dc.ias.report_public_key,
+                "machine-a",
+                None,
+            )
+
+    def test_credential_for_wrong_enclave_rejected(self, world):
+        dc, hosts = world
+        machine = dc.machine("machine-a")
+        key = SigningKey.generate(dc.rng.child("me3"))
+        mgmt_app = machine.management_vm.launch_application("svc3")
+        me = mgmt_app.launch_enclave(MigrationEnclave, key)
+        credential = dc.issue_credential(
+            "machine-a", bytes(32), me.ecall("signing_public_key")
+        )
+        with pytest.raises(InvalidStateError):
+            me.ecall(
+                "provision",
+                credential.to_bytes(),
+                dc.ca_public_key,
+                dc.ias_verify_for(machine),
+                dc.ias.report_public_key,
+                "machine-a",
+                None,
+            )
+
+    def test_retry_without_pending_rejected(self, world):
+        dc, hosts = world
+        with pytest.raises(MigrationError):
+            hosts["machine-a"].enclave.ecall("retry_pending", bytes(32), "machine-b")
+
+
+class TestPolicies:
+    def test_allowed_destinations_policy_blocks(self):
+        dc = DataCenter(name="policy-dc", seed=21)
+        machine_a = dc.add_machine("machine-a")
+        machine_b = dc.add_machine("machine-b")
+        machine_c = dc.add_machine("machine-c")
+        me_key = SigningKey.generate(dc.rng.child("me-signer"))
+        # machine-a's ME only allows migrations to machine-c
+        policies = PolicySet(
+            [SameProviderPolicy(dc.name), AllowedDestinationsPolicy(frozenset({"machine-c"}))]
+        )
+        install_migration_enclave(dc, machine_a, me_key, policies)
+        install_migration_enclave(dc, machine_b, me_key)
+        install_migration_enclave(dc, machine_c, me_key)
+
+        dev_key = SigningKey.generate(dc.rng.child("dev"))
+        app = MigratableApp.deploy(dc, machine_a, MigratableBenchEnclave, dev_key)
+        enclave = app.start_new()
+        with pytest.raises(MigrationError):
+            enclave.ecall("migration_start", "machine-b")
+        # allowed destination still works
+        migrated = app.migrate(machine_c, migrate_vm=False)
+        assert migrated.alive

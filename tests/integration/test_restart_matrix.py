@@ -1,0 +1,149 @@
+"""Crash/persist/restart matrices across the app enclaves.
+
+Every real enclave must tolerate arbitrary interleavings of crashes,
+restarts, and persistence (the SGX Developer Guide's lifecycle events); the
+paper's design adds migration to that mix.  These tests run the explicit
+sequences the paper's narrative mentions.
+"""
+
+import pytest
+
+from repro.apps.teechan import ChannelCounterparty, TeechanSecure
+from repro.apps.trinx import CertificateAuditor, TrInXSecure
+from repro.cloud.datacenter import DataCenter
+from repro.core.protocol import MigratableApp, install_all_migration_enclaves
+from repro.errors import InvalidStateError
+from repro.sgx.identity import SigningKey
+
+KEY = b"restart-matrix-channel-key-01234"
+
+
+@pytest.fixture
+def world():
+    dc = DataCenter(name="restart", seed=23)
+    machine_a = dc.add_machine("machine-a")
+    machine_b = dc.add_machine("machine-b")
+    install_all_migration_enclaves(dc)
+    return dc, machine_a, machine_b
+
+
+class TestTeechanLifecycle:
+    def test_crash_before_persist_loses_unpersisted_payments(self, world):
+        dc, machine_a, _ = world
+        key = SigningKey.generate(dc.rng.child("dev"))
+        app = MigratableApp.deploy(dc, machine_a, TeechanSecure, key)
+        enclave = app.start_new()
+        enclave.ecall("open_channel", KEY, 100, 0)
+        app.app.store("state", enclave.ecall("persist"))
+        enclave.ecall("pay", 30)  # NOT persisted
+        app.app.crash()
+        enclave = app.restart()
+        enclave.ecall("restore", app.app.load("state"))
+        # the unpersisted payment is gone: balances back to the snapshot
+        assert enclave.ecall("balances") == (100, 0)
+
+    def test_persist_restart_cycles(self, world):
+        dc, machine_a, _ = world
+        key = SigningKey.generate(dc.rng.child("dev"))
+        app = MigratableApp.deploy(dc, machine_a, TeechanSecure, key)
+        enclave = app.start_new()
+        enclave.ecall("open_channel", KEY, 100, 0)
+        counterparty = ChannelCounterparty(KEY)
+        for round_number in range(4):
+            counterparty.accept(enclave.ecall("pay", 10))
+            app.app.store("state", enclave.ecall("persist"))
+            enclave = app.restart()
+            enclave.ecall("restore", app.app.load("state"))
+        assert enclave.ecall("balances") == (60, 40)
+        assert counterparty.balance_received == 40
+
+    def test_old_snapshot_rejected_after_each_cycle(self, world):
+        dc, machine_a, _ = world
+        key = SigningKey.generate(dc.rng.child("dev"))
+        app = MigratableApp.deploy(dc, machine_a, TeechanSecure, key)
+        enclave = app.start_new()
+        enclave.ecall("open_channel", KEY, 100, 0)
+        snapshots = []
+        for _ in range(3):
+            enclave.ecall("pay", 5)
+            snapshots.append(enclave.ecall("persist"))
+        enclave = app.restart()
+        for stale in snapshots[:-1]:
+            with pytest.raises(InvalidStateError):
+                enclave.ecall("restore", stale)
+        enclave.ecall("restore", snapshots[-1])
+        assert enclave.ecall("balances") == (85, 15)
+
+    def test_migrate_then_crash_then_restore(self, world):
+        dc, machine_a, machine_b = world
+        key = SigningKey.generate(dc.rng.child("dev"))
+        app = MigratableApp.deploy(dc, machine_a, TeechanSecure, key)
+        enclave = app.start_new()
+        enclave.ecall("open_channel", KEY, 100, 0)
+        enclave.ecall("pay", 20)
+        snapshot = enclave.ecall("persist")
+        enclave = app.migrate(machine_b, migrate_vm=False)
+        enclave.ecall("restore", snapshot)
+        app.app.crash()
+        enclave = app.restart()
+        enclave.ecall("restore", snapshot)
+        assert enclave.ecall("balances") == (80, 20)
+
+
+class TestTrInXLifecycle:
+    def test_certificates_continue_across_migration(self, world):
+        dc, machine_a, machine_b = world
+        key = SigningKey.generate(dc.rng.child("dev"))
+        app = MigratableApp.deploy(dc, machine_a, TrInXSecure, key)
+        enclave = app.start_new()
+        enclave.ecall("trinx_init")
+        enclave.ecall("create_counter", "r1")
+        identity_key = enclave.trusted._core.identity_key
+        auditor = CertificateAuditor(identity_key)
+        auditor.verify(enclave.ecall("certify", "r1", b"op-1"))
+        snapshot = enclave.ecall("persist")
+
+        enclave = app.migrate(machine_b, migrate_vm=False)
+        enclave.ecall("restore", snapshot)
+        # certification continues without reusing any counter value
+        auditor.verify(enclave.ecall("certify", "r1", b"op-2"))
+        auditor.verify(enclave.ecall("certify", "r1", b"op-3"))
+        assert enclave.ecall("counter_value", "r1") == 3
+
+    def test_stale_state_rejected_on_both_machines(self, world):
+        dc, machine_a, machine_b = world
+        key = SigningKey.generate(dc.rng.child("dev"))
+        app = MigratableApp.deploy(dc, machine_a, TrInXSecure, key)
+        enclave = app.start_new()
+        enclave.ecall("trinx_init")
+        enclave.ecall("create_counter", "r1")
+        enclave.ecall("certify", "r1", b"op-1")
+        stale = enclave.ecall("persist")  # v=1
+        enclave.ecall("certify", "r1", b"op-2")
+        fresh = enclave.ecall("persist")  # v=2
+
+        enclave = app.restart()
+        with pytest.raises(InvalidStateError):
+            enclave.ecall("restore", stale)
+        enclave.ecall("restore", fresh)
+
+        enclave = app.migrate(machine_b, migrate_vm=False)
+        with pytest.raises(InvalidStateError):
+            enclave.ecall("restore", stale)
+        enclave.ecall("restore", fresh)
+
+    def test_hibernate_then_recover(self, world):
+        dc, machine_a, _ = world
+        key = SigningKey.generate(dc.rng.child("dev"))
+        app = MigratableApp.deploy(dc, machine_a, TrInXSecure, key)
+        enclave = app.start_new()
+        enclave.ecall("trinx_init")
+        enclave.ecall("create_counter", "r1")
+        enclave.ecall("certify", "r1", b"op")
+        snapshot = enclave.ecall("persist")
+        app.app.store("state", snapshot)
+        machine_a.hibernate()  # enclave destroyed, counters + disk survive
+        assert not enclave.alive
+        enclave = app.restart()
+        enclave.ecall("restore", app.app.load("state"))
+        assert enclave.ecall("counter_value", "r1") == 1

@@ -1,0 +1,111 @@
+"""ROTE-style virtual counters + migration of the client's identity key.
+
+Asserts the paper's Related Work IX-A prediction: a ROTE-backed enclave
+needs no counter migration, but its ROTE *identity key* is persistent state
+that must move — and the Migration Library is exactly the mechanism for it.
+"""
+
+import pytest
+
+from repro.apps.rote import RoteBackedEnclave, RoteError, install_rote_group
+from repro.cloud.datacenter import DataCenter
+from repro.core.protocol import MigratableApp, install_all_migration_enclaves
+from repro.sgx.identity import SigningKey
+
+
+@pytest.fixture
+def world():
+    dc = DataCenter(name="rote", seed=83)
+    machines = [dc.add_machine(f"machine-{i}") for i in range(4)]
+    install_all_migration_enclaves(dc)
+    rote_key = SigningKey.generate(dc.rng.child("rote-dev"))
+    # the ROTE group spans machines 1..3; clients run on machine 0 and 1
+    endpoints = install_rote_group(dc, machines[1:], rote_key)
+    return dc, machines, endpoints
+
+
+def deploy_client(dc, machine, endpoints, vm_name="rote-client-vm"):
+    key = SigningKey.generate(dc.rng.child(f"client-dev"))
+    app = MigratableApp.deploy(dc, machine, RoteBackedEnclave, key, vm_name=vm_name)
+    enclave = app.start_new()
+    enclave.register_ocall("rote_send", lambda member, p: app.app.send(member, p))
+    return app, enclave
+
+
+class TestRoteCounters:
+    def test_increment_and_read(self, world):
+        dc, machines, endpoints = world
+        app, enclave = deploy_client(dc, machines[0], endpoints)
+        enclave.ecall("rote_init", endpoints)
+        assert enclave.ecall("bump", "c1") == 1
+        assert enclave.ecall("bump", "c1") == 2
+        assert enclave.ecall("current", "c1") == 2
+        assert enclave.ecall("current", "other") == 0
+
+    def test_quorum_tolerates_one_member_down(self, world):
+        dc, machines, endpoints = world
+        app, enclave = deploy_client(dc, machines[0], endpoints)
+        enclave.ecall("rote_init", endpoints)
+        enclave.ecall("bump", "c1")
+        dc.network.unregister(endpoints[0])  # one of three members dies
+        assert enclave.ecall("bump", "c1") == 2
+
+    def test_quorum_fails_with_majority_down(self, world):
+        dc, machines, endpoints = world
+        app, enclave = deploy_client(dc, machines[0], endpoints)
+        enclave.ecall("rote_init", endpoints)
+        dc.network.unregister(endpoints[0])
+        dc.network.unregister(endpoints[1])
+        with pytest.raises(RoteError):
+            enclave.ecall("bump", "c1")
+
+    def test_unenrolled_client_rejected(self, world):
+        dc, machines, endpoints = world
+        app, enclave = deploy_client(dc, machines[0], endpoints)
+        # resume with a made-up identity (never enrolled): quorum fails
+        from repro.apps.rote import RoteClient
+
+        client = RoteClient(
+            members=endpoints, send=lambda member, p: app.app.send(member, p)
+        )
+        client.identity_key = bytes(32)
+        with pytest.raises(RoteError):
+            client.increment("c1")
+
+
+class TestRoteMigration:
+    def test_identity_key_migrates_with_the_enclave(self, world):
+        """The paper's point: counters stay put (they live in the group);
+        only the identity key must move — and MSK sealing moves it."""
+        dc, machines, endpoints = world
+        app, enclave = deploy_client(dc, machines[0], endpoints)
+        sealed_identity = enclave.ecall("rote_init", endpoints)
+        app.app.store("rote_identity", sealed_identity)
+        enclave.ecall("bump", "c1")
+        enclave.ecall("bump", "c1")
+
+        migrated = app.migrate(machines[1], migrate_vm=False)
+        migrated.register_ocall("rote_send", lambda member, p: app.app.send(member, p))
+        migrated.ecall(
+            "rote_resume", endpoints, machines[0].storage.read("app/rote_identity")
+        )
+        # same virtual counters, no counter migration involved
+        assert migrated.ecall("current", "c1") == 2
+        assert migrated.ecall("bump", "c1") == 3
+
+    def test_natively_sealed_identity_is_lost_on_migration(self, world):
+        """The counter-example: an identity key sealed with the NATIVE key
+        does not survive the move — the ROTE counters are orphaned."""
+        from repro.errors import MacMismatchError
+
+        dc, machines, endpoints = world
+        app, enclave = deploy_client(dc, machines[0], endpoints, vm_name="naive-vm")
+        enclave.ecall("rote_init", endpoints)
+        # the app (naively) re-seals the identity with the native key
+        identity_key = enclave.trusted._client.identity_key
+        native_blob = enclave.trusted.sdk.seal_data(identity_key, b"rote-native")
+        enclave.ecall("bump", "c1")
+
+        migrated = app.migrate(machines[1], migrate_vm=False)
+        with pytest.raises(MacMismatchError):
+            migrated.trusted.sdk.unseal_data(native_blob)

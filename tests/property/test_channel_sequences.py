@@ -1,0 +1,63 @@
+"""Stateful property test over secure-channel usage patterns."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.attestation.channel import channel_pair
+from repro.errors import ChannelError
+
+# op: 0 = initiator sends + responder receives, 1 = responder sends +
+# initiator receives, 2 = initiator sends but the message is LOST
+ops = st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=30)
+
+
+class TestChannelSequences:
+    @given(sequence=ops, payload_seed=st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_in_order_delivery_always_works(self, sequence, payload_seed):
+        initiator, responder = channel_pair(bytes(range(16)))
+        lost_pending = False
+        for index, op in enumerate(sequence):
+            payload = bytes([payload_seed, index % 256])
+            if op == 0:
+                if lost_pending:
+                    # a prior message on this direction was lost: the next
+                    # delivery MUST be rejected (gap in sequence numbers)
+                    record = initiator.send(payload)
+                    with pytest.raises(ChannelError):
+                        responder.recv(record)
+                    return
+                record = initiator.send(payload)
+                assert responder.recv(record)[0] == payload
+            elif op == 1:
+                record = responder.send(payload)
+                assert initiator.recv(record)[0] == payload
+            else:
+                initiator.send(payload)  # sent but never delivered
+                lost_pending = True
+
+    @given(n=st.integers(min_value=2, max_value=12), skip=st.integers(min_value=0))
+    @settings(max_examples=40, deadline=None)
+    def test_any_gap_detected(self, n, skip):
+        initiator, responder = channel_pair(bytes(16))
+        records = [initiator.send(bytes([i])) for i in range(n)]
+        skip_index = skip % (n - 1)
+        for index in range(n):
+            if index == skip_index:
+                continue  # drop one record
+            if index < skip_index:
+                assert responder.recv(records[index])[0] == bytes([index])
+            else:
+                with pytest.raises(ChannelError):
+                    responder.recv(records[index])
+                return
+
+    @given(seed=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_directional_key_separation(self, seed):
+        initiator, responder = channel_pair(seed)
+        record_out = initiator.send(b"x")
+        record_back = responder.send(b"x")
+        assert record_out != record_back  # same plaintext, different keys

@@ -1,0 +1,116 @@
+"""Property tests over monotonic-counter semantics and Table I/II codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datastructures import NUM_COUNTERS, LibraryState, MigrationData
+from repro.errors import CounterNotFoundError
+from repro.sgx.identity import EnclaveIdentity
+from repro.sgx.platform_services import CounterUuid, PlatformServices
+from repro.sim.rng import DeterministicRng
+
+
+def make_pse(seed: int = 0) -> PlatformServices:
+    return PlatformServices("m", DeterministicRng(seed, "pse"))
+
+
+IDENTITY = EnclaveIdentity(mrenclave=bytes(32), mrsigner=bytes(32))
+
+# op encoding: 0=create, 1=increment, 2=read, 3=destroy (against live counters)
+ops = st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=60)
+
+
+class TestPseStateMachine:
+    @given(sequence=ops, seed=st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_counters_never_decrease_and_ids_never_recycle(self, sequence, seed):
+        pse = make_pse(seed)
+        live: dict[bytes, tuple[CounterUuid, int]] = {}
+        ever_seen_ids: set[bytes] = set()
+        rng = DeterministicRng(seed, "schedule")
+        for op in sequence:
+            if op == 0 and len(live) < 16:
+                uuid, value = pse.create_counter(IDENTITY)
+                assert value == 0
+                assert uuid.counter_id not in ever_seen_ids, "counter id recycled!"
+                ever_seen_ids.add(uuid.counter_id)
+                live[uuid.counter_id] = (uuid, 0)
+            elif live:
+                key = rng.choice(sorted(live))
+                uuid, last = live[key]
+                if op == 1:
+                    new_value = pse.increment_counter(IDENTITY, uuid)
+                    assert new_value == last + 1, "counter not monotonic"
+                    live[key] = (uuid, new_value)
+                elif op == 2:
+                    assert pse.read_counter(IDENTITY, uuid) == last
+                else:
+                    pse.destroy_counter(IDENTITY, uuid)
+                    del live[key]
+                    with pytest.raises(CounterNotFoundError):
+                        pse.read_counter(IDENTITY, uuid)
+
+    @given(increments=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_read_equals_increment_count(self, increments):
+        pse = make_pse()
+        uuid, _ = pse.create_counter(IDENTITY)
+        for _ in range(increments):
+            pse.increment_counter(IDENTITY, uuid)
+        assert pse.read_counter(IDENTITY, uuid) == increments
+
+
+slot_sets = st.lists(
+    st.integers(min_value=0, max_value=NUM_COUNTERS - 1), unique=True, max_size=32
+)
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestCodecProperties:
+    @given(slots=slot_sets, values=st.lists(u32, min_size=32, max_size=32),
+           msk=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=80, deadline=None)
+    def test_migration_data_roundtrip(self, slots, values, msk):
+        data = MigrationData.empty()
+        data.msk = msk
+        for index, slot in enumerate(slots):
+            data.counters_active[slot] = True
+            data.counter_values[slot] = values[index % len(values)] if values else 0
+        restored = MigrationData.from_bytes(data.to_bytes())
+        assert restored.counters_active == data.counters_active
+        assert restored.counter_values == data.counter_values
+        assert restored.msk == msk
+
+    @given(slots=slot_sets, offsets=st.lists(u32, min_size=32, max_size=32),
+           frozen=st.booleans(), msk=st.binary(min_size=16, max_size=16),
+           seed=st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_library_state_roundtrip(self, slots, offsets, frozen, msk, seed):
+        rng = DeterministicRng(seed, "uuids")
+        state = LibraryState()
+        state.frozen = frozen
+        state.msk = msk
+        for index, slot in enumerate(slots):
+            state.counters_active[slot] = True
+            state.counter_uuids[slot] = CounterUuid(
+                counter_id=(slot + 1).to_bytes(4, "big"), nonce=rng.random_bytes(12)
+            )
+            state.counter_offsets[slot] = offsets[index % len(offsets)] if offsets else 0
+        restored = LibraryState.from_bytes(state.to_bytes())
+        assert restored.frozen == frozen
+        assert restored.msk == msk
+        assert restored.counters_active == state.counters_active
+        assert restored.counter_offsets == state.counter_offsets
+        for slot in range(NUM_COUNTERS):
+            assert restored.counter_uuids[slot] == state.counter_uuids[slot]
+
+    @given(blob=st.binary(max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_bytes_never_parse_as_migration_data(self, blob):
+        from repro.errors import InvalidParameterError
+
+        if len(blob) == 1296:
+            return
+        with pytest.raises(InvalidParameterError):
+            MigrationData.from_bytes(blob)

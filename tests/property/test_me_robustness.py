@@ -1,0 +1,74 @@
+"""Fuzzing the Migration Enclave's network entry point.
+
+The ME's ``handle_message`` is reachable by anything on the (untrusted)
+network; arbitrary bytes and arbitrary well-formed-but-nonsense messages
+must yield error responses — never corrupt state or take the service down.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import wire
+from repro.apps.counter_app import MigratableBenchEnclave
+from repro.cloud.datacenter import DataCenter
+from repro.core.protocol import MigratableApp, install_all_migration_enclaves
+from repro.sgx.identity import SigningKey
+
+_dc = DataCenter(name="fuzz", seed=61)
+_machine_a = _dc.add_machine("machine-a")
+_machine_b = _dc.add_machine("machine-b")
+_hosts = install_all_migration_enclaves(_dc)
+_me = _hosts["machine-a"].enclave
+
+
+def _me_response(payload: bytes) -> dict:
+    return wire.decode(_me.ecall("handle_message", payload, "fuzzer"))
+
+
+class TestGarbageBytes:
+    @given(payload=st.binary(max_size=256))
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_bytes_get_error_response(self, payload):
+        response = _me_response(payload)
+        # either a structured error or (for a lucky valid la_hello-shaped
+        # message) a protocol response — never an exception
+        assert isinstance(response, dict)
+
+    @given(
+        msg_type=st.text(max_size=12),
+        sid=st.text(max_size=12),
+        blob=st.binary(max_size=64),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_wellformed_nonsense_messages(self, msg_type, sid, blob):
+        payload = wire.encode({"t": msg_type, "sid": sid, "payload": blob})
+        response = _me_response(payload)
+        if msg_type not in ("la_hello",):
+            assert response.get("status", "ok") == "error" or "payload" in response
+
+    @given(blob=st.binary(max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_missing_fields(self, blob):
+        for message in (
+            {"t": "la_msg1"},
+            {"t": "la_rec", "payload": blob},
+            {"t": "ra_rec", "sid": "x"},
+            {"t": "done_notice"},
+            {},
+        ):
+            response = _me_response(wire.encode(message))
+            assert response.get("status") == "error"
+
+
+class TestServiceSurvivesFuzzing:
+    def test_me_still_functional_after_fuzz(self):
+        """After all the garbage above, a real migration still works."""
+        key = SigningKey.generate(_dc.rng.child("post-fuzz-dev"))
+        app = MigratableApp.deploy(
+            _dc, _machine_a, MigratableBenchEnclave, key, vm_name="post-fuzz-vm"
+        )
+        enclave = app.start_new()
+        counter_id, _ = enclave.ecall("create_counter")
+        enclave.ecall("increment_counter", counter_id)
+        enclave = app.migrate(_machine_b, migrate_vm=False)
+        assert enclave.ecall("read_counter", counter_id) == 1

@@ -1,0 +1,232 @@
+"""Application enclaves: Teechan channel logic, TrInX certification, KV store."""
+
+import pytest
+
+from repro.apps.kvstore import SecureKvStore
+from repro.apps.teechan import (
+    ChannelCounterparty,
+    ChannelViolation,
+    TeechanSecure,
+    _TeechanCore,
+)
+from repro.apps.trinx import CertificateAuditor, CertificationViolation, _TrInXCore
+from repro.core.protocol import MigratableApp, install_all_migration_enclaves
+from repro.errors import InvalidStateError
+from repro.sgx.identity import SigningKey
+
+KEY = b"channel-key-0123456789abcdef0123"
+
+
+class TestTeechanCore:
+    def make_pair(self):
+        alice, bob = _TeechanCore(), _TeechanCore()
+        alice.open(KEY, 100, 50)
+        bob.open(KEY, 50, 100)
+        return alice, bob
+
+    def test_payment_updates_balances(self):
+        alice, bob = self.make_pair()
+        payment = alice.pay(30)
+        assert (alice.my_balance, alice.their_balance) == (70, 80)
+        assert bob.receive(payment) == 30
+        assert (bob.my_balance, bob.their_balance) == (80, 70)
+
+    def test_bidirectional(self):
+        alice, bob = self.make_pair()
+        alice.receive(bob.pay(10))
+        bob.receive(alice.pay(25))
+        assert alice.my_balance == 85 and bob.my_balance == 65
+
+    def test_overdraft_rejected(self):
+        alice, _ = self.make_pair()
+        with pytest.raises(ChannelViolation):
+            alice.pay(101)
+
+    def test_non_positive_amount_rejected(self):
+        alice, _ = self.make_pair()
+        with pytest.raises(ChannelViolation):
+            alice.pay(0)
+
+    def test_replayed_payment_rejected(self):
+        alice, bob = self.make_pair()
+        payment = alice.pay(10)
+        bob.receive(payment)
+        with pytest.raises(ChannelViolation):
+            bob.receive(payment)
+
+    def test_forged_mac_rejected(self):
+        alice, bob = self.make_pair()
+        payment = bytearray(alice.pay(10))
+        payment[-1] ^= 1
+        with pytest.raises(ChannelViolation):
+            bob.receive(bytes(payment))
+
+    def test_pay_without_channel(self):
+        core = _TeechanCore()
+        with pytest.raises(InvalidStateError):
+            core.pay(1)
+
+    def test_state_blob_roundtrip(self):
+        alice, _ = self.make_pair()
+        alice.pay(17)
+        blob = alice.state_blob()
+        clone = _TeechanCore()
+        clone.load_state_blob(blob)
+        assert clone.my_balance == alice.my_balance
+        assert clone.seq_out == alice.seq_out
+
+
+class TestChannelCounterparty:
+    def test_accepts_sequence(self):
+        alice = _TeechanCore()
+        alice.open(KEY, 100, 0)
+        counterparty = ChannelCounterparty(KEY)
+        counterparty.accept(alice.pay(10))
+        counterparty.accept(alice.pay(5))
+        assert counterparty.balance_received == 15
+
+    def test_detects_conflicting_payments(self):
+        fork_a = _TeechanCore()
+        fork_a.open(KEY, 100, 0)
+        fork_b = _TeechanCore()
+        fork_b.open(KEY, 100, 0)
+        counterparty = ChannelCounterparty(KEY)
+        counterparty.accept(fork_a.pay(10))
+        with pytest.raises(ChannelViolation):
+            counterparty.accept(fork_b.pay(20))  # same seq, different body
+
+    def test_identical_duplicate_tolerated(self):
+        alice = _TeechanCore()
+        alice.open(KEY, 100, 0)
+        counterparty = ChannelCounterparty(KEY)
+        payment = alice.pay(10)
+        counterparty.accept(payment)
+        counterparty.accept(payment)  # byte-identical: not a conflict
+
+
+class TestTrInXCore:
+    def test_certify_increments(self):
+        core = _TrInXCore()
+        core.init_identity(bytes(32))
+        core.create_counter("c")
+        core.certify("c", b"m1")
+        core.certify("c", b"m2")
+        assert core.counters["c"] == 2
+
+    def test_certify_unknown_counter(self):
+        core = _TrInXCore()
+        core.init_identity(bytes(32))
+        with pytest.raises(InvalidStateError):
+            core.certify("nope", b"m")
+
+    def test_certify_without_identity(self):
+        core = _TrInXCore()
+        core.create_counter("c")
+        with pytest.raises(InvalidStateError):
+            core.certify("c", b"m")
+
+    def test_duplicate_counter_rejected(self):
+        core = _TrInXCore()
+        core.create_counter("c")
+        with pytest.raises(InvalidStateError):
+            core.create_counter("c")
+
+    def test_state_roundtrip(self):
+        core = _TrInXCore()
+        core.init_identity(bytes(range(32)))
+        core.create_counter("a")
+        core.create_counter("b")
+        core.certify("a", b"m")
+        clone = _TrInXCore()
+        clone.load_state_blob(core.state_blob())
+        assert clone.counters == {"a": 1, "b": 0}
+        assert clone.identity_key == core.identity_key
+
+
+class TestCertificateAuditor:
+    def test_valid_chain(self):
+        core = _TrInXCore()
+        core.init_identity(bytes(32))
+        core.create_counter("c")
+        auditor = CertificateAuditor(bytes(32))
+        name, value, message = auditor.verify(core.certify("c", b"op-1"))
+        assert (name, value, message) == ("c", 1, b"op-1")
+        auditor.verify(core.certify("c", b"op-2"))
+
+    def test_equivocation_detected(self):
+        honest = _TrInXCore()
+        honest.init_identity(bytes(32))
+        honest.create_counter("c")
+        rolled_back = _TrInXCore()
+        rolled_back.init_identity(bytes(32))
+        rolled_back.create_counter("c")
+        auditor = CertificateAuditor(bytes(32))
+        auditor.verify(honest.certify("c", b"op-1"))
+        with pytest.raises(CertificationViolation):
+            auditor.verify(rolled_back.certify("c", b"op-1-EVIL"))
+
+    def test_bad_mac_rejected(self):
+        core = _TrInXCore()
+        core.init_identity(bytes(32))
+        core.create_counter("c")
+        auditor = CertificateAuditor(b"\x01" * 32)  # wrong key
+        with pytest.raises(CertificationViolation):
+            auditor.verify(core.certify("c", b"m"))
+
+
+class TestSecureKvStore:
+    @pytest.fixture
+    def kv_app(self, datacenter):
+        install_all_migration_enclaves(datacenter)
+        key = SigningKey.generate(datacenter.rng.child("kv"))
+        app = MigratableApp.deploy(
+            datacenter, datacenter.machine("machine-a"), SecureKvStore, key
+        )
+        enclave = app.start_new()
+        enclave.ecall("kv_init")
+        return app, enclave
+
+    def test_put_get(self, kv_app):
+        _, enclave = kv_app
+        enclave.ecall("put", "user", b"alice")
+        assert enclave.ecall("get", "user") == b"alice"
+
+    def test_missing_key(self, kv_app):
+        _, enclave = kv_app
+        with pytest.raises(KeyError):
+            enclave.ecall("get", "absent")
+
+    def test_delete(self, kv_app):
+        _, enclave = kv_app
+        enclave.ecall("put", "k", b"v")
+        enclave.ecall("delete", "k")
+        assert enclave.ecall("keys") == []
+
+    def test_snapshot_restore(self, kv_app):
+        app, enclave = kv_app
+        enclave.ecall("put", "a", b"1")
+        snapshot = enclave.ecall("put", "b", b"2")
+        app.app.store("kv", snapshot)
+        enclave = app.restart()
+        enclave.ecall("load_snapshot", app.app.load("kv"))
+        assert enclave.ecall("keys") == ["a", "b"]
+        assert enclave.ecall("get", "b") == b"2"
+
+    def test_stale_snapshot_rejected(self, kv_app):
+        app, enclave = kv_app
+        stale = enclave.ecall("put", "a", b"1")
+        enclave.ecall("put", "a", b"2")  # bumps the version counter
+        enclave = app.restart()
+        with pytest.raises(InvalidStateError):
+            enclave.ecall("load_snapshot", stale)
+
+    def test_snapshot_before_init(self, datacenter):
+        install_all_migration_enclaves(datacenter)
+        key = SigningKey.generate(datacenter.rng.child("kv2"))
+        app = MigratableApp.deploy(
+            datacenter, datacenter.machine("machine-b"), SecureKvStore, key,
+            vm_name="kv-vm-2",
+        )
+        enclave = app.start_new()
+        with pytest.raises(InvalidStateError):
+            enclave.ecall("put", "k", b"v")

@@ -1,0 +1,195 @@
+"""Local and remote attestation protocols, IAS, and the quoting enclave."""
+
+import pytest
+
+from repro.attestation.ias import IntelAttestationService, check_verdict
+from repro.attestation.local import (
+    LocalAttestationInitiator,
+    LocalAttestationResponder,
+    attest_locally,
+)
+from repro.attestation.remote import (
+    RemoteAttestationInitiator,
+    RemoteAttestationResponder,
+)
+from repro.crypto.epid import EpidGroup
+from repro.errors import AttestationError
+from repro.sgx.enclave import EnclaveBase, build_identity, ecall
+from repro.sgx.quote import Quote, QuotingEnclave
+from repro.sgx.sdk import TrustedRuntime
+
+
+class EnclaveOne(EnclaveBase):
+    @ecall
+    def noop(self):
+        pass
+
+
+class EnclaveTwo(EnclaveBase):
+    @ecall
+    def noop(self):
+        return 2
+
+
+@pytest.fixture
+def world(rng, cpu, cpu_b, pse, signing_key):
+    group = EpidGroup(rng.child("epid"))
+    ias = IntelAttestationService(group, rng.child("ias"))
+    qe_a = QuotingEnclave(cpu, group.join())
+    qe_b = QuotingEnclave(cpu_b, group.join())
+    id_one = build_identity(EnclaveOne, signing_key)
+    id_two = build_identity(EnclaveTwo, signing_key)
+    return {
+        "group": group,
+        "ias": ias,
+        "rt_one_a": TrustedRuntime(cpu, id_one, pse, qe_a, rng.child("r1a")),
+        "rt_two_a": TrustedRuntime(cpu, id_two, pse, qe_a, rng.child("r2a")),
+        "rt_one_b": TrustedRuntime(cpu_b, id_one, pse, qe_b, rng.child("r1b")),
+        "id_one": id_one,
+        "id_two": id_two,
+        "qe_b": qe_b,
+    }
+
+
+class TestLocalAttestation:
+    def test_mutual_attestation(self, world, rng):
+        init_result, resp_result = attest_locally(
+            world["rt_one_a"], world["rt_two_a"], rng.child("la")
+        )
+        assert init_result.peer_identity.mrenclave == world["id_two"].mrenclave
+        assert resp_result.peer_identity.mrenclave == world["id_one"].mrenclave
+        record = init_result.channel.send(b"msg")
+        assert resp_result.channel.recv(record)[0] == b"msg"
+
+    def test_initiator_policy_rejects(self, world, rng):
+        with pytest.raises(AttestationError):
+            attest_locally(
+                world["rt_one_a"],
+                world["rt_two_a"],
+                rng.child("la"),
+                initiator_accept=lambda identity: False,
+            )
+
+    def test_responder_policy_rejects(self, world, rng):
+        with pytest.raises(AttestationError):
+            attest_locally(
+                world["rt_one_a"],
+                world["rt_two_a"],
+                rng.child("la"),
+                responder_accept=lambda identity: False,
+            )
+
+    def test_cross_machine_local_attestation_fails(self, world, rng):
+        """LA inherently proves same-machine: a report from machine B cannot
+        be verified by an enclave on machine A."""
+        with pytest.raises(AttestationError):
+            attest_locally(world["rt_one_b"], world["rt_two_a"], rng.child("la"))
+
+    def test_finish_before_msg1(self, world, rng):
+        initiator = LocalAttestationInitiator(world["rt_one_a"], rng.child("i"))
+        with pytest.raises(AttestationError):
+            initiator.finish(b"whatever")
+
+    def test_tampered_msg1_rejected(self, world, rng):
+        from repro import wire
+
+        initiator = LocalAttestationInitiator(world["rt_one_a"], rng.child("i"))
+        responder = LocalAttestationResponder(world["rt_two_a"], rng.child("r"))
+        msg1 = wire.decode(initiator.msg1(responder.msg0()))
+        # substitute the DH value after the report bound the real one
+        msg1["g_a"] = bytes(256)
+        with pytest.raises(AttestationError):
+            responder.msg2(wire.encode(msg1))
+
+
+class TestQuotesAndIas:
+    def test_quote_verifies(self, world):
+        quote = world["rt_one_a"].get_quote(b"data", b"bn")
+        verdict = world["ias"].verify_quote(quote.to_bytes())
+        assert verdict.ok
+        assert check_verdict(verdict, world["ias"].report_public_key)
+
+    def test_verdict_signature_pinned(self, world, rng):
+        from repro.crypto import schnorr
+
+        quote = world["rt_one_a"].get_quote(b"data")
+        verdict = world["ias"].verify_quote(quote.to_bytes())
+        wrong_key = schnorr.generate_keypair(rng.child("x")).public
+        assert not check_verdict(verdict, wrong_key)
+
+    def test_revoked_platform_rejected(self, world, rng):
+        group = world["group"]
+        member = group._members[0]  # machine A's member key
+        group.revoke(member)
+        quote = world["rt_one_a"].get_quote(b"data")
+        verdict = world["ias"].verify_quote(quote.to_bytes())
+        assert not verdict.ok
+
+    def test_malformed_quote_rejected(self, world):
+        with pytest.raises(AttestationError):
+            world["ias"].verify_quote(b"garbage")
+
+    def test_quote_roundtrip(self, world):
+        quote = world["rt_one_a"].get_quote(b"payload", b"bn")
+        restored = Quote.from_bytes(quote.to_bytes())
+        assert restored.signed_payload() == quote.signed_payload()
+        assert restored.identity.mrenclave == quote.identity.mrenclave
+
+    def test_qe_rejects_foreign_report(self, world, cpu, rng):
+        """A report targeted at someone else cannot be quoted."""
+        from repro.sgx.report import TargetInfo, pad_report_data
+
+        report = cpu.ereport(
+            world["id_one"], TargetInfo(world["id_two"].mrenclave), pad_report_data(b"")
+        )
+        with pytest.raises(AttestationError):
+            world["qe_b"].generate_quote(report)
+
+
+class TestRemoteAttestation:
+    def _parties(self, world, rng, accept=None):
+        ias = world["ias"]
+        initiator = RemoteAttestationInitiator(
+            world["rt_one_a"], rng.child("i"), ias.verify_quote, ias.report_public_key, accept
+        )
+        responder = RemoteAttestationResponder(
+            world["rt_one_b"], rng.child("r"), ias.verify_quote, ias.report_public_key, accept
+        )
+        return initiator, responder
+
+    def test_mutual_attestation_across_machines(self, world, rng):
+        initiator, responder = self._parties(world, rng)
+        msg2, resp_result = responder.msg2(initiator.msg1())
+        init_result = initiator.finish(msg2)
+        assert init_result.peer_identity.mrenclave == world["id_one"].mrenclave
+        assert init_result.transcript == resp_result.transcript
+        record = init_result.channel.send(b"data")
+        assert resp_result.channel.recv(record)[0] == b"data"
+
+    def test_identity_policy_enforced(self, world, rng):
+        expected = world["id_one"].mrenclave
+        accept = lambda identity: identity.mrenclave == expected  # noqa: E731
+        ias = world["ias"]
+        wrong_initiator = RemoteAttestationInitiator(
+            world["rt_two_a"], rng.child("i"), ias.verify_quote, ias.report_public_key, None
+        )
+        responder = RemoteAttestationResponder(
+            world["rt_one_b"], rng.child("r"), ias.verify_quote, ias.report_public_key, accept
+        )
+        with pytest.raises(AttestationError):
+            responder.msg2(wrong_initiator.msg1())
+
+    def test_substituted_dh_value_rejected(self, world, rng):
+        from repro import wire
+
+        initiator, responder = self._parties(world, rng)
+        msg1 = wire.decode(initiator.msg1())
+        msg1["g_a"] = bytes(256)
+        with pytest.raises(AttestationError):
+            responder.msg2(wire.encode(msg1))
+
+    def test_revoked_platform_fails_ra(self, world, rng):
+        world["group"].revoke(world["group"]._members[0])  # machine A
+        initiator, responder = self._parties(world, rng)
+        with pytest.raises(AttestationError):
+            responder.msg2(initiator.msg1())

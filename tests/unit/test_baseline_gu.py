@@ -1,0 +1,145 @@
+"""Gu et al.-style data-memory migration baseline."""
+
+import pytest
+
+from repro.apps.teechan import TeechanVulnerable
+from repro.cloud.datacenter import DataCenter
+from repro.core.baseline import GuFlagMode, register_gu_transport
+from repro.errors import InvalidStateError, MigrationError
+from repro.sgx.identity import SigningKey
+
+KEY = b"channel-key-0123456789abcdef0123"
+
+
+@pytest.fixture
+def world():
+    dc = DataCenter(name="gu", seed=31)
+    dc.add_machine("machine-a")
+    dc.add_machine("machine-b")
+    return dc
+
+
+def launch(dc, machine_name, app_name="app", flag_mode=GuFlagMode.MEMORY, key=None):
+    machine = dc.machine(machine_name)
+    vm = machine.create_vm(f"{app_name}-vm-{machine_name}")
+    app = vm.launch_application(app_name)
+    enclave = app.launch_enclave(TeechanVulnerable, key)
+    endpoint = register_gu_transport(enclave, app)
+    enclave.ecall(
+        "gu_init", flag_mode.name, None,
+        dc.ias_verify_for(machine), dc.ias.report_public_key,
+    )
+    return app, enclave, endpoint
+
+
+class TestGuMigration:
+    def test_memory_image_transfers(self, world):
+        key = SigningKey.generate(world.rng.child("dev"))
+        _, source, _ = launch(world, "machine-a", "src", key=key)
+        _, dest, dest_endpoint = launch(world, "machine-b", "dst", key=key)
+        source.ecall("open_channel", KEY, 100, 0)
+        source.ecall("pay", 25)
+        source.ecall("gu_start_migration", dest_endpoint)
+        assert dest.ecall("balances") == (75, 25)
+
+    def test_source_frozen_after_migration(self, world):
+        key = SigningKey.generate(world.rng.child("dev"))
+        _, source, _ = launch(world, "machine-a", "src", key=key)
+        _, dest, dest_endpoint = launch(world, "machine-b", "dst", key=key)
+        source.ecall("open_channel", KEY, 100, 0)
+        source.ecall("gu_start_migration", dest_endpoint)
+        assert source.ecall("gu_is_frozen")
+        with pytest.raises(InvalidStateError):
+            source.ecall("pay", 10)
+        with pytest.raises(MigrationError):
+            source.ecall("gu_start_migration", dest_endpoint)
+
+    def test_no_flag_mode_keeps_source_live(self, world):
+        """GuFlagMode.NONE: nothing stops the source — the fork risk."""
+        key = SigningKey.generate(world.rng.child("dev"))
+        _, source, _ = launch(world, "machine-a", "src", GuFlagMode.NONE, key)
+        _, dest, dest_endpoint = launch(world, "machine-b", "dst", GuFlagMode.NONE, key)
+        source.ecall("open_channel", KEY, 100, 0)
+        source.ecall("gu_start_migration", dest_endpoint)
+        assert not source.ecall("gu_is_frozen")
+        source.ecall("pay", 10)  # both copies live
+
+    def test_persisted_flag_survives_restart(self, world):
+        key = SigningKey.generate(world.rng.child("dev"))
+        app, source, _ = launch(world, "machine-a", "src", GuFlagMode.PERSISTED, key)
+        _, dest, dest_endpoint = launch(
+            world, "machine-b", "dst", GuFlagMode.PERSISTED, key
+        )
+        source.ecall("open_channel", KEY, 100, 0)
+        source.ecall("gu_start_migration", dest_endpoint)
+        # restart the source application; the sealed flag must re-freeze it
+        app.terminate()
+        app.restart()
+        enclave = app.launch_enclave(TeechanVulnerable, key)
+        register_gu_transport(enclave, app)
+        enclave.ecall(
+            "gu_init", GuFlagMode.PERSISTED.name, app.load("gu_flag"),
+            world.ias_verify_for(world.machine("machine-a")), world.ias.report_public_key,
+        )
+        assert enclave.ecall("gu_is_frozen")
+
+    def test_memory_flag_cleared_by_restart(self, world):
+        """GuFlagMode.MEMORY: the restart clears the flag — Section III-B."""
+        key = SigningKey.generate(world.rng.child("dev"))
+        app, source, _ = launch(world, "machine-a", "src", GuFlagMode.MEMORY, key)
+        _, dest, dest_endpoint = launch(world, "machine-b", "dst", GuFlagMode.MEMORY, key)
+        source.ecall("open_channel", KEY, 100, 0)
+        source.ecall("gu_start_migration", dest_endpoint)
+        app.terminate()
+        app.restart()
+        enclave = app.launch_enclave(TeechanVulnerable, key)
+        register_gu_transport(enclave, app)
+        enclave.ecall(
+            "gu_init", GuFlagMode.MEMORY.name, None,
+            world.ias_verify_for(world.machine("machine-a")), world.ias.report_public_key,
+        )
+        assert not enclave.ecall("gu_is_frozen")
+
+    def test_different_enclave_class_cannot_receive(self, world):
+        """Gu RA requires identical MRENCLAVE at both ends."""
+        from repro.apps.trinx import TrInXVulnerable
+
+        key = SigningKey.generate(world.rng.child("dev"))
+        _, source, _ = launch(world, "machine-a", "src", key=key)
+        machine_b = world.machine("machine-b")
+        vm = machine_b.create_vm("other-vm")
+        other_app = vm.launch_application("other")
+        other = other_app.launch_enclave(TrInXVulnerable, key)
+        endpoint = register_gu_transport(other, other_app)
+        other.ecall(
+            "gu_init", "MEMORY", None,
+            world.ias_verify_for(machine_b), world.ias.report_public_key,
+        )
+        source.ecall("open_channel", KEY, 100, 0)
+        with pytest.raises(MigrationError):
+            source.ecall("gu_start_migration", endpoint)
+
+    def test_migration_before_init_rejected(self, world):
+        key = SigningKey.generate(world.rng.child("dev"))
+        machine = world.machine("machine-a")
+        vm = machine.create_vm("uninit-vm")
+        app = vm.launch_application("uninit")
+        enclave = app.launch_enclave(TeechanVulnerable, key)
+        register_gu_transport(enclave, app)
+        with pytest.raises(InvalidStateError):
+            enclave.ecall("gu_start_migration", "machine-b/gu/x")
+
+    def test_gu_does_not_migrate_persistent_state(self, world):
+        """The central observation of the paper: sealed data and counters
+        stay behind."""
+        key = SigningKey.generate(world.rng.child("dev"))
+        src_app, source, _ = launch(world, "machine-a", "src", key=key)
+        _, dest, dest_endpoint = launch(world, "machine-b", "dst", key=key)
+        source.ecall("open_channel", KEY, 100, 0)
+        sealed = source.ecall("persist")  # native seal + native counter
+        source.ecall("gu_start_migration", dest_endpoint)
+        # The destination cannot restore the sealed state: wrong machine.
+        from repro.errors import MacMismatchError
+
+        with pytest.raises(MacMismatchError):
+            dest.ecall("restore", sealed)

@@ -1,0 +1,80 @@
+"""The statistics used by the evaluation harness."""
+
+import math
+
+import pytest
+
+from repro.bench.stats import (
+    SampleStats,
+    one_tailed_overhead_test,
+    percent_overhead,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == 2.5
+        assert stats.std == pytest.approx(math.sqrt(5 / 3))
+        assert stats.n == 4
+
+    def test_single_sample(self):
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert stats.ci99_half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ci_contains_mean(self):
+        stats = summarize([float(i) for i in range(100)])
+        low, high = stats.ci99
+        assert low < stats.mean < high
+
+    def test_ci_shrinks_with_n(self):
+        small = summarize([1.0, 2.0, 3.0] * 5)
+        large = summarize([1.0, 2.0, 3.0] * 500)
+        assert large.ci99_half_width < small.ci99_half_width
+
+    def test_wider_confidence_wider_interval(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0] * 4
+        assert (
+            summarize(samples, confidence=0.99).ci99_half_width
+            > summarize(samples, confidence=0.90).ci99_half_width
+        )
+
+    def test_format(self):
+        text = summarize([1.0, 1.1, 0.9]).format(unit="ms", scale=1000)
+        assert "ms" in text and "n=3" in text
+
+
+class TestOverheadTest:
+    def test_clear_overhead_significant(self):
+        baseline = [1.0 + 0.01 * (i % 7) for i in range(100)]
+        treatment = [1.2 + 0.01 * (i % 7) for i in range(100)]
+        assert one_tailed_overhead_test(baseline, treatment) < 1e-6
+
+    def test_identical_distributions_not_significant(self):
+        baseline = [1.0 + 0.05 * ((i * 37) % 11) for i in range(100)]
+        treatment = [1.0 + 0.05 * ((i * 41) % 11) for i in range(100)]
+        assert one_tailed_overhead_test(baseline, treatment) > 0.05
+
+    def test_one_tailed_direction(self):
+        """A FASTER treatment must give a p near 1, not near 0."""
+        baseline = [1.2 + 0.01 * (i % 5) for i in range(50)]
+        faster = [1.0 + 0.01 * (i % 5) for i in range(50)]
+        assert one_tailed_overhead_test(baseline, faster) > 0.99
+
+
+class TestPercentOverhead:
+    def test_positive_overhead(self):
+        assert percent_overhead([1.0, 1.0], [1.1, 1.1]) == pytest.approx(10.0)
+
+    def test_negative_overhead(self):
+        assert percent_overhead([1.0, 1.0], [0.9, 0.9]) == pytest.approx(-10.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            percent_overhead([0.0, 0.0], [1.0])

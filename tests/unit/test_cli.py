@@ -1,0 +1,18 @@
+"""The ``python -m repro`` command-line interface."""
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out and "TCB" in out
+
+    def test_default_is_tables(self, capsys):
+        assert main([]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["bogus"]) == 1
+        assert "Subcommands" in capsys.readouterr().out

@@ -1,0 +1,52 @@
+"""Reproducibility: every experiment is a pure function of its seed."""
+
+from repro.bench.harness import run_fig3, run_migration_bench
+from repro.cloud.datacenter import DataCenter
+from repro.sgx.enclave import EnclaveBase, ecall
+from repro.sgx.identity import SigningKey
+
+
+class ProbeEnclave(EnclaveBase):
+    @ecall
+    def probe(self) -> bytes:
+        return self.sdk.seal_data(b"probe")
+
+
+class TestSeedDeterminism:
+    def test_fig3_samples_identical_under_seed(self):
+        a = run_fig3(reps=15, seed=9)
+        b = run_fig3(reps=15, seed=9)
+        assert a == b
+
+    def test_fig3_samples_differ_across_seeds(self):
+        a = run_fig3(reps=15, seed=9)
+        b = run_fig3(reps=15, seed=10)
+        assert a != b
+
+    def test_migration_bench_identical_under_seed(self):
+        a = run_migration_bench(reps=3, num_counters=1, seed=4)
+        b = run_migration_bench(reps=3, num_counters=1, seed=4)
+        assert a["enclave_migration"] == b["enclave_migration"]
+
+    def test_datacenter_key_material_deterministic(self):
+        dc1 = DataCenter(name="same", seed=5)
+        dc2 = DataCenter(name="same", seed=5)
+        assert dc1.ca_public_key == dc2.ca_public_key
+        assert dc1.ias.report_public_key == dc2.ias.report_public_key
+
+    def test_sealed_blobs_deterministic_under_seed(self):
+        blobs = []
+        for _ in range(2):
+            dc = DataCenter(name="d", seed=6)
+            machine = dc.add_machine("m")
+            vm = machine.create_vm("v")
+            app = vm.launch_application("a")
+            key = SigningKey.generate(dc.rng.child("k"))
+            enclave = app.launch_enclave(ProbeEnclave, key)
+            blobs.append(enclave.ecall("probe"))
+        assert blobs[0] == blobs[1]
+
+    def test_different_datacenter_names_different_keys(self):
+        dc1 = DataCenter(name="alpha", seed=5)
+        dc2 = DataCenter(name="beta", seed=5)
+        assert dc1.ca_public_key != dc2.ca_public_key

@@ -1,0 +1,68 @@
+"""The figure-regeneration module (fast targets only; the heavy figures are
+exercised by the benchmark suite)."""
+
+from repro.bench import figures
+
+
+class TestTables:
+    def test_table1_matches_paper_inventory(self):
+        text, data = figures.table1()
+        assert data["total"] == 1296
+        names = [row[0] for row in data["rows"]]
+        assert names == ["counters active", "counter values", "MSK"]
+        assert "bool[256]" in text and "uint32[256]" in text
+
+    def test_table2_matches_paper_inventory(self):
+        text, data = figures.table2()
+        assert data["total"] == 5393
+        names = [row[0] for row in data["rows"]]
+        assert names == [
+            "frozen",
+            "counters active",
+            "counter uuids",
+            "counter offsets",
+            "MSK",
+        ]
+        assert "Freeze flag" in text
+
+
+class TestTcb:
+    def test_loc_counts_positive_and_auditable(self):
+        text, data = figures.tcb()
+        assert 0 < data["me_loc"] < 600
+        assert 0 < data["lib_loc"] < 600
+        assert str(figures.PAPER_TCB_ME_LOC) in text
+
+    def test_count_loc_skips_comments_and_docstrings(self, tmp_path):
+        source = tmp_path / "module.py"
+        source.write_text(
+            '"""Module\ndocstring."""\n'
+            "# a comment\n"
+            "\n"
+            "x = 1\n"
+            "def f():\n"
+            '    """doc"""\n'
+            "    return x\n"
+        )
+        assert figures.count_loc(str(source)) == 3
+
+
+class TestCli:
+    def test_unknown_target(self, capsys):
+        assert figures.main(["nope"]) == 1
+
+    def test_no_args_prints_usage(self, capsys):
+        assert figures.main([]) == 1
+        assert "fig3" in capsys.readouterr().out
+
+    def test_table_targets_run(self, capsys):
+        assert figures.main(["table1"]) == 0
+        assert "1296" in capsys.readouterr().out
+        assert figures.main(["table2"]) == 0
+        assert figures.main(["tcb"]) == 0
+
+
+class TestShapeConstants:
+    def test_paper_reference_values(self):
+        assert figures.PAPER_INCREMENT_OVERHEAD_PCT == 12.3
+        assert figures.PAPER_MIGRATION_SECONDS == 0.47

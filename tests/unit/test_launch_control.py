@@ -1,0 +1,94 @@
+"""Launch control: EINIT tokens, signer allow-lists, debug policy."""
+
+import pytest
+
+from repro.errors import InvalidParameterError, SgxError, SgxStatus
+from repro.sgx.identity import Attributes, EnclaveIdentity
+from repro.sgx.launch import LaunchControl
+from repro.sim.rng import DeterministicRng
+
+
+def make_identity(signer: bytes = b"S", debug: bool = False) -> EnclaveIdentity:
+    return EnclaveIdentity(
+        mrenclave=b"E".ljust(32, b"\x00"),
+        mrsigner=signer.ljust(32, b"\x00"),
+        attributes=Attributes(debug=debug),
+    )
+
+
+@pytest.fixture
+def launch(rng):
+    return LaunchControl("machine-x", rng.child("launch"))
+
+
+class TestTokens:
+    def test_issue_and_verify(self, launch):
+        identity = make_identity()
+        token = launch.get_token(identity)
+        assert launch.verify_token(identity, token)
+
+    def test_token_bound_to_enclave(self, launch):
+        token = launch.get_token(make_identity())
+        other = make_identity(signer=b"other")
+        assert not launch.verify_token(other, token)
+
+    def test_token_bound_to_machine(self, launch, rng):
+        identity = make_identity()
+        token = launch.get_token(identity)
+        other_machine = LaunchControl("machine-y", rng.child("other"))
+        assert not other_machine.verify_token(identity, token)
+
+    def test_forged_token_rejected(self, launch):
+        import dataclasses
+
+        identity = make_identity()
+        token = launch.get_token(identity)
+        forged = dataclasses.replace(token, mac=bytes(16))
+        assert not launch.verify_token(identity, forged)
+
+
+class TestPolicies:
+    def test_empty_allowlist_permits_all(self, launch):
+        launch.get_token(make_identity(signer=b"anyone"))
+
+    def test_allowlist_enforced(self, launch):
+        allowed = make_identity(signer=b"tenant-1")
+        denied = make_identity(signer=b"mallory")
+        launch.allow_signer(allowed.mrsigner)
+        launch.get_token(allowed)
+        with pytest.raises(SgxError) as excinfo:
+            launch.get_token(denied)
+        assert excinfo.value.status is SgxStatus.SGX_ERROR_INVALID_SIGNATURE
+
+    def test_debug_policy(self, launch):
+        launch.allow_debug = False
+        with pytest.raises(SgxError) as excinfo:
+            launch.get_token(make_identity(debug=True))
+        assert excinfo.value.status is SgxStatus.SGX_ERROR_INVALID_ATTRIBUTE
+        launch.get_token(make_identity(debug=False))
+
+    def test_allow_signer_validates_length(self, launch):
+        with pytest.raises(InvalidParameterError):
+            launch.allow_signer(b"short")
+
+
+class TestMachineIntegration:
+    def test_machine_rejects_unlisted_signer(self, datacenter):
+        from repro.sgx.enclave import EnclaveBase, ecall
+        from repro.sgx.identity import SigningKey
+
+        class AnyEnclave(EnclaveBase):
+            @ecall
+            def noop(self):
+                pass
+
+        machine = datacenter.machine("machine-a")
+        tenant = SigningKey.generate(datacenter.rng.child("tenant"))
+        mallory = SigningKey.generate(datacenter.rng.child("mallory"))
+        machine.launch_control.allow_signer(tenant.mrsigner)
+
+        vm = machine.create_vm("lc-vm")
+        app = vm.launch_application("app")
+        app.launch_enclave(AnyEnclave, tenant)  # allowed
+        with pytest.raises(SgxError):
+            app.launch_enclave(AnyEnclave, mallory)

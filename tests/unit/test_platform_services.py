@@ -1,0 +1,157 @@
+"""Platform Services monotonic counters: the invariants the paper relies on."""
+
+import pytest
+
+from repro.errors import (
+    CounterAccessError,
+    CounterNotFoundError,
+    CounterQuotaError,
+    InvalidParameterError,
+    ServiceUnavailableError,
+    SgxError,
+    SgxStatus,
+)
+from repro.sgx.identity import EnclaveIdentity
+from repro.sgx.platform_services import (
+    COUNTER_MAX_VALUE,
+    MAX_COUNTERS_PER_ENCLAVE,
+    CounterUuid,
+    PlatformServices,
+)
+from repro.sim.rng import DeterministicRng
+
+
+def make_identity(tag: bytes):
+    return EnclaveIdentity(mrenclave=tag.ljust(32, b"\x00"), mrsigner=bytes(32))
+
+
+@pytest.fixture
+def fast_pse(rng):
+    # No meter: pure semantics tests don't need timing.
+    return PlatformServices("m", rng.child("pse"))
+
+
+@pytest.fixture
+def owner():
+    return make_identity(b"owner")
+
+
+class TestLifecycle:
+    def test_create_returns_zero(self, fast_pse, owner):
+        uuid, value = fast_pse.create_counter(owner)
+        assert value == 0
+        assert fast_pse.read_counter(owner, uuid) == 0
+
+    def test_increment_monotonic(self, fast_pse, owner):
+        uuid, _ = fast_pse.create_counter(owner)
+        values = [fast_pse.increment_counter(owner, uuid) for _ in range(5)]
+        assert values == [1, 2, 3, 4, 5]
+
+    def test_destroy_returns_success(self, fast_pse, owner):
+        uuid, _ = fast_pse.create_counter(owner)
+        assert fast_pse.destroy_counter(owner, uuid) is SgxStatus.SGX_SUCCESS
+
+    def test_destroyed_counter_inaccessible(self, fast_pse, owner):
+        uuid, _ = fast_pse.create_counter(owner)
+        fast_pse.destroy_counter(owner, uuid)
+        for op in (fast_pse.read_counter, fast_pse.increment_counter):
+            with pytest.raises(CounterNotFoundError):
+                op(owner, uuid)
+        with pytest.raises(CounterNotFoundError):
+            fast_pse.destroy_counter(owner, uuid)
+
+    def test_counter_ids_never_reused(self, fast_pse, owner):
+        """Destroy-forever: no new counter may reuse a destroyed id."""
+        uuid, _ = fast_pse.create_counter(owner)
+        fast_pse.destroy_counter(owner, uuid)
+        for _ in range(10):
+            new_uuid, _ = fast_pse.create_counter(owner)
+            assert new_uuid.counter_id != uuid.counter_id
+        assert fast_pse.was_destroyed(uuid.counter_id)
+
+    def test_exhausted_counter(self, fast_pse, owner):
+        uuid, _ = fast_pse.create_counter(owner)
+        fast_pse._counters[uuid.counter_id].value = COUNTER_MAX_VALUE
+        with pytest.raises(SgxError) as excinfo:
+            fast_pse.increment_counter(owner, uuid)
+        assert excinfo.value.status is SgxStatus.SGX_ERROR_MC_USED_UP
+
+
+class TestAccessControl:
+    def test_nonce_mismatch_rejected(self, fast_pse, owner):
+        uuid, _ = fast_pse.create_counter(owner)
+        forged = CounterUuid(counter_id=uuid.counter_id, nonce=bytes(12))
+        with pytest.raises(CounterAccessError):
+            fast_pse.read_counter(owner, forged)
+
+    def test_other_enclave_rejected(self, fast_pse, owner):
+        uuid, _ = fast_pse.create_counter(owner)
+        with pytest.raises(CounterAccessError):
+            fast_pse.read_counter(make_identity(b"intruder"), uuid)
+
+    def test_counters_are_machine_local(self, rng, owner):
+        pse_a = PlatformServices("a", rng.child("a"))
+        pse_b = PlatformServices("b", rng.child("b"))
+        uuid, _ = pse_a.create_counter(owner)
+        with pytest.raises((CounterNotFoundError, CounterAccessError)):
+            pse_b.read_counter(owner, uuid)
+
+
+class TestQuota:
+    def test_quota_enforced(self, fast_pse, owner):
+        for _ in range(MAX_COUNTERS_PER_ENCLAVE):
+            fast_pse.create_counter(owner)
+        with pytest.raises(CounterQuotaError):
+            fast_pse.create_counter(owner)
+
+    def test_quota_is_per_enclave(self, fast_pse, owner):
+        for _ in range(MAX_COUNTERS_PER_ENCLAVE):
+            fast_pse.create_counter(owner)
+        # a different enclave still has its full quota
+        fast_pse.create_counter(make_identity(b"other"))
+
+    def test_destroy_frees_quota(self, fast_pse, owner):
+        uuids = [fast_pse.create_counter(owner)[0] for _ in range(MAX_COUNTERS_PER_ENCLAVE)]
+        fast_pse.destroy_counter(owner, uuids[0])
+        fast_pse.create_counter(owner)  # fits again
+
+
+class TestAvailability:
+    def test_unavailable_service(self, fast_pse, owner):
+        fast_pse.available = False
+        with pytest.raises(ServiceUnavailableError):
+            fast_pse.create_counter(owner)
+
+    def test_recovers(self, fast_pse, owner):
+        fast_pse.available = False
+        fast_pse.available = True
+        fast_pse.create_counter(owner)
+
+
+class TestUuid:
+    def test_roundtrip(self, rng):
+        uuid = CounterUuid(counter_id=b"\x00\x00\x00\x07", nonce=rng.random_bytes(12))
+        assert CounterUuid.from_bytes(uuid.to_bytes()) == uuid
+
+    def test_field_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CounterUuid(counter_id=b"\x01", nonce=bytes(12))
+        with pytest.raises(InvalidParameterError):
+            CounterUuid(counter_id=bytes(4), nonce=b"short")
+        with pytest.raises(InvalidParameterError):
+            CounterUuid.from_bytes(b"wrong-size")
+
+
+class TestTiming:
+    def test_counter_ops_charge_pse_costs(self, rng, clock, meter):
+        pse = PlatformServices("m", rng.child("pse"), meter)
+        owner = make_identity(b"o")
+        start = clock.now
+        uuid, _ = pse.create_counter(owner)
+        create_cost = clock.now - start
+        assert create_cost == pytest.approx(meter.model.pse_create_counter, rel=0.2)
+        start = clock.now
+        pse.increment_counter(owner, uuid)
+        assert clock.now - start == pytest.approx(
+            meter.model.pse_increment_counter, rel=0.2
+        )

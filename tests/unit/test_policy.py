@@ -1,0 +1,103 @@
+"""Migration policies (R2 + Section X future work)."""
+
+import pytest
+
+from repro.core.policy import (
+    AllowedDestinationsPolicy,
+    MigrationContext,
+    MinimumCapabilityPolicy,
+    PolicySet,
+    RegionPolicy,
+    SameProviderPolicy,
+)
+from repro.errors import PolicyViolationError
+from repro.sgx.identity import EnclaveIdentity
+
+
+def make_context(destination="machine-b", credential=None):
+    return MigrationContext(
+        source_machine="machine-a",
+        destination_machine=destination,
+        enclave_identity=EnclaveIdentity(mrenclave=bytes(32), mrsigner=bytes(32)),
+        destination_credential=credential,
+    )
+
+
+def make_credential(datacenter, machine="machine-b"):
+    from repro.crypto import schnorr
+    from repro.sim.rng import DeterministicRng
+
+    key = schnorr.generate_keypair(DeterministicRng(1, "p"))
+    return datacenter.issue_credential(machine, bytes(32), key.public)
+
+
+class TestSameProviderPolicy:
+    def test_accepts_same_provider(self, datacenter):
+        credential = make_credential(datacenter)
+        SameProviderPolicy(datacenter.name).check(make_context(credential=credential))
+
+    def test_rejects_missing_credential(self, datacenter):
+        with pytest.raises(PolicyViolationError):
+            SameProviderPolicy(datacenter.name).check(make_context(credential=None))
+
+    def test_rejects_other_provider(self, datacenter):
+        credential = make_credential(datacenter)
+        with pytest.raises(PolicyViolationError):
+            SameProviderPolicy("other-cloud").check(make_context(credential=credential))
+
+
+class TestAllowedDestinationsPolicy:
+    def test_allows_listed(self):
+        policy = AllowedDestinationsPolicy(frozenset({"machine-b", "machine-c"}))
+        policy.check(make_context("machine-b"))
+
+    def test_rejects_unlisted(self):
+        policy = AllowedDestinationsPolicy(frozenset({"machine-c"}))
+        with pytest.raises(PolicyViolationError):
+            policy.check(make_context("machine-b"))
+
+
+class TestRegionPolicy:
+    REGIONS = {"machine-a": "eu", "machine-b": "eu", "machine-us": "us"}
+
+    def test_allows_in_region(self):
+        policy = RegionPolicy(self.REGIONS, frozenset({"eu"}))
+        policy.check(make_context("machine-b"))
+
+    def test_rejects_out_of_region(self):
+        policy = RegionPolicy(self.REGIONS, frozenset({"eu"}))
+        with pytest.raises(PolicyViolationError):
+            policy.check(make_context("machine-us"))
+
+    def test_rejects_unknown_machine(self):
+        policy = RegionPolicy(self.REGIONS, frozenset({"eu"}))
+        with pytest.raises(PolicyViolationError):
+            policy.check(make_context("machine-unknown"))
+
+
+class TestMinimumCapabilityPolicy:
+    def test_allows_capable(self):
+        policy = MinimumCapabilityPolicy({"machine-b": 64}, minimum=32)
+        policy.check(make_context("machine-b"))
+
+    def test_rejects_weak(self):
+        policy = MinimumCapabilityPolicy({"machine-b": 16}, minimum=32)
+        with pytest.raises(PolicyViolationError):
+            policy.check(make_context("machine-b"))
+
+    def test_rejects_unknown(self):
+        policy = MinimumCapabilityPolicy({}, minimum=1)
+        with pytest.raises(PolicyViolationError):
+            policy.check(make_context("machine-b"))
+
+
+class TestPolicySet:
+    def test_all_policies_checked(self):
+        policies = PolicySet()
+        policies.add(AllowedDestinationsPolicy(frozenset({"machine-b"})))
+        policies.add(MinimumCapabilityPolicy({"machine-b": 5}, minimum=10))
+        with pytest.raises(PolicyViolationError):
+            policies.check(make_context("machine-b"))
+
+    def test_empty_set_allows(self):
+        PolicySet().check(make_context())

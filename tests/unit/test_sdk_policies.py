@@ -1,0 +1,84 @@
+"""TrustedRuntime sealing policies and report/quote structure robustness."""
+
+import pytest
+
+from repro import wire
+from repro.errors import MacMismatchError, ReproError
+from repro.sgx.enclave import EnclaveBase, build_identity, ecall
+from repro.sgx.identity import KeyPolicy, SigningKey
+from repro.sgx.report import Report
+from repro.sgx.sdk import TrustedRuntime
+
+
+class SealerEnclave(EnclaveBase):
+    @ecall
+    def seal_with(self, data: bytes, policy_name: str) -> bytes:
+        return self.sdk.seal_data(data, b"", KeyPolicy[policy_name])
+
+    @ecall
+    def unseal(self, blob: bytes):
+        return self.sdk.unseal_data(blob)
+
+
+class SiblingEnclave(EnclaveBase):
+    @ecall
+    def unseal(self, blob: bytes):
+        return self.sdk.unseal_data(blob)
+
+
+def make_runtime(cpu, pse, rng, enclave_class, signing_key, label):
+    identity = build_identity(enclave_class, signing_key)
+    return TrustedRuntime(cpu, identity, pse, None, rng.child(label)), identity
+
+
+class TestRuntimeSealingPolicies:
+    def test_mrsigner_policy_shares_with_sibling(self, cpu, pse, rng, signing_key):
+        rt_a, _ = make_runtime(cpu, pse, rng, SealerEnclave, signing_key, "a")
+        rt_b, _ = make_runtime(cpu, pse, rng, SiblingEnclave, signing_key, "b")
+        sealer = SealerEnclave(rt_a)
+        sibling = SiblingEnclave(rt_b)
+        blob = sealer.seal_with(b"shared", "MRSIGNER")
+        assert sibling.unseal(blob)[0] == b"shared"
+
+    def test_mrenclave_policy_excludes_sibling(self, cpu, pse, rng, signing_key):
+        rt_a, _ = make_runtime(cpu, pse, rng, SealerEnclave, signing_key, "a")
+        rt_b, _ = make_runtime(cpu, pse, rng, SiblingEnclave, signing_key, "b")
+        sealer = SealerEnclave(rt_a)
+        sibling = SiblingEnclave(rt_b)
+        blob = sealer.seal_with(b"private", "MRENCLAVE")
+        with pytest.raises(MacMismatchError):
+            sibling.unseal(blob)
+
+    def test_different_signer_cannot_unseal_mrsigner_blob(self, cpu, pse, rng, signing_key):
+        other_key = SigningKey.generate(rng.child("other-signer"))
+        rt_a, _ = make_runtime(cpu, pse, rng, SealerEnclave, signing_key, "a")
+        rt_b, _ = make_runtime(cpu, pse, rng, SealerEnclave, other_key, "b")
+        blob = SealerEnclave(rt_a).seal_with(b"secret", "MRSIGNER")
+        with pytest.raises(MacMismatchError):
+            SealerEnclave(rt_b).unseal(blob)
+
+
+class TestReportParsing:
+    def test_report_roundtrip_preserves_identity(self, cpu, pse, rng, signing_key):
+        from repro.sgx.report import TargetInfo, pad_report_data
+
+        rt, identity = make_runtime(cpu, pse, rng, SealerEnclave, signing_key, "r")
+        report = rt.create_report(TargetInfo(identity.mrenclave), b"data")
+        restored = Report.from_bytes(report.to_bytes())
+        assert restored.identity == report.identity
+        assert restored.report_data == pad_report_data(b"data")
+
+    @pytest.mark.parametrize("drop_key", ["mrenclave", "mac", "report_data"])
+    def test_missing_fields_rejected(self, cpu, pse, rng, signing_key, drop_key):
+        from repro.sgx.report import TargetInfo
+
+        rt, identity = make_runtime(cpu, pse, rng, SealerEnclave, signing_key, "r")
+        report = rt.create_report(TargetInfo(identity.mrenclave), b"data")
+        fields = wire.decode(report.to_bytes())
+        del fields[drop_key]
+        with pytest.raises((KeyError, ReproError)):
+            Report.from_bytes(wire.encode(fields))
+
+    def test_garbage_bytes_rejected(self):
+        with pytest.raises(ReproError):
+            Report.from_bytes(b"not a report")

@@ -1,0 +1,75 @@
+"""The TLV wire format: round-trips, determinism, malformed inputs."""
+
+import pytest
+
+from repro import wire
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {},
+            {"a": b"bytes"},
+            {"n": 42},
+            {"n": -42},
+            {"n": 0},
+            {"big": 2**63 - 1},
+            {"s": "unicode ✓"},
+            {"flag": True},
+            {"flag": False},
+            {"list": [1, 2, 3]},
+            {"nested": [[b"x"], ["y", True], []]},
+            {"mixed": [b"b", 1, "s", False, [2]]},
+            {"a": b"", "b": "", "c": 0, "d": []},
+        ],
+    )
+    def test_roundtrip(self, message):
+        assert wire.decode(wire.encode(message)) == message
+
+    def test_bool_not_confused_with_int(self):
+        decoded = wire.decode(wire.encode({"t": True, "one": 1}))
+        assert decoded["t"] is True
+        assert decoded["one"] == 1 and decoded["one"] is not True
+
+    def test_deterministic_key_order(self):
+        assert wire.encode({"a": 1, "b": 2}) == wire.encode({"b": 2, "a": 1})
+
+    def test_large_bytes(self):
+        blob = bytes(range(256)) * 400
+        assert wire.decode(wire.encode({"blob": blob}))["blob"] == blob
+
+
+class TestMalformed:
+    def test_bad_magic(self):
+        with pytest.raises(wire.WireError):
+            wire.decode(b"XXXX\x00\x00")
+
+    def test_empty(self):
+        with pytest.raises(wire.WireError):
+            wire.decode(b"")
+
+    def test_truncated(self):
+        encoded = wire.encode({"key": b"value"})
+        with pytest.raises(wire.WireError):
+            wire.decode(encoded[:-3])
+
+    def test_trailing_bytes(self):
+        encoded = wire.encode({"key": b"value"})
+        with pytest.raises(wire.WireError):
+            wire.decode(encoded + b"extra")
+
+    def test_unknown_tag(self):
+        encoded = bytearray(wire.encode({"k": True}))
+        # flip the type tag byte of the value
+        encoded[-2] = 99
+        with pytest.raises(wire.WireError):
+            wire.decode(bytes(encoded))
+
+    def test_unsupported_type(self):
+        with pytest.raises(wire.WireError):
+            wire.encode({"f": 1.5})
+
+    def test_unsupported_nested_type(self):
+        with pytest.raises(wire.WireError):
+            wire.encode({"l": [1, {"nested": "dict"}]})
