@@ -1,0 +1,22 @@
+# Developer / CI entry points.  `make ci` is what a PR must pass: tier-1
+# tests plus the SEC001-SEC006 static-analysis gate (fails on any finding
+# not recorded in .analysis-baseline.json).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test analyze analyze-json baseline ci
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+analyze:
+	$(PYTHON) -m repro.analysis --format text src/repro examples benchmarks
+
+analyze-json:
+	$(PYTHON) -m repro.analysis --format json src/repro examples benchmarks
+
+baseline:
+	$(PYTHON) -m repro.analysis --update-baseline src/repro examples benchmarks
+
+ci: test analyze

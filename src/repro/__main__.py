@@ -6,6 +6,7 @@ Subcommands:
 * ``attacks``   — print the Section III attack matrix
 * ``figures``   — alias for ``python -m repro.bench.figures all``
 * ``tables``    — print Tables I and II + the TCB report (fast)
+* ``analyze``   — alias for ``python -m repro.analysis`` (SEC001-SEC006)
 """
 
 from __future__ import annotations
@@ -30,6 +31,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.figures import main as figures_main
 
         return figures_main(["all"] + argv[1:])
+    if command == "analyze":
+        from repro.analysis.cli import main as analyze_main
+
+        return analyze_main(argv[1:])
     if command == "tables":
         from repro.bench.figures import table1, table2, tcb
 

@@ -1,0 +1,78 @@
+"""Baseline file: accepted pre-existing findings, checked into the repo.
+
+The baseline lets the analyzer gate CI on **new** findings while a
+legacy finding is being worked off.  Entries are keyed on
+``(rule, path, stripped source-line text)`` with a count, not on line
+numbers, so unrelated edits that shift code do not invalidate the file.
+``--update-baseline`` rewrites it from the current tree; an empty baseline
+(the goal state, and this repo's state) means every finding fails the run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+DEFAULT_BASELINE_NAME = ".analysis-baseline.json"
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Multiset of accepted findings."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    # ------------------------------------------------------------------ I/O
+    @classmethod
+    def load(cls, path: str | Path | None) -> "Baseline":
+        """Load a baseline; a missing file is an empty baseline."""
+        if path is None:
+            return cls()
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        entries: Counter = Counter()
+        for item in data.get("entries", []):
+            key = (item["rule"], item["path"], item["text"])
+            entries[key] += int(item.get("count", 1))
+        return cls(entries=entries)
+
+    def write(self, path: str | Path) -> None:
+        items = [
+            {"rule": rule, "path": file_path, "text": text, "count": count}
+            for (rule, file_path, text), count in sorted(self.entries.items())
+        ]
+        payload = {"version": _VERSION, "entries": items}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # ------------------------------------------------------------- matching
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries: Counter = Counter()
+        for finding in findings:
+            entries[finding.baseline_key] += 1
+        return cls(entries=entries)
+
+    def filter(self, findings: list[Finding]) -> tuple[list[Finding], int]:
+        """Split findings into (new, suppressed-count) against this baseline."""
+        remaining = Counter(self.entries)
+        new: list[Finding] = []
+        suppressed = 0
+        for finding in sorted(findings):
+            key = finding.baseline_key
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                suppressed += 1
+            else:
+                new.append(finding)
+        return new, suppressed

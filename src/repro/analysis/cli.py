@@ -1,0 +1,121 @@
+"""Command-line interface: ``python -m repro.analysis`` / ``repro-analyze``.
+
+Exit codes: 0 — clean (modulo baseline and pragmas); 1 — findings; 2 —
+usage or I/O error.  ``--format json`` emits a machine-readable report for
+CI; ``--update-baseline`` rewrites the baseline from the current tree and
+exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.rules import ALL_RULE_CLASSES
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description=(
+            "AST-based enclave-boundary and secret-flow analyzer for the "
+            "SGX-migration reproduction (rules SEC001-SEC006)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_NAME,
+        help=f"baseline file path (default: {DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _print_catalog(stream) -> None:
+    for cls in ALL_RULE_CLASSES:
+        entry = cls.catalog_entry()
+        print(
+            f"{entry['rule']}  [{entry['requirement']}]  "
+            f"{entry['severity']}: {entry['title']}",
+            file=stream,
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_catalog(sys.stdout)
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    engine = AnalysisEngine()
+    findings = engine.analyze_paths(args.paths)
+
+    if args.update_baseline:
+        Baseline.from_findings(findings).write(args.baseline)
+        print(
+            f"baseline updated: {len(findings)} finding(s) recorded in {args.baseline}"
+        )
+        return 0
+
+    baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    new, suppressed = baseline.filter(findings)
+
+    if args.format == "json":
+        report = {
+            "findings": [finding.to_dict() for finding in new],
+            "total": len(new),
+            "baselined": suppressed,
+            "rules": sorted({finding.rule for finding in new}),
+        }
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in new:
+            print(finding.format_text())
+        summary = f"{len(new)} finding(s)"
+        if suppressed:
+            summary += f", {suppressed} baselined"
+        print(summary if new or suppressed else "clean: 0 findings")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,250 @@
+"""Rule engine: file walking, AST parsing, pragma suppression, rule dispatch.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only).  Each rule
+receives a :class:`SourceModule` — the parsed tree plus a *trust-zone*
+classification derived from the file's path — and yields findings.  Code
+under ``cloud/``, ``attacks/``, ``examples/`` and ``benchmarks/`` is
+**untrusted** (it models the adversary-controlled host side of the paper's
+system model, Section III); everything else is trusted enclave/infrastructure
+code.  Several rules only make sense on one side of that boundary.
+
+Suppression is explicit and reviewable: a ``# repro: ignore[SEC002]``
+pragma on the offending line (or on a pure-comment line directly above it)
+silences the named rules at that location; the surrounding comment is the
+place to justify *why* the flow is safe.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding, Severity
+
+#: Path components whose files model the untrusted side of the system.
+UNTRUSTED_PARTS = frozenset({"cloud", "attacks", "examples", "benchmarks"})
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_*\s,]+)\]")
+
+
+def zone_for(display_path: str) -> str:
+    """Classify a file as ``trusted`` or ``untrusted`` by its path."""
+    parts = Path(display_path).parts
+    return "untrusted" if UNTRUSTED_PARTS.intersection(parts) else "trusted"
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file handed to every rule."""
+
+    display_path: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    zone: str
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.display_path,
+            line=line,
+            col=col + 1,
+            rule=rule.rule_id,
+            severity=rule.severity,
+            message=message,
+            hint=rule.fix_hint if hint is None else hint,
+            text=self.line_text(line),
+        )
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``requirement`` names the paper requirement (R1–R4, Section IV) the rule
+    machine-checks, so the catalog stays traceable to the security argument.
+    """
+
+    rule_id: str = "SEC000"
+    severity: Severity = Severity.ERROR
+    title: str = ""
+    requirement: str = ""
+    fix_hint: str = ""
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    @classmethod
+    def catalog_entry(cls) -> dict:
+        return {
+            "rule": cls.rule_id,
+            "severity": cls.severity.value,
+            "title": cls.title,
+            "requirement": cls.requirement,
+        }
+
+
+# --------------------------------------------------------------- AST helpers
+def terminal_name(node: ast.AST) -> str:
+    """The rightmost identifier of an expression, or ``""``.
+
+    ``state.msk`` → ``msk``; ``wire.encode`` → ``encode``; for a call the
+    callee's terminal name; for a constant-string subscript the key itself
+    (``fields["tag"]`` → ``tag``).
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func)
+    if isinstance(node, ast.Subscript):
+        if isinstance(node.slice, ast.Constant) and isinstance(node.slice.value, str):
+            return node.slice.value
+        return terminal_name(node.value)
+    return ""
+
+
+def is_constant_expr(node: ast.AST) -> bool:
+    """True when an expression is fully determined at compile time.
+
+    Covers the ways a constant IV is typically spelled: literals,
+    ``b"\\x00" * 12``, concatenations of literals, and tuples of constants.
+    """
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.BinOp):
+        return is_constant_expr(node.left) and is_constant_expr(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return is_constant_expr(node.operand)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return all(is_constant_expr(item) for item in node.elts)
+    if isinstance(node, ast.Call) and terminal_name(node) == "bytes":
+        return all(is_constant_expr(arg) for arg in node.args)
+    return False
+
+
+def functions_of(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def calls_in(scope: ast.AST) -> Iterator[ast.Call]:
+    """All calls in a scope, in source order (line, then column)."""
+    calls = [node for node in ast.walk(scope) if isinstance(node, ast.Call)]
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    yield from calls
+
+
+# ------------------------------------------------------------------- pragmas
+def pragma_lines(lines: list[str]) -> dict[int, set[str]]:
+    """Map line number → set of rule ids suppressed on that line.
+
+    A pragma on a pure-comment line also covers the next line, so wide
+    statements can keep the justification above the code.
+    """
+    suppressed: dict[int, set[str]] = {}
+    for idx, raw in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(raw)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        suppressed.setdefault(idx, set()).update(rules)
+        if raw.lstrip().startswith("#"):
+            suppressed.setdefault(idx + 1, set()).update(rules)
+    return suppressed
+
+
+def _is_suppressed(finding: Finding, pragmas: dict[int, set[str]]) -> bool:
+    rules = pragmas.get(finding.line, ())
+    return finding.rule in rules or "*" in rules
+
+
+# -------------------------------------------------------------------- engine
+class AnalysisEngine:
+    """Walks files, runs every rule, filters pragma-suppressed findings."""
+
+    def __init__(self, rules: Iterable[Rule] | None = None):
+        if rules is None:
+            from repro.analysis.rules import default_rules
+
+            rules = default_rules()
+        self.rules: list[Rule] = list(rules)
+
+    # ------------------------------------------------------------- file walk
+    def collect_files(self, paths: Iterable[str | Path]) -> list[Path]:
+        files: list[Path] = []
+        for entry in paths:
+            path = Path(entry)
+            if path.is_dir():
+                files.extend(
+                    p
+                    for p in sorted(path.rglob("*.py"))
+                    if not any(part.startswith(".") for part in p.parts)
+                )
+            elif path.suffix == ".py":
+                files.append(path)
+        return files
+
+    def analyze_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        findings: list[Finding] = []
+        for path in self.collect_files(paths):
+            findings.extend(self.analyze_file(path))
+        return sorted(findings)
+
+    def analyze_file(self, path: Path) -> list[Finding]:
+        try:
+            display = str(path.resolve().relative_to(Path.cwd()))
+        except ValueError:
+            display = str(path)
+        return self.analyze_source(path.read_text(encoding="utf-8"), display)
+
+    # ---------------------------------------------------------- single file
+    def analyze_source(self, source: str, display_path: str) -> list[Finding]:
+        """Analyze one source text (the unit-test entry point)."""
+        lines = source.splitlines()
+        try:
+            tree = ast.parse(source, filename=display_path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=display_path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule="PARSE",
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                    text=lines[exc.lineno - 1].strip() if exc.lineno and exc.lineno <= len(lines) else "",
+                )
+            ]
+        module = SourceModule(
+            display_path=display_path,
+            source=source,
+            lines=lines,
+            tree=tree,
+            zone=zone_for(display_path),
+        )
+        pragmas = pragma_lines(lines)
+        findings = {
+            finding
+            for rule in self.rules
+            for finding in rule.check(module)
+            if not _is_suppressed(finding, pragmas)
+        }
+        return sorted(findings)

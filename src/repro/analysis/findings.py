@@ -1,0 +1,57 @@
+"""Findings model for the static-analysis subsystem.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+carry everything a reviewer needs to act (rule id, severity, location,
+message, fix hint) plus the stripped source-line text, which is what the
+baseline matches on — line *text* survives unrelated edits that shift line
+numbers, so a baseline does not rot every time a file grows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How seriously a finding blocks a merge."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+    hint: str = field(default="", compare=False)
+    text: str = field(default="", compare=False)  # stripped source line
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Line-number-independent identity used by the baseline file."""
+        return (self.rule, self.path, self.text)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "text": self.text,
+        }
+
+    def format_text(self) -> str:
+        out = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.severity.value}: {self.message}"
+        if self.hint:
+            out += f"\n    hint: {self.hint}"
+        return out

@@ -1,0 +1,41 @@
+"""The rule catalog.
+
+Each rule lives in its own module; :func:`default_rules` instantiates the
+catalog in rule-id order.  Adding a rule = adding a module here and listing
+it below — the engine, CLI, baseline, and tests pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.sec001_secret_flow import SecretFlowRule
+from repro.analysis.rules.sec002_boundary import EnclaveBoundaryRule
+from repro.analysis.rules.sec003_nonce import NonceHygieneRule
+from repro.analysis.rules.sec004_consttime import ConstantTimeRule
+from repro.analysis.rules.sec005_counter import CounterDisciplineRule
+from repro.analysis.rules.sec006_protocol import ProtocolStateRule
+
+ALL_RULE_CLASSES = (
+    SecretFlowRule,
+    EnclaveBoundaryRule,
+    NonceHygieneRule,
+    ConstantTimeRule,
+    CounterDisciplineRule,
+    ProtocolStateRule,
+)
+
+
+def default_rules():
+    """Fresh instances of every registered rule, in rule-id order."""
+    return [cls() for cls in ALL_RULE_CLASSES]
+
+
+__all__ = [
+    "ALL_RULE_CLASSES",
+    "default_rules",
+    "SecretFlowRule",
+    "EnclaveBoundaryRule",
+    "NonceHygieneRule",
+    "ConstantTimeRule",
+    "CounterDisciplineRule",
+    "ProtocolStateRule",
+]

@@ -1,0 +1,132 @@
+"""SEC001 — key material must not flow to logging or untrusted sinks.
+
+Requirement R1 (Section IV): migrated and persisted state — above all the
+Migration Sealing Key — must never be disclosed.  The type system cannot see
+an MSK ride out of the enclave inside a ``print`` or an OCALL argument, so
+this rule flags any expression mentioning a secret-named identifier that
+reaches one of the sinks:
+
+* ``print(...)`` / ``repr(...)``,
+* a ``logging``-style call (``log.info``, ``logger.error``, …),
+* an OCALL argument position (``sdk.ocall("name", <here>)``) — everything in
+  an OCALL crosses the enclave boundary into the untrusted host.
+
+Secret names are ``msk``, anything containing ``secret`` or ``fuse``,
+``private``-suffixed names, and ``*_key`` names that are not explicitly
+public (``public_key`` and friends are fine to show).  A secret wrapped in a
+sealing/encryption call (``seal_data(msk)``, ``encrypt(..., key=...)``) is
+protected and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import Rule, SourceModule, terminal_name
+from repro.analysis.findings import Finding
+
+_SECRET_RE = re.compile(
+    r"""
+    (^|_)msk($|_)          # the Migration Sealing Key itself
+    | secret               # member_secret, fuse secrets, ...
+    | fuse                 # CPU fuse material
+    | (^|_)private($|_)    # schnorr/DH private halves
+    | (^|_)priv($|_)
+    """,
+    re.VERBOSE | re.IGNORECASE,
+)
+
+# ``*_key`` is secret unless the name marks it public.
+_KEY_RE = re.compile(r"(^|_)key$", re.IGNORECASE)
+_PUBLIC_RE = re.compile(r"public|pub($|_)|verify", re.IGNORECASE)
+
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "critical", "exception", "log"}
+)
+_PLAIN_SINKS = frozenset({"print", "repr"})
+
+#: Callees that transform a secret into something safe to release.
+_PROTECTIVE_RE = re.compile(
+    r"seal|encrypt|mac|hash|digest|derive|hkdf|kdf|pseudonym|len", re.IGNORECASE
+)
+
+
+def is_secret_name(name: str) -> bool:
+    if not name:
+        return False
+    if _PUBLIC_RE.search(name):
+        return False
+    return bool(_SECRET_RE.search(name) or _KEY_RE.search(name))
+
+
+def _secret_mentions(node: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """Yield (node, name) for secret identifiers reachable in ``node``.
+
+    Descends through the expression but stops at protective calls — a sealed
+    or hashed secret no longer leaks — and never inspects a call's *callee*
+    (``kdc.request_key(...)`` names an operation, not a value).
+    """
+    if isinstance(node, ast.Call):
+        if _PROTECTIVE_RE.search(terminal_name(node.func) or ""):
+            return
+        for arg in node.args:
+            yield from _secret_mentions(arg)
+        for kw in node.keywords:
+            yield from _secret_mentions(kw.value)
+        return
+    if isinstance(node, ast.Name):
+        if is_secret_name(node.id):
+            yield node, node.id
+        return
+    if isinstance(node, ast.Attribute):
+        if is_secret_name(node.attr):
+            yield node, node.attr
+        yield from _secret_mentions(node.value)
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from _secret_mentions(child)
+
+
+def _is_log_call(func: ast.AST) -> bool:
+    if isinstance(func, ast.Attribute) and func.attr in _LOG_METHODS:
+        base = terminal_name(func.value).lower()
+        return base in {"logging", "logger", "log"} or base.endswith("logger")
+    return False
+
+
+class SecretFlowRule(Rule):
+    rule_id = "SEC001"
+    title = "Key material must not reach logging, repr, or OCALL arguments"
+    requirement = "R1"
+    fix_hint = (
+        "seal or encrypt the value before it leaves the enclave "
+        "(seal_data / seal_migratable_data / channel.send), or drop it from "
+        "the log statement"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            sink_args: list[ast.AST] = []
+            kind = ""
+            if isinstance(func, ast.Name) and func.id in _PLAIN_SINKS:
+                kind, sink_args = func.id, list(node.args) + [k.value for k in node.keywords]
+            elif _is_log_call(func):
+                kind, sink_args = "logging", list(node.args) + [k.value for k in node.keywords]
+            elif isinstance(func, ast.Attribute) and func.attr == "ocall":
+                # args[0] is the OCALL name; the payload positions follow.
+                kind, sink_args = "OCALL", list(node.args[1:]) + [k.value for k in node.keywords]
+            if not kind:
+                continue
+            for arg in sink_args:
+                for _, name in _secret_mentions(arg):
+                    yield module.finding(
+                        self,
+                        node,
+                        f"secret {name!r} reaches {kind} unencrypted "
+                        f"(key material must never leave the enclave unsealed)",
+                    )

@@ -1,0 +1,47 @@
+"""SEC002 — untrusted code may not reach into enclave memory.
+
+The SGX programming model (Section II-A) is the repo's load-bearing fiction:
+host code enters an enclave *only* through declared ECALLs
+(``Enclave.ecall("name", ...)``) and the enclave's Python instance state —
+``Enclave.trusted`` — stands in for EPC-protected memory.  A single
+``enclave.trusted.balance = 0`` in a cloud or example module silently breaks
+every isolation claim the simulation makes.
+
+This rule fires in **untrusted** modules (``cloud/``, ``attacks/``,
+``examples/``, ``benchmarks/`` — the trust-zone map in the engine) on any
+access to a ``.trusted`` attribute, read or write.  The two legitimate
+exceptions in the tree — the EINIT-analogue loader that *creates* the
+trusted instance, and a test observer documented as such — carry
+``# repro: ignore[SEC002]`` pragmas with their justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Rule, SourceModule
+from repro.analysis.findings import Finding
+
+
+class EnclaveBoundaryRule(Rule):
+    rule_id = "SEC002"
+    title = "Untrusted modules must use Enclave.ecall, never .trusted state"
+    requirement = "R1"
+    fix_hint = (
+        "route the access through a declared ECALL (enclave.ecall(name, ...)); "
+        "if this site is enclave-loading infrastructure, suppress with a "
+        "justified '# repro: ignore[SEC002]' pragma"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.zone != "untrusted":
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "trusted":
+                yield module.finding(
+                    self,
+                    node,
+                    "untrusted code touches enclave-protected memory via "
+                    "'.trusted' instead of entering through an ECALL",
+                )

@@ -1,0 +1,136 @@
+"""SEC003 — GCM/CTR encryption must never see a constant or reused IV.
+
+Every confidentiality mechanism in the reproduction — native sealing, MSK
+sealing (Listing 2), the attested secure channel — is AES-GCM, and GCM's
+security collapses completely under nonce reuse (two ciphertexts under one
+(key, IV) leak the XOR of plaintexts *and* the GHASH authentication key).
+The legitimate IV constructions in the tree are ``rng.random_bytes(12)`` and
+the channel's sequence-derived ``b"\\x00"*4 + seq.to_bytes(8, "big")``;
+both are non-constant expressions.
+
+Flagged, for calls to ``encrypt``/``seal`` (first positional argument or
+``iv=``/``nonce=`` keyword):
+
+* an IV expression that is fully constant (``b"\\x00" * 12``),
+* an IV variable whose most recent assignment in the function is constant,
+* the same IV variable used by two encrypt calls in one function without a
+  reassignment in between (reuse under the same key).
+
+Decryption calls are exempt: verifying with a fixed IV is the protocol
+replaying what the encryptor chose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import (
+    Rule,
+    SourceModule,
+    calls_in,
+    functions_of,
+    is_constant_expr,
+    terminal_name,
+)
+from repro.analysis.findings import Finding
+
+_ENCRYPT_NAMES = frozenset({"encrypt", "seal"})
+
+
+def _iv_argument(call: ast.Call) -> ast.AST | None:
+    for kw in call.keywords:
+        if kw.arg in {"iv", "nonce"}:
+            return kw.value
+    if call.args:
+        return call.args[0]
+    return None
+
+
+def _assignments_of(scope: ast.AST) -> dict[str, list[tuple[int, ast.AST]]]:
+    """name → [(line, value expression)] for simple assignments in a scope."""
+    table: dict[str, list[tuple[int, ast.AST]]] = {}
+    for node in ast.walk(scope):
+        targets: list[ast.AST] = []
+        value: ast.AST | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.AugAssign):
+            targets, value = [node.target], node
+        if value is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                table.setdefault(target.id, []).append((node.lineno, value))
+    return table
+
+
+class NonceHygieneRule(Rule):
+    rule_id = "SEC003"
+    title = "No constant or reused IVs in GCM/CTR encryption"
+    requirement = "R1"
+    fix_hint = (
+        "derive the IV from fresh randomness (sdk.random_bytes(12)) or a "
+        "strictly increasing sequence number bound to this key"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        scopes: list[ast.AST] = [module.tree, *functions_of(module.tree)]
+        seen_bodies: set[int] = set()
+        for scope in scopes:
+            if id(scope) in seen_bodies:
+                continue
+            seen_bodies.add(id(scope))
+            assignments = _assignments_of(scope)
+            # last encrypt call line per IV variable name, for reuse detection
+            last_use: dict[str, int] = {}
+            for call in calls_in(scope):
+                if isinstance(scope, ast.Module) and self._inside_function(module, call):
+                    continue  # handled in the function's own scope pass
+                name = terminal_name(call.func)
+                if name not in _ENCRYPT_NAMES:
+                    continue
+                iv = _iv_argument(call)
+                if iv is None:
+                    continue
+                if is_constant_expr(iv):
+                    yield module.finding(
+                        self,
+                        call,
+                        f"constant IV passed to {name}() — GCM/CTR security "
+                        "requires a unique IV per encryption under one key",
+                    )
+                    continue
+                if not isinstance(iv, ast.Name):
+                    continue
+                history = assignments.get(iv.id, [])
+                before = [entry for entry in history if entry[0] <= call.lineno]
+                if before and is_constant_expr(before[-1][1]):
+                    yield module.finding(
+                        self,
+                        call,
+                        f"IV variable {iv.id!r} holds a compile-time constant "
+                        f"at this {name}() call",
+                    )
+                    continue
+                previous = last_use.get(iv.id)
+                if previous is not None:
+                    reassigned = any(previous < line <= call.lineno for line, _ in history)
+                    if not reassigned:
+                        yield module.finding(
+                            self,
+                            call,
+                            f"IV variable {iv.id!r} reused by a second "
+                            f"{name}() call without reassignment (nonce reuse)",
+                        )
+                last_use[iv.id] = call.lineno
+        return
+
+    @staticmethod
+    def _inside_function(module: SourceModule, call: ast.Call) -> bool:
+        for func in functions_of(module.tree):
+            if func.lineno <= call.lineno <= (func.end_lineno or func.lineno):
+                return True
+        return False

@@ -1,0 +1,78 @@
+"""SEC004 — MAC/tag/digest comparisons must be constant-time.
+
+A byte-wise ``==`` on authenticator values returns as soon as the first
+byte differs, so the time it takes leaks how much of a forged tag was
+correct — the classic remote-timing oracle against MAC verification.  The
+repo provides :func:`repro.crypto.bytesutil.constant_time_equal` (backed by
+``hmac.compare_digest``) and every GCM/CMAC/report verification must go
+through it.
+
+Flagged: ``==`` / ``!=`` where either operand's terminal name looks like an
+authenticator — ``mac``, ``tag``, ``digest``, ``hmac``, ``cmac``,
+``pseudonym``/``nym`` (EPID revocation hashes), ``challenge`` (Schnorr) —
+including constant-string subscripts (``fields["tag"]``).
+
+Deliberately *not* flagged: comparisons of public identity measurements
+(``mrenclave``/``mrsigner``).  Those are policy checks over values both
+sides already know; timing reveals nothing secret.  Length checks
+(``len(tag) != 16``) and comparisons against integer literals are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import Rule, SourceModule, terminal_name
+from repro.analysis.findings import Finding
+
+_AUTH_RE = re.compile(
+    r"(^|_)(mac|tag|digest|hmac|cmac|nym|pseudonym|challenge)(_|$|s$)",
+    re.IGNORECASE,
+)
+
+
+def _is_exempt(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call) and terminal_name(node.func) == "len":
+        return True
+    if isinstance(node, ast.Constant) and not isinstance(node.value, (bytes, str)):
+        return True  # ints, None, bools — length/sentinel checks
+    return False
+
+
+def _auth_name(node: ast.AST) -> str:
+    name = terminal_name(node)
+    return name if name and _AUTH_RE.search(name) else ""
+
+
+class ConstantTimeRule(Rule):
+    rule_id = "SEC004"
+    title = "Authenticator comparisons must use constant_time_equal"
+    requirement = "R1"
+    fix_hint = (
+        "compare with repro.crypto.bytesutil.constant_time_equal(a, b) "
+        "(hmac.compare_digest) instead of == / !="
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            ops = node.ops
+            for index, op in enumerate(ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_exempt(left) or _is_exempt(right):
+                    continue
+                name = _auth_name(left) or _auth_name(right)
+                if not name:
+                    continue
+                yield module.finding(
+                    self,
+                    node,
+                    f"{name!r} compared with == / != — early-exit comparison "
+                    "of an authenticator leaks a timing oracle",
+                )

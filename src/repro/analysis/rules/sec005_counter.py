@@ -1,0 +1,65 @@
+"""SEC005 — increment the monotonic counter *before* releasing sealed state.
+
+The Section III roll-back attack works because a sealed blob carries a
+version that some counter must refute.  The paper's discipline (and the
+pattern every app in ``repro.apps`` follows) is::
+
+    version = <increment counter>          # 1. advance freshness first
+    payload = <serialize state>
+    return <seal>(payload, version)        # 2. only then release the blob
+
+If the seal happens first, the blob that leaves the enclave is bound to a
+*stale* counter value: a host that crashes the enclave between the two
+steps (or simply keeps the early blob) owns a perfectly valid state the
+counter never advanced past — a replayable rollback.
+
+Flagged: within one function that both increments a counter
+(``increment_migratable_counter`` / ``increment_monotonic_counter``) and
+seals state (``seal_data`` / ``seal_migratable_data``), any seal call that
+precedes the first increment.  Functions that only seal (no counter
+discipline in scope) are not this rule's business.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import Rule, SourceModule, calls_in, functions_of, terminal_name
+from repro.analysis.findings import Finding
+
+_INCREMENTS = frozenset({"increment_migratable_counter", "increment_monotonic_counter"})
+_RELEASES = frozenset({"seal_data", "seal_migratable_data"})
+
+
+class CounterDisciplineRule(Rule):
+    rule_id = "SEC005"
+    title = "Monotonic-counter increment must precede sealed-state release"
+    requirement = "R4"
+    fix_hint = (
+        "move the increment_*_counter call above the seal so the released "
+        "blob is bound to the already-advanced counter value"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for func in functions_of(module.tree):
+            increments: list[int] = []
+            releases: list[tuple[int, object]] = []
+            for call in calls_in(func):
+                name = terminal_name(call.func)
+                if name in _INCREMENTS:
+                    increments.append(call.lineno)
+                elif name in _RELEASES:
+                    releases.append((call.lineno, call))
+            if not increments or not releases:
+                continue
+            first_increment = min(increments)
+            for line, call in releases:
+                if line < first_increment:
+                    yield module.finding(
+                        self,
+                        call,
+                        f"sealed state released at line {line} before the "
+                        f"counter increment at line {first_increment} — a "
+                        "crash between them leaves a replayable stale blob "
+                        "(Section III rollback)",
+                    )

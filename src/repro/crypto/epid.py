@@ -21,6 +21,7 @@ import hashlib
 from dataclasses import dataclass, field
 
 from repro.crypto import schnorr
+from repro.crypto.bytesutil import constant_time_equal
 from repro.errors import CryptoError
 from repro.sim.rng import DeterministicRng
 
@@ -105,7 +106,7 @@ class EpidGroup:
             revoked_nym = hashlib.sha256(
                 b"epid-nym|" + secret + b"|" + signature.basename
             ).digest()
-            if revoked_nym == signature.pseudonym:
+            if constant_time_equal(revoked_nym, signature.pseudonym):
                 return False
         payload = self.group_id + signature.pseudonym + signature.basename + message
         return schnorr.verify(self._keypair.public, payload, signature.signature)

@@ -18,6 +18,7 @@ import hashlib
 import hmac
 from dataclasses import dataclass
 
+from repro.crypto.bytesutil import constant_time_equal
 from repro.crypto.dh import MODP_2048_P, MODP_2048_Q
 from repro.errors import CryptoError
 from repro.sim.rng import DeterministicRng
@@ -92,4 +93,9 @@ def verify(public: int, message: bytes, signature: SchnorrSignature) -> bool:
     if not (0 <= signature.challenge < _Q and 0 <= signature.response < _Q):
         return False
     commitment = (pow(_G, signature.response, _P) * pow(public, signature.challenge, _P)) % _P
-    return _hash_challenge(commitment, public, message) == signature.challenge
+    expected = _hash_challenge(commitment, public, message)
+    # Compare fixed-width encodings in constant time rather than ints with ==;
+    # 256 bytes holds any value below q, so the encoding cannot overflow.
+    return constant_time_equal(
+        expected.to_bytes(256, "big"), signature.challenge.to_bytes(256, "big")
+    )

@@ -56,19 +56,19 @@ def _encode_value(value: Value) -> bytes:
 def _decode_value(data: bytes, offset: int) -> tuple[Value, int]:
     if offset >= len(data):
         raise WireError("truncated value")
-    tag = data[offset]
+    vtype = data[offset]
     offset += 1
-    if tag == _T_BOOL:
+    if vtype == _T_BOOL:
         if offset >= len(data):
             raise WireError("truncated bool")
         return data[offset] != 0, offset + 1
-    if tag == _T_INT:
+    if vtype == _T_INT:
         if offset + 9 > len(data):
             raise WireError("truncated int")
         sign = data[offset]
         magnitude = int.from_bytes(data[offset + 1 : offset + 9], "big")
         return (-magnitude if sign else magnitude), offset + 9
-    if tag in (_T_BYTES, _T_STR):
+    if vtype in (_T_BYTES, _T_STR):
         if offset + 4 > len(data):
             raise WireError("truncated length")
         length = int.from_bytes(data[offset : offset + 4], "big")
@@ -77,10 +77,10 @@ def _decode_value(data: bytes, offset: int) -> tuple[Value, int]:
             raise WireError("truncated payload")
         payload = data[offset : offset + length]
         offset += length
-        if tag == _T_STR:
+        if vtype == _T_STR:
             return payload.decode("utf-8"), offset
         return payload, offset
-    if tag == _T_LIST:
+    if vtype == _T_LIST:
         if offset + 4 > len(data):
             raise WireError("truncated list length")
         count = int.from_bytes(data[offset : offset + 4], "big")
@@ -90,7 +90,7 @@ def _decode_value(data: bytes, offset: int) -> tuple[Value, int]:
             item, offset = _decode_value(data, offset)
             items.append(item)
         return items, offset
-    raise WireError(f"unknown wire tag: {tag}")
+    raise WireError(f"unknown wire type code: {vtype}")
 
 
 def encode(message: dict[str, Value]) -> bytes:

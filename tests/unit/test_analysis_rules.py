@@ -1,0 +1,489 @@
+"""Unit tests for the SEC001-SEC006 static-analysis rules.
+
+Each rule gets at least one known-violating and one known-clean fixture,
+plus tests for the pragma suppression, the baseline multiset matching, and
+the CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import AnalysisEngine, Baseline, analyze_source, zone_for
+from repro.analysis.cli import main as cli_main
+from repro.analysis.rules import ALL_RULE_CLASSES
+
+
+def rules_in(source: str, path: str = "src/repro/mod.py") -> list[str]:
+    return [f.rule for f in analyze_source(dedent(source), path)]
+
+
+# --------------------------------------------------------------- SEC001
+class TestSecretFlow:
+    def test_print_of_msk_flags(self):
+        assert "SEC001" in rules_in(
+            """
+            def leak(state):
+                print("msk is", state.msk)
+            """
+        )
+
+    def test_fstring_in_log_flags(self):
+        assert "SEC001" in rules_in(
+            """
+            import logging
+            def leak(session_key):
+                logging.info(f"derived {session_key!r}")
+            """
+        )
+
+    def test_ocall_with_raw_key_flags(self):
+        assert "SEC001" in rules_in(
+            """
+            def leak(self):
+                self.sdk.ocall("store", self._state.msk)
+            """
+        )
+
+    def test_sealed_ocall_is_clean(self):
+        assert rules_in(
+            """
+            def persist(self):
+                blob = self.sdk.seal_data(self._state.msk, b"aad")
+                self.sdk.ocall("save_library_state", blob)
+            """
+        ) == []
+
+    def test_public_key_print_is_clean(self):
+        assert rules_in(
+            """
+            def show(identity):
+                print("verifier:", identity.public_key)
+            """
+        ) == []
+
+    def test_ocall_name_position_not_flagged(self):
+        # args[0] is the OCALL *name*; only payload positions are sinks.
+        assert rules_in(
+            """
+            def fine(self, payload):
+                self.sdk.ocall("request_key", payload)
+            """
+        ) == []
+
+
+# --------------------------------------------------------------- SEC002
+class TestEnclaveBoundary:
+    VIOLATION = """
+        def attack(enclave):
+            return enclave.trusted.balance
+        """
+
+    def test_untrusted_access_flags(self):
+        assert "SEC002" in rules_in(self.VIOLATION, "src/repro/cloud/evil.py")
+        assert "SEC002" in rules_in(self.VIOLATION, "examples/demo.py")
+
+    def test_trusted_module_exempt(self):
+        # The enclave runtime itself may manage .trusted.
+        assert rules_in(self.VIOLATION, "src/repro/sgx/enclave.py") == []
+
+    def test_ecall_path_is_clean(self):
+        assert rules_in(
+            """
+            def ok(enclave):
+                return enclave.ecall("balance")
+            """,
+            "src/repro/cloud/ok.py",
+        ) == []
+
+    def test_write_access_flags(self):
+        assert "SEC002" in rules_in(
+            """
+            def attack(enclave):
+                enclave.trusted = None
+            """,
+            "benchmarks/bench_evil.py",
+        )
+
+    def test_zone_classification(self):
+        assert zone_for("src/repro/cloud/vm.py") == "untrusted"
+        assert zone_for("examples/quickstart.py") == "untrusted"
+        assert zone_for("src/repro/core/protocol.py") == "trusted"
+
+
+# --------------------------------------------------------------- SEC003
+class TestNonceHygiene:
+    def test_literal_iv_flags(self):
+        assert "SEC003" in rules_in(
+            """
+            def bad(aead, plaintext):
+                return aead.encrypt(b"\\x00" * 12, plaintext)
+            """
+        )
+
+    def test_constant_variable_iv_flags(self):
+        assert "SEC003" in rules_in(
+            """
+            def bad(aead, plaintext):
+                iv = b"fixed-iv-12b"
+                return aead.encrypt(iv, plaintext)
+            """
+        )
+
+    def test_reused_iv_flags(self):
+        assert "SEC003" in rules_in(
+            """
+            def bad(aead, rng, a, b):
+                iv = rng.random_bytes(12)
+                first = aead.encrypt(iv, a)
+                second = aead.encrypt(iv, b)
+                return first, second
+            """
+        )
+
+    def test_random_iv_is_clean(self):
+        assert rules_in(
+            """
+            def good(aead, rng, a, b):
+                iv = rng.random_bytes(12)
+                first = aead.encrypt(iv, a)
+                iv = rng.random_bytes(12)
+                second = aead.encrypt(iv, b)
+                return first, second
+            """
+        ) == []
+
+    def test_sequence_derived_iv_is_clean(self):
+        # The secure channel's construction: constant prefix + live counter.
+        assert rules_in(
+            """
+            def send(self, plaintext):
+                seq = self._send.sequence
+                iv = b"\\x00" * 4 + seq.to_bytes(8, "big")
+                return self._send.aead.encrypt(iv, plaintext)
+            """
+        ) == []
+
+    def test_decrypt_with_fixed_iv_is_clean(self):
+        assert rules_in(
+            """
+            def recv(aead, record):
+                return aead.decrypt(b"\\x00" * 12, record, b"tagtagtagtagtagg")
+            """
+        ) == []
+
+
+# --------------------------------------------------------------- SEC004
+class TestConstantTime:
+    def test_tag_equality_flags(self):
+        assert "SEC004" in rules_in(
+            """
+            def verify(expected_tag, tag):
+                return expected_tag == tag
+            """
+        )
+
+    def test_digest_subscript_flags(self):
+        assert "SEC004" in rules_in(
+            """
+            def verify(fields, computed):
+                if fields["tag"] != computed:
+                    raise ValueError("bad")
+            """
+        )
+
+    def test_constant_time_equal_is_clean(self):
+        assert rules_in(
+            """
+            from repro.crypto.bytesutil import constant_time_equal
+            def verify(expected_tag, tag):
+                return constant_time_equal(expected_tag, tag)
+            """
+        ) == []
+
+    def test_length_check_is_clean(self):
+        assert rules_in(
+            """
+            def check(tag):
+                if len(tag) != 16:
+                    raise ValueError("bad length")
+            """
+        ) == []
+
+    def test_mrenclave_policy_check_is_clean(self):
+        # Public identity measurements are deliberately out of scope.
+        assert rules_in(
+            """
+            def accept(identity, expected):
+                return identity.mrenclave == expected.mrenclave
+            """
+        ) == []
+
+
+# --------------------------------------------------------------- SEC005
+class TestCounterDiscipline:
+    def test_seal_before_increment_flags(self):
+        assert "SEC005" in rules_in(
+            """
+            def persist(self):
+                blob = self.miglib.seal_migratable_data(self.state)
+                self.miglib.increment_migratable_counter(self._counter_id)
+                return blob
+            """
+        )
+
+    def test_increment_then_seal_is_clean(self):
+        assert rules_in(
+            """
+            def persist(self):
+                version = self.miglib.increment_migratable_counter(self._counter_id)
+                return self.miglib.seal_migratable_data(self.state, version.to_bytes(4, "big"))
+            """
+        ) == []
+
+    def test_native_primitives_also_checked(self):
+        assert "SEC005" in rules_in(
+            """
+            def persist(self):
+                blob = self.sdk.seal_data(self.state, b"aad")
+                self.sdk.increment_monotonic_counter(self._uuid)
+                return blob
+            """
+        )
+
+    def test_seal_without_counter_is_clean(self):
+        assert rules_in(
+            """
+            def persist(self):
+                return self.sdk.seal_data(self.state, b"aad")
+            """
+        ) == []
+
+
+# --------------------------------------------------------------- SEC006
+class TestProtocolState:
+    def test_unknown_init_state_flags(self):
+        assert "SEC006" in rules_in(
+            """
+            from repro.core.migration_library import InitState
+            def boot(lib):
+                lib.migration_init(None, InitState.RESUME, "me")
+            """
+        )
+
+    def test_declared_members_are_clean(self):
+        assert rules_in(
+            """
+            from repro.core.migration_library import InitState
+            STATES = [InitState.NEW, InitState.RESTORE, InitState.MIGRATE]
+            """
+        ) == []
+
+    def test_operation_before_init_flags(self):
+        assert "SEC006" in rules_in(
+            """
+            def boot(sdk):
+                lib = MigrationLibrary(sdk)
+                lib.seal_migratable_data(b"state")
+            """
+        )
+
+    def test_operation_after_start_flags(self):
+        assert "SEC006" in rules_in(
+            """
+            def migrate(sdk):
+                lib = MigrationLibrary(sdk)
+                lib.migration_init(None, InitState.NEW, "me")
+                lib.migration_start("dest")
+                lib.seal_migratable_data(b"state")
+            """
+        )
+
+    def test_double_init_flags(self):
+        assert "SEC006" in rules_in(
+            """
+            def boot(sdk):
+                lib = MigrationLibrary(sdk)
+                lib.migration_init(None, InitState.NEW, "me")
+                lib.migration_init(None, InitState.NEW, "me")
+            """
+        )
+
+    def test_restore_without_buffer_flags(self):
+        assert "SEC006" in rules_in(
+            """
+            def boot(sdk):
+                lib = MigrationLibrary(sdk)
+                lib.migration_init(None, InitState.RESTORE, "me")
+            """
+        )
+
+    def test_legal_lifecycle_is_clean(self):
+        assert rules_in(
+            """
+            def lifecycle(sdk, buffer):
+                lib = MigrationLibrary(sdk)
+                lib.migration_init(buffer, InitState.RESTORE, "me")
+                lib.create_migratable_counter()
+                lib.seal_migratable_data(b"state")
+                lib.migration_start("dest")
+                lib.migration_start("dest-retry")
+            """
+        ) == []
+
+
+# ----------------------------------------------------------- suppression
+class TestPragmas:
+    def test_same_line_pragma_suppresses(self):
+        assert rules_in(
+            """
+            def attack(enclave):
+                return enclave.trusted.balance  # repro: ignore[SEC002]
+            """,
+            "src/repro/cloud/evil.py",
+        ) == []
+
+    def test_preceding_comment_pragma_suppresses(self):
+        assert rules_in(
+            """
+            def attack(enclave):
+                # loader infrastructure, see machine.load_enclave
+                # repro: ignore[SEC002]
+                return enclave.trusted.balance
+            """,
+            "src/repro/cloud/evil.py",
+        ) == []
+
+    def test_pragma_only_silences_named_rule(self):
+        findings = rules_in(
+            """
+            def leak(enclave, msk):
+                print(enclave.trusted, msk)  # repro: ignore[SEC002]
+            """,
+            "src/repro/cloud/evil.py",
+        )
+        assert "SEC001" in findings and "SEC002" not in findings
+
+    def test_star_pragma_silences_everything(self):
+        assert rules_in(
+            """
+            def leak(enclave, msk):
+                print(enclave.trusted, msk)  # repro: ignore[*]
+            """,
+            "src/repro/cloud/evil.py",
+        ) == []
+
+
+# --------------------------------------------------------------- baseline
+class TestBaseline:
+    SOURCE = """
+        def verify(expected_tag, tag):
+            return expected_tag == tag
+        """
+
+    def test_baseline_roundtrip_suppresses(self, tmp_path):
+        findings = analyze_source(dedent(self.SOURCE), "src/repro/mod.py")
+        assert findings
+        baseline = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.json"
+        baseline.write(path)
+        loaded = Baseline.load(path)
+        new, suppressed = loaded.filter(findings)
+        assert new == [] and suppressed == len(findings)
+
+    def test_baseline_is_line_number_independent(self):
+        findings = analyze_source(dedent(self.SOURCE), "src/repro/mod.py")
+        shifted = analyze_source("\n\n\n" + dedent(self.SOURCE), "src/repro/mod.py")
+        baseline = Baseline.from_findings(findings)
+        new, _ = baseline.filter(shifted)
+        assert new == []
+
+    def test_new_findings_escape_the_baseline(self):
+        findings = analyze_source(dedent(self.SOURCE), "src/repro/mod.py")
+        baseline = Baseline.from_findings(findings)
+        grown = dedent(self.SOURCE) + dedent(
+            """
+            def verify2(computed_mac, mac):
+                return computed_mac == mac
+            """
+        )
+        new, suppressed = baseline.filter(analyze_source(grown, "src/repro/mod.py"))
+        assert suppressed == len(findings)
+        assert [f.rule for f in new] == ["SEC004"]
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").entries == {}
+
+
+# -------------------------------------------------------------------- CLI
+class TestCli:
+    def _violating_file(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "def verify(expected_tag, tag):\n    return expected_tag == tag\n"
+        )
+        return target
+
+    def test_exit_one_and_json_on_finding(self, tmp_path, capsys):
+        target = self._violating_file(tmp_path)
+        code = cli_main(
+            ["--format", "json", "--baseline", str(tmp_path / "b.json"), str(target)]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert report["total"] == 1
+        assert report["findings"][0]["rule"] == "SEC004"
+
+    def test_exit_zero_on_clean_file(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("def add(a, b):\n    return a + b\n")
+        assert cli_main([str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        target = self._violating_file(tmp_path)
+        baseline = tmp_path / "b.json"
+        assert (
+            cli_main(["--update-baseline", "--baseline", str(baseline), str(target)])
+            == 0
+        )
+        assert cli_main(["--baseline", str(baseline), str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_no_baseline_flag_reports_again(self, tmp_path, capsys):
+        target = self._violating_file(tmp_path)
+        baseline = tmp_path / "b.json"
+        cli_main(["--update-baseline", "--baseline", str(baseline), str(target)])
+        capsys.readouterr()
+        assert (
+            cli_main(["--no-baseline", "--baseline", str(baseline), str(target)]) == 1
+        )
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert cli_main([str(tmp_path / "nope")]) == 2
+
+    def test_list_rules_names_full_catalog(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for cls in ALL_RULE_CLASSES:
+            assert cls.rule_id in out
+
+    def test_syntax_error_reported_as_parse_finding(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        assert cli_main([str(target)]) == 1
+        assert "PARSE" in capsys.readouterr().out
+
+
+def test_every_rule_has_catalog_metadata():
+    ids = [cls.rule_id for cls in ALL_RULE_CLASSES]
+    assert ids == sorted(ids) and len(set(ids)) == len(ids)
+    for cls in ALL_RULE_CLASSES:
+        assert cls.rule_id.startswith("SEC")
+        assert cls.title and cls.fix_hint
+        assert cls.requirement in {"R1", "R2", "R3", "R4"}
