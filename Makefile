@@ -1,11 +1,12 @@
 # Developer / CI entry points.  `make ci` is what a PR must pass: tier-1
-# tests plus the SEC001-SEC006 static-analysis gate (fails on any finding
-# not recorded in .analysis-baseline.json).
+# tests, the SEC001-SEC006 static-analysis gate (fails on any finding not
+# recorded in .analysis-baseline.json), and the chaos sweep (drop/duplicate/
+# crash faults over every migration message; R3/R4 must hold after recovery).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze analyze-json baseline ci
+.PHONY: test analyze analyze-json baseline chaos ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,4 +20,7 @@ analyze-json:
 baseline:
 	$(PYTHON) -m repro.analysis --update-baseline src/repro examples benchmarks
 
-ci: test analyze
+chaos:
+	$(PYTHON) -m repro.faults.chaos
+
+ci: test analyze chaos

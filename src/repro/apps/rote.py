@@ -29,6 +29,7 @@ import hmac
 from dataclasses import dataclass, field
 
 from repro import wire
+from repro.cloud.network import ROTE_SERVICE, Endpoint
 from repro.core.protocol import MigratableEnclave
 from repro.errors import InvalidStateError, ReproError
 from repro.sgx.enclave import EnclaveBase, ecall
@@ -233,7 +234,7 @@ def install_rote_group(dc, machines, signing_key) -> list[str]:
     for machine in machines:
         mgmt_app = machine.management_vm.launch_application("rote-member")
         member = mgmt_app.launch_enclave(RoteGroupEnclave, signing_key)
-        endpoint = f"{machine.address}/rote"
+        endpoint = str(Endpoint(machine.address, ROTE_SERVICE))
         dc.network.register(
             endpoint,
             lambda payload, src, enclave=member: enclave.ecall(

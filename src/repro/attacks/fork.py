@@ -36,6 +36,7 @@ from repro.apps.teechan import (
     TeechanVulnerable,
 )
 from repro.cloud.datacenter import DataCenter
+from repro.cloud.network import Endpoint
 from repro.core.baseline import GuFlagMode, register_gu_transport
 from repro.core.protocol import MigratableApp, install_all_migration_enclaves
 from repro.errors import InvalidStateError, MigrationError, SgxError
@@ -206,7 +207,9 @@ def run_fork_attack_defended(seed: int = 2024) -> ForkAttackResult:
     attack_vm = source.create_vm("attacker-vm")
     attack_app = attack_vm.launch_application("attacker")
     forked = attack_app.launch_enclave(TeechanSecure, signing_key)
-    forked.register_ocall("send_to_me", lambda addr, p: attack_app.send(f"{addr}/me", p))
+    forked.register_ocall(
+        "send_to_me", lambda addr, p: attack_app.send(str(Endpoint.me(addr)), p)
+    )
     forked.register_ocall("save_library_state", lambda blob: None)
     try:
         forked.ecall("migration_init", stale_library_buffer, "RESTORE", source.address)

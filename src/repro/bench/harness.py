@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.apps.counter_app import BaselineBenchEnclave, MigratableBenchEnclave
 from repro.cloud.datacenter import DataCenter
+from repro.cloud.network import Endpoint
 from repro.cloud.machine import PhysicalMachine
 from repro.core.migration_library import InitState
 from repro.core.protocol import MigratableApp, install_all_migration_enclaves
@@ -119,7 +120,9 @@ def run_fig4_init(reps: int = DEFAULT_REPS, seed: int = 0) -> dict[str, list[flo
 
     for index in range(reps):
         enclave = app.launch_enclave(MigratableBenchEnclave, world.signing_key)
-        enclave.register_ocall("send_to_me", lambda addr, p: app.send(f"{addr}/me", p))
+        enclave.register_ocall(
+            "send_to_me", lambda addr, p: app.send(str(Endpoint.me(addr)), p)
+        )
         enclave.register_ocall("save_library_state", lambda blob: None)
         duration, buffer = world.elapse(
             enclave.ecall, "migration_init", None, InitState.NEW.name, machine.address
@@ -129,7 +132,9 @@ def run_fig4_init(reps: int = DEFAULT_REPS, seed: int = 0) -> dict[str, list[flo
         machine.on_enclave_destroyed(enclave)
 
         enclave = app.launch_enclave(MigratableBenchEnclave, world.signing_key)
-        enclave.register_ocall("send_to_me", lambda addr, p: app.send(f"{addr}/me", p))
+        enclave.register_ocall(
+            "send_to_me", lambda addr, p: app.send(str(Endpoint.me(addr)), p)
+        )
         enclave.register_ocall("save_library_state", lambda blob: None)
         duration, _ = world.elapse(
             enclave.ecall, "migration_init", buffer, InitState.RESTORE.name, machine.address

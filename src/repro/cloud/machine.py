@@ -146,6 +146,20 @@ class PhysicalMachine:
                 app.crash()
         self.epc.power_cycle()
 
+    def crash(self) -> None:
+        """Abrupt power failure, the fault injector's favourite weapon.
+
+        Like :meth:`hibernate` every enclave dies and the EPC key rolls, but
+        additionally every network endpoint hosted here vanishes — peers see
+        connection failures until services are reinstalled.  PSE counters
+        (ME flash) and untrusted disk survive, so recovery is possible.
+        """
+        for vm in self.vms:
+            for app in vm.applications:
+                app.crash()
+        self.epc.power_cycle()
+        self.network.unregister_machine(self.name)
+
     # -------------------------------------------------------------- helpers
     def applications(self) -> list[Application]:
         return [app for vm in self.vms for app in vm.applications]

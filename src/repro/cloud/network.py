@@ -6,21 +6,71 @@ send them byte payloads.  The network itself is **untrusted** — adversary
 taps can observe, modify, or drop any message — so every security property
 must come from the attested channels layered on top.
 
+Endpoints are named ``machine/service``.  The :class:`Endpoint` helper and
+the service-name constants below replace hand-pasted f-strings at call
+sites; everything that accepts an address accepts either form.
+
 Timing: each exchange charges one RTT (local or cross-host) plus the
-bandwidth-proportional transfer time of both payloads.
+bandwidth-proportional transfer time of both payloads.  A caller-supplied
+``timeout`` bounds the *charged* round-trip time: if the exchange took
+longer in simulated time than the deadline allows, the sender sees
+:class:`NetworkTimeoutError` — note the request may still have been
+delivered and processed (at-least-once semantics), so retried operations
+must be idempotent.
+
+Fault injection: beyond ad-hoc taps, a :class:`repro.faults.FaultInjector`
+can be attached via ``fault_injector``; it observes every request and
+response with full addressing metadata and can drop, delay, duplicate, or
+corrupt messages, or crash machines, per a deterministic plan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
-from repro.errors import NetworkError
+from repro.errors import NetworkError, NetworkTimeoutError
 from repro.sim.costs import CostMeter
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 Handler = Callable[[bytes, str], bytes]
 # tap(src, dst, payload) -> payload | None (None = drop)
 Tap = Callable[[str, str, bytes], bytes | None]
+
+# Well-known service names (the part after the "/" in an endpoint).
+ME_SERVICE = "me"  # per-machine Migration Enclave service port
+ROTE_SERVICE = "rote"  # ROTE-style distributed counter service
+GU_SERVICE = "gu"  # Gu et al. live-migration baseline service
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A ``machine/service`` network address, structured.
+
+    ``str(Endpoint("machine-b", ME_SERVICE))`` == ``"machine-b/me"``; use
+    :meth:`parse` for the reverse.  Frozen so endpoints are hashable and
+    usable as dict keys next to plain strings.
+    """
+
+    machine: str
+    service: str
+
+    def __str__(self) -> str:
+        return f"{self.machine}/{self.service}"
+
+    @classmethod
+    def parse(cls, address: str | "Endpoint") -> "Endpoint":
+        if isinstance(address, Endpoint):
+            return address
+        machine, _, service = address.partition("/")
+        return cls(machine, service)
+
+    @classmethod
+    def me(cls, machine: str) -> "Endpoint":
+        """The Migration Enclave service port of ``machine``."""
+        return cls(machine, ME_SERVICE)
 
 
 def _machine_of(address: str) -> str:
@@ -34,21 +84,30 @@ class Network:
     meter: CostMeter
     _endpoints: dict[str, Handler] = field(default_factory=dict)
     _taps: list[Tap] = field(default_factory=list)
+    fault_injector: "FaultInjector | None" = None
     messages_sent: int = 0
     bytes_sent: int = 0
 
-    def register(self, address: str, handler: Handler, replace: bool = False) -> None:
+    def register(
+        self, address: str | Endpoint, handler: Handler, *, replace: bool = False
+    ) -> None:
         """Bind ``address`` (``machine/service``) to a request handler.
 
         ``replace=True`` rebinds an existing endpoint (e.g. a restarted
         service re-claiming its port).
         """
+        address = str(address)
         if address in self._endpoints and not replace:
             raise NetworkError(f"endpoint {address!r} already registered")
         self._endpoints[address] = handler
 
-    def unregister(self, address: str) -> None:
-        self._endpoints.pop(address, None)
+    def unregister(self, address: str | Endpoint) -> None:
+        self._endpoints.pop(str(address), None)
+
+    def unregister_machine(self, machine: str) -> None:
+        """Drop every endpoint hosted on ``machine`` (the machine crashed)."""
+        for address in [a for a in self._endpoints if _machine_of(a) == machine]:
+            del self._endpoints[address]
 
     def add_tap(self, tap: Tap) -> None:
         """Install an adversary tap over all traffic."""
@@ -63,13 +122,29 @@ class Network:
         self.meter.charge("net_rtt", rtt)
         self.meter.charge_exact("net_transfer", model.transfer_time(num_bytes))
 
-    def send(self, src: str, dst: str, payload: bytes) -> bytes:
+    def _apply_faults(self, src: str, dst: str, payload: bytes, direction: str) -> bytes:
+        """Run the fault injector (if any) over one message leg."""
+        if self.fault_injector is None:
+            return payload
+        faulted = self.fault_injector.on_message(src, dst, payload, direction)
+        if faulted is None:
+            raise NetworkError(f"message {src} -> {dst} dropped by fault injector")
+        return faulted
+
+    def send(
+        self, src: str, dst: str | Endpoint, payload: bytes, *, timeout: float | None = None
+    ) -> bytes:
         """Request/response exchange; returns the handler's response.
 
         Raises :class:`NetworkError` for unknown endpoints or messages
         dropped by a tap — the sender sees a connection failure, exactly as
-        a real untrusted network can induce.
+        a real untrusted network can induce.  With ``timeout``, raises
+        :class:`NetworkTimeoutError` when the simulated round trip exceeds
+        the deadline; the request may still have been processed.
         """
+        dst = str(dst)
+        started = self.meter.clock.now
+        payload = self._apply_faults(src, dst, payload, "request")
         handler = self._endpoints.get(dst)
         if handler is None:
             raise NetworkError(f"no endpoint {dst!r}")
@@ -82,6 +157,17 @@ class Network:
         self.bytes_sent += len(payload)
         self._charge(src, dst, len(payload))
         response = handler(payload, src)
+        if self.fault_injector is not None and self.fault_injector.wants_duplicate(
+            src, dst, "request"
+        ):
+            # At-least-once delivery: the handler runs again on the same
+            # payload; the sender only ever sees the first response.  A
+            # failure of the duplicate stays on the receiver's side.
+            try:
+                handler(payload, src)
+            except Exception:
+                pass
+        response = self._apply_faults(dst, src, response, "response")
         for tap in self._taps:
             tapped = tap(dst, src, response)
             if tapped is None:
@@ -89,6 +175,10 @@ class Network:
             response = tapped
         self.bytes_sent += len(response)
         self.meter.charge_exact("net_transfer", self.meter.model.transfer_time(len(response)))
+        if timeout is not None and self.meter.clock.now - started > timeout:
+            raise NetworkTimeoutError(
+                f"{src} -> {dst} round trip exceeded timeout of {timeout}s"
+            )
         return response
 
     def endpoints(self) -> list[str]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import wire
 from repro.errors import ReproError
 
 
@@ -63,3 +64,86 @@ class UntrustedStorage:
         data = bytearray(self.read(path))
         data[flip_byte % len(data)] ^= 0xFF
         self._blobs[path] = bytes(data)
+
+
+# --------------------------------------------------------- migration journal
+MIGRATION_JOURNAL_PATH = "migration_txn"
+
+#: Journal phases, in protocol order.
+PHASE_PREPARE = "prepare"  # source decided to migrate; nothing shipped yet
+PHASE_SHIPPED = "shipped"  # library frozen, data handed to the source ME
+PHASE_ARRIVED = "arrived"  # VM relocated; destination side is restoring
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """The persisted migration-in-progress record (Section VI-C semantics).
+
+    Written by the *untrusted* application before each irreversible protocol
+    step so a crashed source or destination knows, on restart, which
+    transaction to resume and in which direction.  It is a recovery hint
+    only: deleting or forging it can at worst stall recovery (availability).
+    R3/R4 never depend on it — forks and rollbacks are prevented by the
+    trusted layers (freeze flag, counter destruction, ME matching).
+    """
+
+    txn_id: str
+    role: str  # "source" | "destination"
+    phase: str  # PHASE_PREPARE | PHASE_SHIPPED | PHASE_ARRIVED
+    source: str  # source machine address
+    destination: str  # destination machine address
+    retries: int = 0
+
+    def to_bytes(self) -> bytes:
+        return wire.encode(
+            {
+                "txn": self.txn_id,
+                "role": self.role,
+                "phase": self.phase,
+                "source": self.source,
+                "destination": self.destination,
+                "retries": self.retries,
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MigrationRecord":
+        fields = wire.decode(data)
+        return cls(
+            txn_id=fields["txn"],
+            role=fields["role"],
+            phase=fields["phase"],
+            source=fields["source"],
+            destination=fields["destination"],
+            retries=fields["retries"],
+        )
+
+
+@dataclass
+class MigrationJournal:
+    """One application's migration-in-progress record on one machine's disk.
+
+    ``owner`` is the application name; the record lives under the same
+    per-application prefix as the app's other blobs.
+    """
+
+    storage: UntrustedStorage
+    owner: str
+
+    @property
+    def path(self) -> str:
+        return f"{self.owner}/{MIGRATION_JOURNAL_PATH}"
+
+    def write(self, record: MigrationRecord) -> None:
+        self.storage.write(self.path, record.to_bytes())
+
+    def read(self) -> MigrationRecord | None:
+        if not self.storage.exists(self.path):
+            return None
+        try:
+            return MigrationRecord.from_bytes(self.storage.read(self.path))
+        except (wire.WireError, KeyError):
+            return None  # corrupted journal == no journal (recovery hint only)
+
+    def clear(self) -> None:
+        self.storage.delete(self.path)

@@ -87,9 +87,14 @@ class Application:
     def has_stored(self, path: str) -> bool:
         return self.machine.storage.exists(f"{self.name}/{path}")
 
-    def send(self, dst_address: str, payload: bytes) -> bytes:
+    def delete_stored(self, path: str) -> None:
+        self.machine.storage.delete(f"{self.name}/{path}")
+
+    def send(self, dst_address, payload: bytes, *, timeout: float | None = None) -> bytes:
         """Send over the (untrusted) data-center network."""
-        return self.machine.network.send(self.machine.address, dst_address, payload)
+        return self.machine.network.send(
+            self.machine.address, dst_address, payload, timeout=timeout
+        )
 
     # ----------------------------------------------------------- lifecycle
     def _destroy_enclaves(self) -> None:

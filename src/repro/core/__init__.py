@@ -19,15 +19,20 @@ from repro.core.policy import (
     RegionPolicy,
     SameProviderPolicy,
 )
+from repro.core.result import CostSnapshot, MigrationOutcome, MigrationResult
+from repro.core.retry import NO_RETRY, RetryPolicy, call_with_retries
 from repro.core.transparent import SemiTransparentMigrator, TransparentMigrationReport
 from repro.core.protocol import (
     LIBRARY_STATE_PATH,
+    ME_CHECKPOINT_PATH,
+    ME_REQUEST_TIMEOUT,
     MigratableApp,
     MigratableEnclave,
     MigrationEnclaveHost,
     expected_me_mrenclave,
     install_all_migration_enclaves,
     install_migration_enclave,
+    reinstall_migration_enclave,
 )
 
 __all__ = [
@@ -52,11 +57,20 @@ __all__ = [
     "PolicySet",
     "RegionPolicy",
     "SameProviderPolicy",
+    "CostSnapshot",
+    "MigrationOutcome",
+    "MigrationResult",
+    "NO_RETRY",
+    "RetryPolicy",
+    "call_with_retries",
     "LIBRARY_STATE_PATH",
+    "ME_CHECKPOINT_PATH",
+    "ME_REQUEST_TIMEOUT",
     "MigratableApp",
     "MigratableEnclave",
     "MigrationEnclaveHost",
     "expected_me_mrenclave",
     "install_all_migration_enclaves",
     "install_migration_enclave",
+    "reinstall_migration_enclave",
 ]

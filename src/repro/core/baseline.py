@@ -30,6 +30,7 @@ import enum
 
 from repro import wire
 from repro.attestation.remote import RemoteAttestationInitiator, RemoteAttestationResponder
+from repro.cloud.network import GU_SERVICE
 from repro.errors import (
     AttestationError,
     InvalidStateError,
@@ -202,7 +203,7 @@ class GuMigratableEnclave(EnclaveBase):
         return wire.encode({"status": "error", "error": "unknown message"})
 
 
-def register_gu_transport(enclave, app, endpoint_suffix: str = "gu") -> str:
+def register_gu_transport(enclave, app, endpoint_suffix: str = GU_SERVICE) -> str:
     """Host-side wiring: register the network endpoint + OCALLs for the Gu
     migration traffic of ``enclave``.  Returns the endpoint address."""
     address = f"{app.machine.address}/{endpoint_suffix}/{app.name}"

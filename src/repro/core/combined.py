@@ -26,6 +26,8 @@ from repro.core.baseline import GuFlagMode, GuMigratableEnclave, register_gu_tra
 from repro.core.migration_library import InitState
 from repro.core.protocol import MigratableApp, MigratableEnclave
 from repro.core.migration_library import MigrationLibrary
+from repro.core.result import CostSnapshot, MigrationOutcome, MigrationResult
+from repro.core.retry import RetryPolicy
 from repro.errors import MigrationError
 from repro.sgx.enclave import Enclave
 
@@ -53,8 +55,10 @@ FullyMigratableEnclave.MEASURED_LIBRARIES = (
 class LiveMigratableApp(MigratableApp):
     """Application wrapper adding the live (no stop/restart) migration flow."""
 
-    def launch(self, init_state: InitState) -> Enclave:
-        enclave = super().launch(init_state)
+    def launch(
+        self, init_state: InitState, *, retry_policy: RetryPolicy | None = None
+    ) -> Enclave:
+        enclave = super().launch(init_state, retry_policy=retry_policy)
         app = self.app
         self._gu_endpoint = register_gu_transport(enclave, app)
         enclave.ecall(
@@ -66,20 +70,23 @@ class LiveMigratableApp(MigratableApp):
         )
         return enclave
 
-    def live_migrate(self, destination: PhysicalMachine) -> Enclave:
+    def live_migrate(self, destination: PhysicalMachine) -> MigrationResult:
         """Migrate persistent state *and* data memory without a restart.
 
         The destination enclave is running and serving as soon as this
         returns; the source is left frozen (library) and spin-locked (Gu).
+        Returns a :class:`MigrationResult` carrying the destination enclave.
         """
         source_enclave = self.enclave
         if source_enclave is None or not source_enclave.alive:
             raise MigrationError("no running enclave to migrate")
         source_app = self.app
         source_vm = self.vm
+        txn = self._next_txn()
+        start_cost = CostSnapshot.capture(self.dc)
 
         # 1. persistent state through the Migration Enclaves
-        source_enclave.ecall("migration_start", destination.address)
+        source_enclave.ecall("migration_start", destination.address, txn)
 
         # 2. bring up the destination instance and install persistent state
         destination_vm = destination.create_vm(f"{self.vm_name}-live")
@@ -98,4 +105,9 @@ class LiveMigratableApp(MigratableApp):
         source_app.terminate()
         source_vm.machine.release_vm(source_vm)
         self.enclave = destination_enclave
-        return destination_enclave
+        return MigrationResult(
+            outcome=MigrationOutcome.COMPLETED,
+            txn_id=txn,
+            cost=CostSnapshot.capture(self.dc).delta(start_cost),
+            enclave=destination_enclave,
+        )

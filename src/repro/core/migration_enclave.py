@@ -24,15 +24,17 @@ from repro import wire
 from repro.attestation.local import LocalAttestationResponder
 from repro.attestation.remote import RemoteAttestationInitiator, RemoteAttestationResponder
 from repro.cloud.datacenter import ProviderCredential
+from repro.cloud.network import Endpoint
 from repro.core.policy import MigrationContext, PolicySet
+from repro.core.result import MigrationOutcome, MigrationResult
 from repro.crypto import schnorr
 from repro.errors import (
     AttestationError,
     ChannelError,
     InvalidStateError,
     MigrationError,
-    NetworkError,
     PolicyViolationError,
+    TransientError,
 )
 from repro.sgx.enclave import EnclaveBase, ecall
 
@@ -60,10 +62,18 @@ class MigrationEnclave(EnclaveBase):
         # sid -> session dict(kind, channel, peer_identity, authenticated, peer_credential)
         self._sessions: dict[str, dict] = {}
         self._session_seq = 0
-        # target mrenclave -> {"data": bytes, "source_me": str, "token": bytes}
+        # target mrenclave -> {"data": bytes, "source_me": str, "token": bytes, "txn": str}
         self._incoming: dict[bytes, dict] = {}
-        # target mrenclave -> {"data": bytes, "dest": str, "token": bytes}
+        # target mrenclave -> {"data": bytes, "dest": str, "token": bytes, "txn": str}
         self._pending_outgoing: dict[bytes, dict] = {}
+        # Idempotency records, keyed by target mrenclave -> transaction id.
+        # _completed (source side): migrations this ME confirmed delivered
+        # (done_notice received).  _confirmed (destination side): migrations
+        # whose data the local enclave fetched and acknowledged.  They let a
+        # crashed-and-resumed peer repeat migrate_out / retry / transfer for
+        # the same transaction without forking state.
+        self._completed: dict[bytes, str] = {}
+        self._confirmed: dict[bytes, str] = {}
 
     # ------------------------------------------------------------- ECALLs
     @ecall
@@ -162,15 +172,24 @@ class MigrationEnclave(EnclaveBase):
                             "data": entry["data"],
                             "peer": entry.get("source_me", entry.get("dest", "")),
                             "token": entry["token"],
+                            "txn": entry.get("txn", ""),
                         }
                     )
                 )
             return rows
 
+        def encode_ledger(ledger: dict[bytes, str]) -> list:
+            return [
+                wire.encode({"target": target, "txn": txn})
+                for target, txn in sorted(ledger.items())
+            ]
+
         payload = wire.encode(
             {
                 "incoming": encode_store(self._incoming),
                 "pending": encode_store(self._pending_outgoing),
+                "completed": encode_ledger(self._completed),
+                "confirmed": encode_ledger(self._confirmed),
                 "signing_private": self._keypair.private.to_bytes(256, "big"),
             }
         )
@@ -178,13 +197,13 @@ class MigrationEnclave(EnclaveBase):
         # restore the checkpoint, regardless of deployment signer.
         from repro.sgx.identity import KeyPolicy
 
-        return self.sdk.seal_data(payload, b"me-checkpoint-v1", KeyPolicy.MRENCLAVE)
+        return self.sdk.seal_data(payload, b"me-checkpoint-v2", KeyPolicy.MRENCLAVE)
 
     @ecall
     def import_sealed_state(self, checkpoint: bytes) -> None:
         """Restore a checkpoint after a restart (same machine only)."""
         plaintext, aad = self.sdk.unseal_data(checkpoint)
-        if aad != b"me-checkpoint-v1":
+        if aad != b"me-checkpoint-v2":
             raise InvalidStateError("not a Migration Enclave checkpoint")
         fields = wire.decode(plaintext)
         # The signing key must persist or the provisioned credential (which
@@ -198,20 +217,20 @@ class MigrationEnclave(EnclaveBase):
         )
         for name, store in (("incoming", self._incoming), ("pending", self._pending_outgoing)):
             store.clear()
+            peer_key = "source_me" if name == "incoming" else "dest"
             for row in fields[name]:
                 entry = wire.decode(row)
-                if name == "incoming":
-                    store[entry["target"]] = {
-                        "data": entry["data"],
-                        "source_me": entry["peer"],
-                        "token": entry["token"],
-                    }
-                else:
-                    store[entry["target"]] = {
-                        "data": entry["data"],
-                        "dest": entry["peer"],
-                        "token": entry["token"],
-                    }
+                store[entry["target"]] = {
+                    "data": entry["data"],
+                    peer_key: entry["peer"],
+                    "token": entry["token"],
+                    "txn": entry.get("txn", ""),
+                }
+        for name, ledger in (("completed", self._completed), ("confirmed", self._confirmed)):
+            ledger.clear()
+            for row in fields.get(name, []):
+                entry = wire.decode(row)
+                ledger[entry["target"]] = entry["txn"]
 
     # ---------------------------------------------------- local attestation
     def _require_provisioned(self) -> None:
@@ -274,62 +293,110 @@ class MigrationEnclave(EnclaveBase):
         return {"status": "error", "error": f"unknown command {cmd!r}"}
 
     # ------------------------------------------------------------- outgoing
+    def _park_pending(self, target: bytes, data: bytes, dest: str, txn: str) -> None:
+        """Retain undelivered migration data for a later retry (Section V-D)."""
+        self._pending_outgoing[target] = {
+            "data": data,
+            "dest": dest,
+            "token": b"",
+            "txn": txn,
+        }
+
     def _handle_migrate_out(self, command: dict, session: dict) -> dict:
         destination = command["dest"]
+        txn = command.get("txn", "")
         target_mrenclave = session["peer_identity"].mrenclave
+        # A fresh migrate_out supersedes any completion record for this
+        # enclave identity: multi-hop chains reuse the same MRENCLAVE, so a
+        # new transaction must not be mistaken for a duplicate of the last.
+        self._completed.pop(target_mrenclave, None)
         try:
             self._require_provisioned()
-            self._send_to_destination(destination, target_mrenclave, command["data"])
+            shipped = self._send_to_destination(
+                destination, target_mrenclave, command["data"], txn
+            )
+        except TransientError as exc:
+            # The destination may come back; park the data so the exact same
+            # transaction can be retried without re-entering the enclave.
+            self._park_pending(target_mrenclave, command["data"], destination, txn)
+            return {"status": "error", "error": str(exc), "retryable": True}
         except (
             MigrationError,
             AttestationError,
             PolicyViolationError,
-            NetworkError,
             InvalidStateError,
         ) as exc:
             # The data stays here until the error is resolved or another
             # destination is selected (Section V-D).
-            self._pending_outgoing[target_mrenclave] = {
-                "data": command["data"],
-                "dest": destination,
-                "token": b"",
-            }
+            self._park_pending(target_mrenclave, command["data"], destination, txn)
             return {"status": "error", "error": str(exc)}
+        if shipped == "already_delivered":
+            return {"status": "ok", "already_done": True}
         return {"status": "ok"}
 
     def _handle_retry(self, command: dict, session: dict) -> dict:
-        """The frozen source library (or its operator) selects a new
-        destination for migration data this ME still holds."""
+        """The frozen source library (or its operator) selects a (possibly
+        new) destination for migration data this ME still holds."""
         target_mrenclave = session["peer_identity"].mrenclave
+        txn = command.get("txn", "")
         pending = self._pending_outgoing.get(target_mrenclave)
         if pending is None:
-            return {"status": "error", "error": "no pending migration data"}
+            if txn and self._completed.get(target_mrenclave) == txn:
+                # This very transaction already reached the destination and
+                # was confirmed; the retry is a harmless duplicate.
+                return {"status": "ok", "already_done": True}
+            if target_mrenclave in self._completed:
+                # Some *other* transaction for this identity completed; a
+                # re-ship could hand state to a second instance (R3).
+                return {"status": "error", "error": "migration already completed"}
+            return {
+                "status": "error",
+                "error": "no pending migration data",
+                "no_pending": True,
+            }
         try:
             self._require_provisioned()
-            self._send_to_destination(command["dest"], target_mrenclave, pending["data"])
+            shipped = self._send_to_destination(
+                command["dest"],
+                target_mrenclave,
+                pending["data"],
+                pending.get("txn") or txn,
+            )
+        except TransientError as exc:
+            return {"status": "error", "error": str(exc), "retryable": True}
         except (
             MigrationError,
             AttestationError,
             PolicyViolationError,
-            NetworkError,
             InvalidStateError,
         ) as exc:
             return {"status": "error", "error": str(exc)}
+        if shipped == "already_delivered":
+            return {"status": "ok", "already_done": True}
         return {"status": "ok"}
 
     @ecall
-    def retry_pending(self, mrenclave: bytes, destination: str) -> None:
+    def retry_pending(self, mrenclave: bytes, destination: str) -> MigrationResult:
         """Operator action: retry a failed migration, possibly elsewhere."""
         self._require_provisioned()
         pending = self._pending_outgoing.get(mrenclave)
         if pending is None:
             raise MigrationError("no pending migration for that enclave")
-        self._send_to_destination(destination, mrenclave, pending["data"])
+        self._send_to_destination(
+            destination, mrenclave, pending["data"], pending.get("txn", "")
+        )
+        return MigrationResult(
+            outcome=MigrationOutcome.SHIPPED, txn_id=pending.get("txn", "")
+        )
 
     def _send_to_destination(
-        self, destination: str, target_mrenclave: bytes, data: bytes
-    ) -> None:
-        """RA + provider auth + transfer to the destination ME."""
+        self, destination: str, target_mrenclave: bytes, data: bytes, txn: str = ""
+    ) -> str:
+        """RA + provider auth + transfer to the destination ME.
+
+        Returns ``"shipped"`` when the destination stored the data, or
+        ``"already_delivered"`` when the destination reports it already
+        confirmed this transaction (idempotent duplicate)."""
         my_mrenclave = self.sdk.identity.mrenclave
 
         def same_me(identity) -> bool:
@@ -397,15 +464,24 @@ class MigrationEnclave(EnclaveBase):
                 "target_mrenclave": target_mrenclave,
                 "source_me": self._my_address or "",
                 "token": token,
+                "txn": txn,
             },
         )
+        if transfer_reply.get("status") == "already_delivered":
+            # The destination confirmed this transaction on an earlier
+            # attempt (our done_notice was lost); release the retained copy.
+            self._completed[target_mrenclave] = txn
+            self._pending_outgoing.pop(target_mrenclave, None)
+            return "already_delivered"
         if transfer_reply.get("status") != "stored":
             raise MigrationError(f"destination ME did not store data: {transfer_reply}")
         self._pending_outgoing[target_mrenclave] = {
             "data": data,
             "dest": destination,
             "token": token,
+            "txn": txn,
         }
+        return "shipped"
 
     def _verify_peer_credential(
         self,
@@ -446,7 +522,7 @@ class MigrationEnclave(EnclaveBase):
         return wire.decode(plaintext)
 
     def _net_send(self, destination: str, payload: bytes) -> bytes:
-        return self.sdk.ocall("net_send", f"{destination}/me", payload)
+        return self.sdk.ocall("net_send", str(Endpoint.me(destination)), payload)
 
     # ------------------------------------------------------------- incoming
     def _on_ra_msg1(self, message: dict) -> bytes:
@@ -510,7 +586,13 @@ class MigrationEnclave(EnclaveBase):
             self._verify_peer_credential(
                 peer_credential, peer_sig, _RaView, role=b"init", expected_machine=None
             )
-        except (AttestationError, Exception) as exc:  # noqa: BLE001
+        except (
+            AttestationError,
+            InvalidStateError,
+            wire.WireError,
+            ValueError,
+            KeyError,
+        ) as exc:
             return {"status": "error", "error": str(exc)}
         session["authenticated"] = True
         session["peer_credential"] = peer_credential
@@ -527,10 +609,17 @@ class MigrationEnclave(EnclaveBase):
         if not session.get("authenticated"):
             return {"status": "error", "error": "transfer before provider auth"}
         target = command["target_mrenclave"]
+        txn = command.get("txn", "")
+        if txn and self._confirmed.get(target) == txn:
+            # The local enclave already fetched and confirmed this exact
+            # transaction; storing it again would arm the same state for a
+            # second instance (R3).  Tell the source it is finished.
+            return {"status": "already_delivered"}
         self._incoming[target] = {
             "data": command["data"],
             "source_me": command["source_me"],
             "token": command["token"],
+            "txn": txn,
         }
         return {"status": "stored"}
 
@@ -549,9 +638,13 @@ class MigrationEnclave(EnclaveBase):
         entry = self._incoming.pop(target, None)
         if entry is None:
             return {"status": "error", "error": "no migration to confirm"}
+        # Remember the confirmed transaction so a source-side re-transfer of
+        # the same transaction is answered "already_delivered" instead of
+        # re-arming the data for a second instance.
+        self._confirmed[target] = entry.get("txn", "")
         if entry["source_me"]:
             try:
-                self._net_send_raw(
+                self._net_send(
                     entry["source_me"],
                     wire.encode(
                         {
@@ -561,14 +654,11 @@ class MigrationEnclave(EnclaveBase):
                         }
                     ),
                 )
-            except NetworkError:
+            except TransientError:
                 # Losing the notice is safe: the source just retains its
                 # copy; it can never be delivered twice to the destination.
                 pass
         return {"status": "ok"}
-
-    def _net_send_raw(self, destination: str, payload: bytes) -> bytes:
-        return self.sdk.ocall("net_send", f"{destination}/me", payload)
 
     def _on_done_notice(self, message: dict) -> bytes:
         target = message["target_mrenclave"]
@@ -577,6 +667,9 @@ class MigrationEnclave(EnclaveBase):
             return wire.encode({"status": "ok"})  # idempotent
         if pending["token"] != message["token"]:
             return wire.encode({"status": "error", "error": "bad confirmation token"})
-        # The destination confirmed: safe to delete the migration data.
+        # The destination confirmed: safe to delete the migration data.  The
+        # completion record makes a duplicate retry of this transaction
+        # short-circuit rather than re-ship.
+        self._completed[target] = pending.get("txn", "")
         del self._pending_outgoing[target]
         return wire.encode({"status": "ok"})

@@ -33,14 +33,18 @@ from repro import wire
 from repro.core.datastructures import NUM_COUNTERS, LibraryState, MigrationData
 from repro.crypto.gcm import AesGcm
 from repro.errors import (
+    ChannelError,
     CounterNotFoundError,
     CryptoError,
     InvalidParameterError,
     InvalidStateError,
     MacMismatchError,
     MigrationError,
+    MigrationPendingError,
+    ServiceUnavailableError,
     SgxError,
     SgxStatus,
+    TransientError,
 )
 from repro.sgx.sdk import TrustedRuntime
 from repro.attestation.local import LocalAttestationInitiator
@@ -170,14 +174,29 @@ class MigrationLibrary:
         self._channel = result.channel
 
     def _me_command(self, command: dict) -> dict:
-        """Send one command over the (lazily established) secure channel."""
-        self._ensure_channel()
-        record = self._channel.send(wire.encode(command))
-        response = self._me_send(
-            {"t": "la_rec", "sid": self._session_id, "payload": record}
-        )
-        plaintext, _ = self._channel.recv(response["payload"])
-        return wire.decode(plaintext)
+        """Send one command over the (lazily established) secure channel.
+
+        Any transport or channel failure tears the channel down so the next
+        attempt re-attests from scratch: once a response is lost the channel
+        sequence numbers are desynchronized (and after an ME restart the
+        session is gone entirely), so the old channel is useless.  The
+        failure is surfaced as a :class:`ServiceUnavailableError` — callers
+        retry the *command*, which must therefore be idempotent.
+        """
+        try:
+            self._ensure_channel()
+            record = self._channel.send(wire.encode(command))
+            response = self._me_send(
+                {"t": "la_rec", "sid": self._session_id, "payload": record}
+            )
+            plaintext, _ = self._channel.recv(response["payload"])
+            return wire.decode(plaintext)
+        except (TransientError, ChannelError, KeyError, wire.WireError) as exc:
+            self._channel = None
+            self._session_id = None
+            raise ServiceUnavailableError(
+                f"Migration Enclave exchange failed: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------ Listing 1
     def migration_init(
@@ -237,13 +256,31 @@ class MigrationLibrary:
                 state.counter_uuids[slot] = uuid
                 state.counter_offsets[slot] = migration.counter_values[slot]
             self._state = state
-            blob = self._persist()
-            ack = self._me_command({"cmd": "done"})
-            if ack.get("status") != "ok":
-                raise MigrationError(f"Migration Enclave rejected DONE: {ack}")
-            return blob
+            # The DONE confirmation is a separate step (confirm_migration):
+            # the installed state must be persisted untrusted-side *before*
+            # the source releases its copy, or a crash right here would
+            # strand the enclave with neither copy usable.
+            return self._persist()
 
         raise InvalidParameterError(f"unknown init state: {init_state}")
+
+    def confirm_migration(self) -> None:
+        """Confirm the installed migration to the local Migration Enclave.
+
+        Releases the incoming copy and notifies the source ME so it can
+        release its retained copy too.  Called after the fresh library state
+        has been persisted.  Idempotent: if a previous confirmation got
+        through but its response was lost, the ME reports nothing left to
+        confirm and that is treated as success — so callers may blindly
+        retry after transport failures.
+        """
+        self._require_operational()
+        ack = self._me_command({"cmd": "done"})
+        if ack.get("status") == "ok":
+            return
+        if "no migration to confirm" in str(ack.get("error", "")):
+            return
+        raise MigrationError(f"Migration Enclave rejected DONE: {ack}")
 
     def _fetch_incoming(self) -> MigrationData:
         response = self._me_command({"cmd": "fetch"})
@@ -254,7 +291,7 @@ class MigrationLibrary:
             )
         return MigrationData.from_bytes(response["data"])
 
-    def migration_start(self, destination_address: str) -> None:
+    def migration_start(self, destination_address: str, txn_id: str = "") -> None:
         """Begin migrating this enclave to ``destination_address``.
 
         Order matters for fork prevention: effective counter values are
@@ -265,6 +302,11 @@ class MigrationLibrary:
         If a previous attempt failed after the freeze (the ME retained the
         data, Section V-D), calling this again asks the ME to retry towards
         ``destination_address`` — possibly a different machine.
+
+        ``txn_id`` names the migration transaction; the ME uses it to make
+        retried deliveries idempotent.  Failures that are safe to retry
+        raise :class:`MigrationPendingError`; other failures raise plain
+        :class:`MigrationError`.
         """
         if self._state is None:
             raise InvalidStateError("Migration Library not initialized")
@@ -275,12 +317,7 @@ class MigrationLibrary:
                 f"enclave policy forbids migration to {destination_address!r}"
             )
         if self._state.frozen:
-            response = self._me_command({"cmd": "retry", "dest": destination_address})
-            if response.get("status") != "ok":
-                raise MigrationError(
-                    f"retry of pending migration failed: "
-                    f"{response.get('error', response.get('status'))}"
-                )
+            self._retry_pending_migration(destination_address, txn_id)
             return
         state = self._state
         assert state is not None
@@ -307,21 +344,91 @@ class MigrationLibrary:
                 )
             state.counter_uuids[slot] = None
 
+        # Fold the captured effective values into the offsets before the
+        # freeze is persisted.  The counters are gone, so these offsets are
+        # the only surviving record of the effective values; they let a
+        # restarted source rebuild byte-identical migration data if the ME
+        # never received it (crash or drop before migrate_out arrived).
+        for slot in state.active_slots():
+            state.counter_offsets[slot] = data.counter_values[slot]
+
         state.frozen = True
         self._persist()
+        self._ship(destination_address, data, txn_id)
 
-        response = self._me_command(
-            {
-                "cmd": "migrate_out",
-                "dest": destination_address,
-                "data": data.to_bytes(),
-            }
-        )
+    def _ship(self, destination_address: str, data: MigrationData, txn_id: str) -> None:
+        """Hand frozen migration data to the local ME; classify the outcome."""
+        try:
+            response = self._me_command(
+                {
+                    "cmd": "migrate_out",
+                    "dest": destination_address,
+                    "data": data.to_bytes(),
+                    "txn": txn_id,
+                }
+            )
+        except TransientError as exc:
+            raise MigrationPendingError(
+                f"could not hand migration data to the Migration Enclave: "
+                f"{exc}; the enclave is frozen — call migration_start again "
+                f"to retry"
+            ) from exc
         if response.get("status") != "ok":
+            if response.get("retryable"):
+                raise MigrationPendingError(
+                    f"Migration Enclave could not deliver migration data "
+                    f"(retryable): {response.get('error')}"
+                )
             raise MigrationError(
                 f"Migration Enclave could not deliver migration data: "
                 f"{response.get('error', response.get('status'))}"
             )
+
+    def _retry_pending_migration(self, destination_address: str, txn_id: str) -> None:
+        """Drive an already-frozen migration forward (Section V-D retry)."""
+        try:
+            response = self._me_command(
+                {"cmd": "retry", "dest": destination_address, "txn": txn_id}
+            )
+        except TransientError as exc:
+            raise MigrationPendingError(
+                f"could not reach the Migration Enclave for retry: {exc}"
+            ) from exc
+        if response.get("status") == "ok":
+            return
+        if response.get("no_pending"):
+            # The ME holds neither pending nor completed state for this
+            # enclave: the original migrate_out never arrived (or the ME
+            # lost it in a pre-checkpoint crash).  Nothing was delivered
+            # anywhere, so rebuilding the data from the frozen state and
+            # shipping it afresh cannot fork the enclave.
+            self._ship(destination_address, self._rebuild_migration_data(), txn_id)
+            return
+        if response.get("retryable"):
+            raise MigrationPendingError(
+                f"retry of pending migration failed (retryable): "
+                f"{response.get('error')}"
+            )
+        raise MigrationError(
+            f"retry of pending migration failed: "
+            f"{response.get('error', response.get('status'))}"
+        )
+
+    def _rebuild_migration_data(self) -> MigrationData:
+        """Reconstruct the shipped data from the frozen persistent state.
+
+        Valid because migration_start folded the effective counter values
+        into the offsets before persisting the freeze; the MSK and those
+        folded values are everything the destination needs.
+        """
+        state = self._state
+        assert state is not None and state.frozen
+        data = MigrationData.empty()
+        data.msk = state.msk
+        for slot in state.active_slots():
+            data.counters_active[slot] = True
+            data.counter_values[slot] = state.counter_offsets[slot]
+        return data
 
     # --------------------------------------------- Listing 2: sealing (MSK)
     def seal_migratable_data(

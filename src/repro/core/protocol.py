@@ -4,31 +4,54 @@ Provides:
 
 * :class:`MigratableEnclave` — base class for application enclaves that
   embed the Migration Library; exposes the paper's Listing 1 interface
-  (``migration_init`` / ``migration_start``) as ECALLs.
+  (``migration_init`` / ``migration_start`` / ``migration_confirm``) as
+  ECALLs.
 * :func:`install_migration_enclave` — stands up the per-machine Migration
   Enclave in the management VM, binds its network endpoint, and runs the
-  provider's setup phase (credential provisioning).
+  provider's setup phase (credential provisioning).  With ``durable=True``
+  the ME checkpoints its sealed state after every handled message, and
+  :func:`reinstall_migration_enclave` brings it back after a crash.
 * :class:`MigratableApp` — the untrusted application half: launches the
   enclave, relays its Migration Library traffic, stores the sealed library
-  buffer, and drives the migrate / restart flows used by examples, attacks,
-  and benchmarks.
+  buffer, and drives the migrate / restart / resume flows used by examples,
+  attacks, and benchmarks.  ``migrate`` and ``resume`` return a typed
+  :class:`~repro.core.result.MigrationResult`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cloud.datacenter import DataCenter
 from repro.cloud.machine import PhysicalMachine
+from repro.cloud.network import Endpoint
+from repro.cloud.storage import (
+    PHASE_ARRIVED,
+    PHASE_PREPARE,
+    PHASE_SHIPPED,
+    MigrationJournal,
+    MigrationRecord,
+)
 from repro.core.migration_enclave import MigrationEnclave
 from repro.core.migration_library import InitState, MigrationLibrary
 from repro.core.policy import PolicySet, SameProviderPolicy
-from repro.errors import InvalidStateError, MigrationError
+from repro.core.result import CostSnapshot, MigrationOutcome, MigrationResult
+from repro.core.retry import RetryPolicy, call_with_retries
+from repro.errors import InvalidStateError, MigrationError, TransientError
 from repro.sgx.enclave import Enclave, EnclaveBase, ecall
 from repro.sgx.identity import SigningKey
 from repro.sgx.measurement import measure_source
 
 LIBRARY_STATE_PATH = "miglib_state"
+
+#: Where a durable ME's sealed checkpoint lives on the management app's disk.
+ME_CHECKPOINT_PATH = "me_checkpoint"
+
+#: Deadline (simulated seconds) for one request/response exchange with an
+#: ME.  Exceeding it raises NetworkTimeoutError at the sender — the request
+#: may still have been delivered, which is why every ME command is
+#: idempotent (keyed by migration-transaction id).
+ME_REQUEST_TIMEOUT = 30.0
 
 
 def expected_me_mrenclave() -> bytes:
@@ -61,14 +84,24 @@ class MigratableEnclave(EnclaveBase):
         return self.miglib.migration_init(data_buffer, InitState[init_state], me_address)
 
     @ecall
-    def migration_start(self, destination_address: str) -> None:
+    def migration_start(self, destination_address: str, txn_id: str = "") -> None:
         """Ask the library to migrate this enclave's persistent state."""
-        self.miglib.migration_start(destination_address)
+        self.miglib.migration_start(destination_address, txn_id)
+
+    @ecall
+    def migration_confirm(self) -> None:
+        """Confirm an installed migration (releases the source copy)."""
+        self.miglib.confirm_migration()
 
     # ----------------------------------------------------------- helpers
     @ecall
     def is_frozen(self) -> bool:
         return self.miglib.frozen
+
+    @ecall
+    def migration_ready(self) -> bool:
+        """True once the library is initialized and serving (not frozen)."""
+        return self.miglib.initialized and not self.miglib.frozen
 
 
 # The base class and library sources are both folded into subclasses'
@@ -85,24 +118,16 @@ class MigrationEnclaveHost:
     address: str  # machine address; service endpoint is f"{address}/me"
 
 
-def install_migration_enclave(
+def _provision_and_register(
     dc: DataCenter,
     machine: PhysicalMachine,
-    me_signing_key: SigningKey,
-    policies: PolicySet | None = None,
+    mgmt_app,
+    me_enclave: Enclave,
+    policies: PolicySet | None,
+    durable: bool,
+    replace: bool,
 ) -> MigrationEnclaveHost:
-    """Deploy + provision the Migration Enclave on ``machine``.
-
-    Runs in the management VM (which also hosts Platform Services per
-    Section VI-C), registers the ``<machine>/me`` network endpoint, and
-    performs the provider's setup phase.
-    """
-    mgmt_app = machine.management_vm.launch_application("migration-service")
-    me_enclave = mgmt_app.launch_enclave(MigrationEnclave, me_signing_key)
-    me_enclave.register_ocall(
-        "net_send", lambda dst, payload: mgmt_app.send(dst, payload)
-    )
-
+    """Shared tail of (re)installation: setup phase + endpoint binding."""
     # Setup phase: the data-center operator certifies this ME.
     me_public = me_enclave.ecall("signing_public_key")
     credential = dc.issue_credential(
@@ -120,21 +145,106 @@ def install_migration_enclave(
         policies,
     )
 
-    dc.network.register(
-        f"{machine.address}/me",
-        lambda payload, src: me_enclave.ecall("handle_message", payload, src),
+    if durable:
+        def handler(payload, src):
+            response = me_enclave.ecall("handle_message", payload, src)
+            # Checkpoint after every handled message so a crash never loses
+            # the ME's "temporary store" of migration data (Section VI-A).
+            mgmt_app.store(
+                ME_CHECKPOINT_PATH, me_enclave.ecall("export_sealed_state")
+            )
+            return response
+
+        mgmt_app.store(ME_CHECKPOINT_PATH, me_enclave.ecall("export_sealed_state"))
+    else:
+        def handler(payload, src):
+            return me_enclave.ecall("handle_message", payload, src)
+
+    dc.network.register(Endpoint.me(machine.address), handler, replace=replace)
+    return MigrationEnclaveHost(
+        machine=machine, enclave=me_enclave, address=machine.address
     )
-    return MigrationEnclaveHost(machine=machine, enclave=me_enclave, address=machine.address)
+
+
+def install_migration_enclave(
+    dc: DataCenter,
+    machine: PhysicalMachine,
+    me_signing_key: SigningKey,
+    policies: PolicySet | None = None,
+    *,
+    durable: bool = False,
+) -> MigrationEnclaveHost:
+    """Deploy + provision the Migration Enclave on ``machine``.
+
+    Runs in the management VM (which also hosts Platform Services per
+    Section VI-C), registers the ``<machine>/me`` network endpoint, and
+    performs the provider's setup phase.  ``durable=True`` adds a sealed
+    checkpoint after every handled message (see
+    :func:`reinstall_migration_enclave`).
+    """
+    mgmt_app = machine.management_vm.launch_application("migration-service")
+    me_enclave = mgmt_app.launch_enclave(MigrationEnclave, me_signing_key)
+    me_enclave.register_ocall(
+        "net_send",
+        lambda dst, payload: mgmt_app.send(dst, payload, timeout=ME_REQUEST_TIMEOUT),
+    )
+    return _provision_and_register(
+        dc, machine, mgmt_app, me_enclave, policies, durable, replace=False
+    )
+
+
+def reinstall_migration_enclave(
+    dc: DataCenter,
+    machine: PhysicalMachine,
+    me_signing_key: SigningKey,
+    policies: PolicySet | None = None,
+    *,
+    durable: bool = True,
+) -> MigrationEnclaveHost:
+    """Bring the Migration Enclave back after a machine crash or mgmt-VM
+    restart, restoring its sealed checkpoint when one survives on disk.
+
+    The checkpoint is imported *before* credential issuance so the restored
+    signing key (not the fresh enclave's) is the one the new credential
+    certifies — peers that cached nothing keep working, and retained
+    migration data (pending/incoming stores plus the idempotency records)
+    is back in place before the endpoint reappears.
+    """
+    mgmt_app = next(
+        (
+            app
+            for app in machine.management_vm.applications
+            if app.name == "migration-service"
+        ),
+        None,
+    )
+    if mgmt_app is None:
+        mgmt_app = machine.management_vm.launch_application("migration-service")
+    elif not mgmt_app.running:
+        mgmt_app.restart()
+    me_enclave = mgmt_app.launch_enclave(MigrationEnclave, me_signing_key)
+    me_enclave.register_ocall(
+        "net_send",
+        lambda dst, payload: mgmt_app.send(dst, payload, timeout=ME_REQUEST_TIMEOUT),
+    )
+    if mgmt_app.has_stored(ME_CHECKPOINT_PATH):
+        me_enclave.ecall("import_sealed_state", mgmt_app.load(ME_CHECKPOINT_PATH))
+    return _provision_and_register(
+        dc, machine, mgmt_app, me_enclave, policies, durable, replace=True
+    )
 
 
 def install_all_migration_enclaves(
-    dc: DataCenter, me_signing_key: SigningKey | None = None
+    dc: DataCenter,
+    me_signing_key: SigningKey | None = None,
+    *,
+    durable: bool = False,
 ) -> dict[str, MigrationEnclaveHost]:
     """Deploy the ME on every machine of the data center."""
     if me_signing_key is None:
         me_signing_key = SigningKey.generate(dc.rng.child("me-signer"))
     return {
-        name: install_migration_enclave(dc, machine, me_signing_key)
+        name: install_migration_enclave(dc, machine, me_signing_key, durable=durable)
         for name, machine in dc.machines.items()
     }
 
@@ -145,7 +255,9 @@ class MigratableApp:
 
     Owns the Listing 1 lifecycle: it decides when to call
     ``migration_init`` (and with which ``init_state``) and when to trigger
-    ``migration_start``, and it stores the sealed Table II buffer.
+    ``migration_start``, stores the sealed Table II buffer, and keeps the
+    on-disk migration journal that lets :meth:`resume` drive an interrupted
+    migration to completion after a crash.
     """
 
     vm_name: str
@@ -156,6 +268,8 @@ class MigratableApp:
     vm: object = None
     app: object = None
     enclave: Enclave | None = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    _txn_seq: int = 0
 
     @classmethod
     def deploy(
@@ -181,26 +295,52 @@ class MigratableApp:
         return instance
 
     # ----------------------------------------------------------- lifecycle
-    def launch(self, init_state: InitState) -> Enclave:
-        """Load the enclave and initialize its Migration Library."""
+    def launch(
+        self, init_state: InitState, *, retry_policy: RetryPolicy | None = None
+    ) -> Enclave:
+        """Load the enclave and initialize its Migration Library.
+
+        Transient failures (the local ME briefly unreachable) are retried
+        under ``retry_policy``; ``migration_init`` is idempotent until it
+        succeeds because the library only installs state on success.
+        """
+        policy = retry_policy or self.retry_policy
         app = self.app
         if not app.running:
             app.restart()
         enclave = app.launch_enclave(self.enclave_class, self.signing_key)
         enclave.register_ocall(
-            "send_to_me", lambda addr, payload: app.send(f"{addr}/me", payload)
+            "send_to_me",
+            lambda addr, payload: app.send(
+                Endpoint.me(addr), payload, timeout=ME_REQUEST_TIMEOUT
+            ),
         )
         enclave.register_ocall(
             "save_library_state", lambda blob: app.store(LIBRARY_STATE_PATH, blob)
         )
+        # Expose the handle before init: a frozen RESTORE raises from the
+        # init ECALL but leaves the (refusing-to-operate) enclave loaded,
+        # and resume() needs that handle to drive the retry path.
+        self.enclave = enclave
         buffer = app.load(LIBRARY_STATE_PATH) if app.has_stored(LIBRARY_STATE_PATH) else None
-        if init_state is not InitState.NEW and buffer is None and init_state is InitState.RESTORE:
+        if buffer is None and init_state is InitState.RESTORE:
             raise InvalidStateError("no stored library buffer to restore from")
-        blob = enclave.ecall(
-            "migration_init", buffer, init_state.name, app.machine.address
+        blob, _ = call_with_retries(
+            lambda: enclave.ecall(
+                "migration_init", buffer, init_state.name, app.machine.address
+            ),
+            meter=self.dc.meter,
+            policy=policy,
         )
         app.store(LIBRARY_STATE_PATH, blob)
-        self.enclave = enclave
+        if init_state is InitState.MIGRATE:
+            # The library state is persisted; only now may the source copy
+            # be released.  Confirmation is idempotent, so retry blindly.
+            call_with_retries(
+                lambda: enclave.ecall("migration_confirm"),
+                meter=self.dc.meter,
+                policy=policy,
+            )
         return enclave
 
     def start_new(self) -> Enclave:
@@ -217,19 +357,91 @@ class MigratableApp:
         from the local Migration Enclave (Fig. 1's 'Migrated enclave')."""
         return self.launch(InitState.MIGRATE)
 
+    # ------------------------------------------------------------ migration
+    def _next_txn(self) -> str:
+        self._txn_seq += 1
+        return f"{self.app_name}-txn-{self._txn_seq}"
+
+    def _journal(self) -> MigrationJournal:
+        """The migration-in-progress record on the app's *current* machine."""
+        return MigrationJournal(self.app.machine.storage, self.app_name)
+
     def migrate(
-        self, destination: PhysicalMachine, migrate_vm: bool = True
-    ) -> Enclave:
-        """The full paper flow (Fig. 2): notify the enclave, ship persistent
-        state via the MEs, live-migrate the VM, and re-initialize on the
-        destination.  Returns the destination enclave handle."""
+        self,
+        destination: PhysicalMachine,
+        migrate_vm: bool = True,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        txn_id: str | None = None,
+    ) -> MigrationResult:
+        """The full paper flow (Fig. 2), hardened: journal the transaction,
+        notify the enclave (with retries), ship persistent state via the
+        MEs, relocate the VM, and re-initialize on the destination.
+
+        Returns a :class:`MigrationResult`; on transient exhaustion the
+        outcome is ``PENDING_RETRY`` and the journal is retained so
+        :meth:`resume` can finish the job later.  Fatal errors raise.
+        """
         if self.enclave is None or not self.enclave.alive:
             raise MigrationError("no running enclave to migrate")
-        # Step 1-3: the application notifies the enclave; the library
-        # freezes, destroys counters, and hands the data to the source ME,
-        # which forwards it to the destination ME.
-        self.enclave.ecall("migration_start", destination.address)
-        # The VM (with the now-terminated enclave) moves to the destination.
+        policy = retry_policy or self.retry_policy
+        txn = txn_id if txn_id is not None else self._next_txn()
+        start_cost = CostSnapshot.capture(self.dc)
+        source_address = self.app.machine.address
+        # Persist the migration-in-progress record BEFORE the first
+        # irreversible step (Section VI-C): a crash from here on leaves
+        # enough on disk for resume() to finish or safely retry.
+        self._journal().write(
+            MigrationRecord(txn, "source", PHASE_PREPARE, source_address, destination.address)
+        )
+        try:
+            _, retries = call_with_retries(
+                lambda: self.enclave.ecall("migration_start", destination.address, txn),
+                meter=self.dc.meter,
+                policy=policy,
+            )
+        except TransientError as exc:
+            # Frozen (or not even started) with the data parked at the
+            # source ME; the journal stays so resume() can push it forward.
+            return MigrationResult(
+                outcome=MigrationOutcome.PENDING_RETRY,
+                txn_id=txn,
+                retries_used=policy.max_attempts - 1,
+                cost=CostSnapshot.capture(self.dc).delta(start_cost),
+                error=exc,
+            )
+        self._journal().write(
+            MigrationRecord(
+                txn, "source", PHASE_SHIPPED, source_address, destination.address,
+                retries=retries,
+            )
+        )
+        return self._complete_relocation(
+            destination, migrate_vm, txn, policy, start_cost, retries,
+            MigrationOutcome.COMPLETED,
+        )
+
+    def _complete_relocation(
+        self,
+        destination: PhysicalMachine,
+        migrate_vm: bool,
+        txn: str,
+        policy: RetryPolicy,
+        start_cost: CostSnapshot,
+        retries: int,
+        outcome: MigrationOutcome,
+    ) -> MigrationResult:
+        """Steps after the state reached the destination ME: move the VM,
+        restart the enclave there, confirm, clean up both journals."""
+        source_storage = self.app.machine.storage
+        source_address = self.app.machine.address
+        # The destination-side record goes down BEFORE the VM moves: there
+        # is then no instant at which a crash leaves no journal anywhere.
+        MigrationJournal(destination.storage, self.app_name).write(
+            MigrationRecord(
+                txn, "destination", PHASE_ARRIVED, source_address, destination.address
+            )
+        )
         self.app.terminate()
         if migrate_vm:
             self.dc.hypervisor.migrate_vm(self.vm, destination)
@@ -238,9 +450,104 @@ class MigratableApp:
             # app is recreated on the destination.
             self.vm.machine.release_vm(self.vm)
             destination.adopt_vm(self.vm)
-        # Step 4: on the destination, the restarted enclave fetches its
-        # migration data from the local ME.
-        return self.launch(InitState.MIGRATE)
+        enclave = self.launch(InitState.MIGRATE, retry_policy=policy)
+        self._journal().clear()
+        MigrationJournal(source_storage, self.app_name).clear()
+        return MigrationResult(
+            outcome=outcome,
+            txn_id=txn,
+            retries_used=retries,
+            cost=CostSnapshot.capture(self.dc).delta(start_cost),
+            enclave=enclave,
+        )
+
+    def resume(
+        self,
+        *,
+        migrate_vm: bool = False,
+        retry_policy: RetryPolicy | None = None,
+    ) -> MigrationResult:
+        """Drive an interrupted migration to completion after a crash.
+
+        Reads the journal on the app's current machine.  ``role=source``
+        records re-freeze/retry from the persisted library state and then
+        complete the relocation; ``role=destination`` records finish the
+        install (fetch if the state never landed, confirm otherwise).
+        Raises :class:`MigrationError` when no migration is in progress.
+        """
+        policy = retry_policy or self.retry_policy
+        record = self._journal().read()
+        if record is None:
+            raise MigrationError("no migration in progress for this application")
+        start_cost = CostSnapshot.capture(self.dc)
+        destination = self.dc.machine(record.destination)
+
+        if record.role == "source":
+            if self.enclave is None or not self.enclave.alive:
+                try:
+                    self.launch(InitState.RESTORE, retry_policy=policy)
+                except InvalidStateError:
+                    # Frozen blob: migration_init loaded the state and then
+                    # refused to operate.  The handle is still good for the
+                    # migration_start retry path below.
+                    pass
+            _, retries = call_with_retries(
+                lambda: self.enclave.ecall(
+                    "migration_start", record.destination, record.txn_id
+                ),
+                meter=self.dc.meter,
+                policy=policy,
+            )
+            self._journal().write(
+                MigrationRecord(
+                    record.txn_id, "source", PHASE_SHIPPED,
+                    record.source, record.destination, retries=retries,
+                )
+            )
+            return self._complete_relocation(
+                destination, migrate_vm, record.txn_id, policy, start_cost,
+                retries, MigrationOutcome.RESUMED,
+            )
+
+        # role == "destination": the VM already moved here.
+        if self.enclave is not None and self.enclave.alive and self.enclave.ecall(
+            "migration_ready"
+        ):
+            enclave = self.enclave
+            call_with_retries(
+                lambda: enclave.ecall("migration_confirm"),
+                meter=self.dc.meter,
+                policy=policy,
+            )
+        elif self.app.has_stored(LIBRARY_STATE_PATH):
+            # The migrated state was installed and persisted before the
+            # crash; a plain RESTORE brings it back, then (re)confirm.
+            # Any half-initialized instance from the interrupted attempt is
+            # torn down first — recovery restarts from persisted state.
+            if self.app.running:
+                self.app.terminate()
+            enclave = self.launch(InitState.RESTORE, retry_policy=policy)
+            call_with_retries(
+                lambda: enclave.ecall("migration_confirm"),
+                meter=self.dc.meter,
+                policy=policy,
+            )
+        else:
+            # Crash before the install: the data still waits at the local
+            # ME (or at the source ME, in which case the source resumes).
+            if self.app.running:
+                self.app.terminate()
+            enclave = self.launch(InitState.MIGRATE, retry_policy=policy)
+        self._journal().clear()
+        MigrationJournal(
+            self.dc.machine(record.source).storage, self.app_name
+        ).clear()
+        return MigrationResult(
+            outcome=MigrationOutcome.RESUMED,
+            txn_id=record.txn_id,
+            cost=CostSnapshot.capture(self.dc).delta(start_cost),
+            enclave=enclave,
+        )
 
     # -------------------------------------------------------------- helpers
     def stored_library_buffer(self) -> bytes:

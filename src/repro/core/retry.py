@@ -1,0 +1,67 @@
+"""Bounded exponential-backoff retries, charged to the simulated clock.
+
+The migration protocol's hardening rule is simple: an operation is retried
+iff it failed with a :class:`~repro.errors.TransientError` (network drop,
+``SGX_ERROR_BUSY``, service timeout) — anything else is fatal and propagates
+immediately.  Backoff delays are charged to the machine's
+:class:`~repro.sim.costs.CostMeter` as exact ``retry_backoff`` entries, so
+experiments measure exactly what the configured schedule prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import TransientError
+from repro.sim.costs import CostMeter
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """``max_attempts`` total tries; delay before retry *k* (1-based) is
+    ``min(base_delay * multiplier**(k-1), max_delay)`` seconds."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+
+    def delay_schedule(self) -> list[float]:
+        """The backoff delays charged between attempts (length
+        ``max_attempts - 1``)."""
+        return [
+            min(self.base_delay * self.multiplier**k, self.max_delay)
+            for k in range(self.max_attempts - 1)
+        ]
+
+
+#: Retry nothing: one attempt, failures propagate.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    *,
+    meter: CostMeter,
+    policy: RetryPolicy = RetryPolicy(),
+    label: str = "retry_backoff",
+) -> tuple[T, int]:
+    """Run ``fn`` under ``policy``; returns ``(result, retries_used)``.
+
+    Only :class:`TransientError` triggers a retry.  When attempts are
+    exhausted the last transient error propagates to the caller.
+    """
+    if policy.max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    delays = policy.delay_schedule()
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn(), attempt
+        except TransientError:
+            if attempt == policy.max_attempts - 1:
+                raise
+            meter.charge_exact(label, delays[attempt])
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -6,6 +6,15 @@ with, and adds an exception hierarchy so Python call sites can use either
 style: trusted SDK facades raise :class:`SgxError` subclasses carrying a
 :class:`SgxStatus`, and code that wants C-style handling can catch them and
 inspect ``.status``.
+
+The hierarchy is split along one load-bearing axis for the crash-safe
+migration protocol: **retryable vs. fatal**.  Everything deriving from
+:class:`TransientError` (a dropped connection, ``SGX_ERROR_BUSY``, a service
+timeout) may succeed if simply attempted again, and the protocol's retry
+loops dispatch on exactly that type.  Everything else — above all the
+:class:`MigrationError` family — is fatal for the current attempt and must
+surface to the caller.  Every error in both families carries an
+``sgx_status_t``-style code in ``.status``.
 """
 
 from __future__ import annotations
@@ -98,7 +107,25 @@ class CounterQuotaError(SgxError):
     status = SgxStatus.SGX_ERROR_MC_OVER_QUOTA
 
 
-class ServiceUnavailableError(SgxError):
+class TransientError(ReproError):
+    """A failure that may succeed if the operation is simply retried.
+
+    Retry loops (:func:`repro.core.retry.call_with_retries`) dispatch on
+    this type and on nothing else: anything not transient is fatal for the
+    current attempt.  Like :class:`SgxError`, every transient error carries
+    an ``sgx_status_t``-style code in ``.status``.
+    """
+
+    status: SgxStatus = SgxStatus.SGX_ERROR_SERVICE_UNAVAILABLE
+
+
+class BusyError(SgxError, TransientError):
+    """The service (PSE, ME) is temporarily busy; try again."""
+
+    status = SgxStatus.SGX_ERROR_BUSY
+
+
+class ServiceUnavailableError(SgxError, TransientError):
     """Platform Services (PSE) could not be reached."""
 
     status = SgxStatus.SGX_ERROR_SERVICE_UNAVAILABLE
@@ -114,18 +141,50 @@ class ChannelError(ReproError):
     sequence number, or use of a closed channel."""
 
 
-class MigrationError(ReproError):
-    """Migration protocol failure (library frozen, wrong destination,
-    unauthorized machine, no matching enclave...)."""
+class MigrationError(SgxError):
+    """Fatal migration protocol failure (library frozen, wrong destination,
+    unauthorized machine, no matching enclave...).  Not retryable."""
+
+    status = SgxStatus.SGX_ERROR_INVALID_STATE
 
 
 class PolicyViolationError(MigrationError):
     """A migration policy (R2 / future-work policies) rejected the request."""
 
 
+class MigrationPendingError(MigrationError, TransientError):
+    """The migration could not complete *yet* — the state is frozen and the
+    transfer is parked at the source ME awaiting a retry (Section V-D).
+
+    Deliberately both a :class:`MigrationError` (legacy callers that catch
+    the fatal family still see the failed attempt) and a
+    :class:`TransientError` (retry loops know re-driving the same
+    transaction can succeed).
+    """
+
+    status = SgxStatus.SGX_ERROR_BUSY
+
+
 class CryptoError(ReproError):
     """Low-level cryptographic failure (tag mismatch, bad key size...)."""
 
 
-class NetworkError(ReproError):
+class NetworkError(TransientError):
     """Simulated network failure (unknown endpoint, dropped connection)."""
+
+    status = SgxStatus.SGX_ERROR_SERVICE_UNAVAILABLE
+
+
+class NetworkTimeoutError(NetworkError):
+    """The round trip exceeded the caller's deadline.  The request may or
+    may not have been delivered — retries must be idempotent."""
+
+    status = SgxStatus.SGX_ERROR_SERVICE_TIMEOUT
+
+
+class MachineCrashedError(NetworkError):
+    """The peer's physical machine crashed while (or before) serving the
+    request.  Transient from the sender's point of view: the machine may
+    come back, or a retry may be redirected elsewhere."""
+
+    status = SgxStatus.SGX_ERROR_SERVICE_UNAVAILABLE

@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the simulated data center.
+
+``repro.faults`` turns "what if this exact message is lost / this machine
+dies right here?" into replayable experiments: declare a
+:class:`~repro.faults.plan.FaultPlan`, hand it to a
+:class:`~repro.faults.injector.FaultInjector` attached to the
+:class:`~repro.cloud.network.Network`, and every run with the same seed
+injects the identical fault at the identical protocol step.  The
+:mod:`repro.faults.chaos` harness builds on this to sweep drop and crash
+faults over every message of a full enclave migration and check the paper's
+R3/R4 invariants after recovery.
+"""
+
+from repro.faults.injector import FaultInjector, FiredFault, ObservedMessage
+from repro.faults.plan import (
+    Corrupt,
+    CrashMachine,
+    Delay,
+    Drop,
+    Duplicate,
+    FaultAction,
+    FaultPlan,
+    FaultRule,
+    Hook,
+    MessageMatch,
+)
+
+__all__ = [
+    "Corrupt",
+    "CrashMachine",
+    "Delay",
+    "Drop",
+    "Duplicate",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FiredFault",
+    "Hook",
+    "MessageMatch",
+    "ObservedMessage",
+]

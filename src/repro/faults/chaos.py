@@ -1,0 +1,274 @@
+"""Chaos harness: sweep faults over every message of a migration.
+
+The paper's correctness argument (Section VI-C) is that the migration
+protocol preserves two invariants *no matter where it is interrupted*:
+
+* **R3** — at no point are there two operational instances of the migrated
+  enclave (no forking via migration).
+* **R4** — the enclave's monotonic counters never regress (no rollback via
+  migration).
+
+This module turns that argument into an executable experiment.  A fault-free
+probe run records the complete message sequence of one enclave migration
+(local attestation, ME-to-ME transfer, destination fetch, confirmation).
+The sweep then replays the scenario once per (message, fault) pair — drop
+the message, duplicate the request, or crash the source/destination machine
+at that exact instant — lets the retry/resume machinery recover, and checks
+R3 and R4 through ECALLs alone.
+
+Run it as a module::
+
+    PYTHONPATH=src python -m repro.faults.chaos
+
+Exit status 1 means at least one swept scenario violated an invariant.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.apps.counter_app import MigratableBenchEnclave
+from repro.cloud.datacenter import DataCenter
+from repro.core.protocol import (
+    MigratableApp,
+    install_all_migration_enclaves,
+    reinstall_migration_enclave,
+)
+from repro.core.result import MigrationOutcome
+from repro.core.retry import RetryPolicy
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector, ObservedMessage
+from repro.faults.plan import FaultPlan
+from repro.sgx.identity import SigningKey
+
+SOURCE = "machine-a"
+DESTINATION = "machine-b"
+
+#: The counter value the enclave reaches before migrating; R4 requires the
+#: surviving instance to read back exactly this value.
+COUNTER_TARGET = 3
+
+#: Small retry budget so scenarios where retries cannot help fail fast into
+#: the resume path instead of burning sweep wall-clock.
+SWEEP_POLICY = RetryPolicy(max_attempts=2, base_delay=0.05)
+
+#: The fault kinds the sweep applies at every message position.  Duplicates
+#: only make sense on request legs (the network layer re-delivers requests).
+DEFAULT_KINDS = ("drop", "duplicate", "crash-source", "crash-dest")
+
+
+@dataclass
+class ChaosWorld:
+    """One freshly built two-machine data center ready to migrate."""
+
+    dc: DataCenter
+    app: MigratableApp
+    counter_id: int
+    me_signer: SigningKey
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one (message, fault) scenario."""
+
+    kind: str
+    seq: int
+    msg_type: str | None
+    direction: str
+    migrate_outcome: str
+    recovery_outcome: str
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def build_world(seed: int = 2018) -> ChaosWorld:
+    """Two machines, durable MEs on both, one counter enclave at
+    ``COUNTER_TARGET`` on the source."""
+    dc = DataCenter(name="chaos", seed=seed)
+    dc.add_machine(SOURCE)
+    dc.add_machine(DESTINATION)
+    me_signer = SigningKey.generate(dc.rng.child("chaos-me-signer"))
+    install_all_migration_enclaves(dc, me_signer, durable=True)
+    dev_key = SigningKey.generate(dc.rng.child("chaos-dev"))
+    app = MigratableApp.deploy(
+        dc, dc.machine(SOURCE), MigratableBenchEnclave, dev_key
+    )
+    app.retry_policy = SWEEP_POLICY
+    enclave = app.start_new()
+    counter_id, _ = enclave.ecall("create_counter")
+    for _ in range(COUNTER_TARGET):
+        enclave.ecall("increment_counter", counter_id)
+    return ChaosWorld(dc=dc, app=app, counter_id=counter_id, me_signer=me_signer)
+
+
+def probe_message_sequence(seed: int = 2018) -> list[ObservedMessage]:
+    """Record the full message trace of one fault-free migration."""
+    world = build_world(seed)
+    injector = FaultInjector(
+        plan=FaultPlan(),
+        rng=world.dc.rng.child("chaos-faults"),
+        machines=dict(world.dc.machines),
+        meter=world.dc.meter,
+    )
+    world.dc.network.fault_injector = injector
+    result = world.app.migrate(world.dc.machine(DESTINATION), migrate_vm=False)
+    world.dc.network.fault_injector = None
+    if result.outcome is not MigrationOutcome.COMPLETED:
+        raise AssertionError(f"probe migration did not complete: {result.outcome}")
+    return list(injector.trace)
+
+
+def _plan_for(
+    kind: str, leg: ObservedMessage, request_ordinal: int
+) -> tuple[FaultPlan, list[str]]:
+    """Build the one-fault plan for this scenario; returns the plan plus the
+    machines it will crash (so recovery knows which MEs to reinstall).
+
+    Drop/crash rules match every leg and fire on the ``seq``-th occurrence,
+    which with a wildcard predicate is exactly the probe's global sequence
+    number; duplicate rules match request legs only, so they count by the
+    request's ordinal among requests.
+    """
+    plan = FaultPlan()
+    if kind == "drop":
+        return plan.drop(nth=leg.seq), []
+    if kind == "duplicate":
+        return plan.duplicate(direction="request", nth=request_ordinal), []
+    if kind == "crash-source":
+        return plan.crash_machine(SOURCE, nth=leg.seq), [SOURCE]
+    if kind == "crash-dest":
+        return plan.crash_machine(DESTINATION, nth=leg.seq), [DESTINATION]
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def check_invariants(world: ChaosWorld) -> list[str]:
+    """R3/R4 via ECALLs only: an *operational instance* is a loaded, alive
+    enclave of the application class that serves the counter read.  Frozen,
+    uninitialized, or crashed instances refuse the read and do not count."""
+    violations: list[str] = []
+    serving: list[int] = []
+    for machine in world.dc.machines.values():
+        for enclave in machine.enclaves:
+            if enclave.enclave_class is not MigratableBenchEnclave:
+                continue
+            if not enclave.alive:
+                continue
+            try:
+                value = enclave.ecall("read_counter", world.counter_id)
+            except ReproError:
+                continue
+            serving.append(value)
+    if len(serving) > 1:
+        violations.append(f"R3: {len(serving)} operational instances survive")
+    if not serving:
+        violations.append("liveness: no operational instance after recovery")
+    else:
+        value = serving[0]
+        if value < COUNTER_TARGET:
+            violations.append(
+                f"R4: counter regressed to {value} (expected {COUNTER_TARGET})"
+            )
+        elif value > COUNTER_TARGET:
+            violations.append(
+                f"counter advanced to {value} without increments "
+                f"(expected {COUNTER_TARGET})"
+            )
+    return violations
+
+
+def run_scenario(
+    kind: str, leg: ObservedMessage, request_ordinal: int, seed: int = 2018
+) -> ScenarioReport:
+    """Fresh world, one fault at ``leg``, recovery, invariant check."""
+    world = build_world(seed)
+    dc, app = world.dc, world.app
+    plan, crashed = _plan_for(kind, leg, request_ordinal)
+    dc.network.fault_injector = FaultInjector(
+        plan=plan,
+        rng=dc.rng.child("chaos-faults"),
+        machines=dict(dc.machines),
+        meter=dc.meter,
+    )
+    try:
+        result = app.migrate(dc.machine(DESTINATION), migrate_vm=False)
+        migrate_outcome = result.outcome.value
+        completed = result.outcome is MigrationOutcome.COMPLETED
+    except ReproError as exc:
+        migrate_outcome = f"raised:{type(exc).__name__}"
+        completed = False
+
+    # Recovery: the fault window is over, the operator reinstalls the ME on
+    # any crashed machine (its durable checkpoint survives on disk), and the
+    # application resumes the journalled migration.
+    dc.network.fault_injector = None
+    recovery_outcome = "not-needed"
+    if not completed:
+        for name in crashed:
+            reinstall_migration_enclave(dc, dc.machine(name), world.me_signer)
+        try:
+            resumed = app.resume(migrate_vm=False)
+            recovery_outcome = resumed.outcome.value
+        except ReproError as exc:
+            recovery_outcome = f"raised:{type(exc).__name__}"
+
+    report = ScenarioReport(
+        kind=kind,
+        seq=leg.seq,
+        msg_type=leg.msg_type,
+        direction=leg.direction,
+        migrate_outcome=migrate_outcome,
+        recovery_outcome=recovery_outcome,
+    )
+    if recovery_outcome.startswith("raised:"):
+        report.violations.append(f"recovery failed: {recovery_outcome}")
+    report.violations.extend(check_invariants(world))
+    return report
+
+
+def sweep(
+    seed: int = 2018, kinds: tuple[str, ...] = DEFAULT_KINDS
+) -> list[ScenarioReport]:
+    """Every message of the migration sequence under every fault kind."""
+    trace = probe_message_sequence(seed)
+    reports: list[ScenarioReport] = []
+    request_ordinal = 0
+    for leg in trace:
+        for kind in kinds:
+            if kind == "duplicate" and leg.direction != "request":
+                continue
+            reports.append(run_scenario(kind, leg, request_ordinal, seed))
+        if leg.direction == "request":
+            request_ordinal += 1
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    seed = int(args[0]) if args else 2018
+    trace = probe_message_sequence(seed)
+    print(f"migration message sequence: {len(trace)} legs (seed {seed})")
+    reports = sweep(seed)
+    failures = [r for r in reports if not r.ok]
+    for report in reports:
+        marker = "FAIL" if report.violations else "ok"
+        step = f"{report.msg_type or 'reply'}/{report.direction}"
+        print(
+            f"  [{marker:>4}] seq {report.seq:>2} {step:<22} "
+            f"{report.kind:<13} migrate={report.migrate_outcome:<28} "
+            f"recovery={report.recovery_outcome}"
+        )
+        for violation in report.violations:
+            print(f"         !! {violation}")
+    print(
+        f"{len(reports)} scenarios, {len(failures)} invariant violations "
+        f"(R3: never two live instances; R4: counters never regress)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

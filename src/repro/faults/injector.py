@@ -1,0 +1,182 @@
+"""Executes a :class:`~repro.faults.plan.FaultPlan` against live traffic.
+
+The :class:`FaultInjector` attaches to a :class:`repro.cloud.network.Network`
+(via ``network.fault_injector``) and is consulted on every request and
+response leg.  It counts matching occurrences per rule, fires each rule's
+action deterministically, and keeps two records:
+
+* ``trace`` — every message leg observed, in order.  A fault-free probe run
+  of a scenario yields the complete message sequence, which the chaos
+  harness then sweeps fault-by-fault.
+* ``fired`` — every fault actually injected, for reporting and replay.
+
+All randomness (corrupted byte positions/values) comes from a
+:class:`~repro.sim.rng.DeterministicRng` child stream, so a plan + seed
+reproduces the identical run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro import wire
+from repro.errors import MachineCrashedError
+from repro.faults.plan import (
+    Corrupt,
+    CrashMachine,
+    Delay,
+    Drop,
+    Duplicate,
+    FaultPlan,
+    FaultRule,
+    Hook,
+)
+from repro.sim.costs import CostMeter
+from repro.sim.rng import DeterministicRng
+
+
+class Crashable(Protocol):
+    """The slice of :class:`~repro.cloud.machine.PhysicalMachine` we need."""
+
+    def crash(self) -> None: ...
+
+
+def _machine_of(address: str) -> str:
+    return address.split("/", 1)[0]
+
+
+def _sniff_msg_type(payload: bytes) -> str | None:
+    """Best-effort read of the plaintext envelope's ``"t"`` field.
+
+    The network adversary sees envelope metadata in the clear (only the
+    inner records are protected), so matching on it models a realistic
+    attacker — and gives fault plans protocol-step granularity.
+    """
+    try:
+        value = wire.decode(payload).get("t")
+    except wire.WireError:
+        return None
+    return value if isinstance(value, str) else None
+
+
+@dataclass
+class ObservedMessage:
+    """One message leg seen on the wire (pre-fault payload metadata)."""
+
+    seq: int
+    src: str
+    dst: str
+    msg_type: str | None
+    direction: str
+    num_bytes: int
+
+
+@dataclass
+class FiredFault:
+    """A fault that actually triggered."""
+
+    seq: int
+    rule: FaultRule
+    src: str
+    dst: str
+    msg_type: str | None
+    direction: str
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic execution engine for one :class:`FaultPlan`.
+
+    ``machines`` maps machine names to crashable hosts so ``CrashMachine``
+    actions can reach them; ``meter`` is charged for ``Delay`` actions so
+    stalls show up on the simulated clock.
+    """
+
+    plan: FaultPlan
+    rng: DeterministicRng
+    machines: dict[str, Crashable] = field(default_factory=dict)
+    meter: CostMeter | None = None
+    trace: list[ObservedMessage] = field(default_factory=list)
+    fired: list[FiredFault] = field(default_factory=list)
+    _seq: int = 0
+    _occurrences: dict[int, int] = field(default_factory=dict)
+    _triggers: dict[int, int] = field(default_factory=dict)
+    _duplicate_next: bool = False
+
+    def on_message(self, src: str, dst: str, payload: bytes, direction: str) -> bytes | None:
+        """Observe one message leg; return the payload to deliver or ``None``
+        to drop it.  May raise :class:`MachineCrashedError` when a crash
+        action kills an endpoint of the in-flight exchange."""
+        msg_type = _sniff_msg_type(payload)
+        seq = self._seq
+        self._seq += 1
+        self.trace.append(
+            ObservedMessage(seq, src, dst, msg_type, direction, len(payload))
+        )
+        for index, rule in enumerate(self.plan.rules):
+            if not rule.match.matches(src, dst, msg_type, direction):
+                continue
+            occurrence = self._occurrences.get(index, 0)
+            self._occurrences[index] = occurrence + 1
+            if occurrence < rule.match.nth:
+                continue
+            if self._triggers.get(index, 0) >= rule.max_triggers:
+                continue
+            self._triggers[index] = self._triggers.get(index, 0) + 1
+            self.fired.append(FiredFault(seq, rule, src, dst, msg_type, direction))
+            payload = self._apply(rule, src, dst, payload, direction)
+            if payload is None:
+                return None
+        return payload
+
+    def wants_duplicate(self, src: str, dst: str, direction: str) -> bool:
+        """Consume the duplicate-delivery flag set by a ``Duplicate`` action
+        on the request leg just observed."""
+        if direction != "request":
+            return False
+        wanted, self._duplicate_next = self._duplicate_next, False
+        return wanted
+
+    # ------------------------------------------------------------- actions
+    def _apply(
+        self, rule: FaultRule, src: str, dst: str, payload: bytes, direction: str
+    ) -> bytes | None:
+        action = rule.action
+        if isinstance(action, Drop):
+            return None
+        if isinstance(action, Delay):
+            if self.meter is not None:
+                self.meter.charge_exact("fault_delay", action.seconds)
+            return payload
+        if isinstance(action, Duplicate):
+            self._duplicate_next = True
+            return payload
+        if isinstance(action, Corrupt):
+            return self._corrupt(payload)
+        if isinstance(action, CrashMachine):
+            return self._crash(action.machine, src, dst, payload)
+        if isinstance(action, Hook):
+            return action.fn(src, dst, payload, direction)
+        raise TypeError(f"unknown fault action {action!r}")
+
+    def _corrupt(self, payload: bytes) -> bytes:
+        if not payload:
+            return payload
+        position = self.rng.randint_below(len(payload))
+        flip = 1 + self.rng.randint_below(255)  # never a zero XOR (no-op)
+        mutated = bytearray(payload)
+        mutated[position] ^= flip
+        return bytes(mutated)
+
+    def _crash(self, machine: str, src: str, dst: str, payload: bytes) -> bytes | None:
+        host = self.machines.get(machine)
+        if host is not None:
+            host.crash()
+        if machine in (_machine_of(src), _machine_of(dst)):
+            # The crash takes an endpoint of this very exchange with it: the
+            # in-flight message is lost and the sender sees the failure.
+            raise MachineCrashedError(
+                f"machine {machine!r} crashed during {src} -> {dst}"
+            )
+        return payload

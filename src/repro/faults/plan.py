@@ -1,0 +1,150 @@
+"""Deterministic fault plans: *what* to break, declared up front.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultRule`\\ s.  Each rule
+pairs a :class:`MessageMatch` predicate (which messages on the simulated
+network it applies to) with a :class:`FaultAction` (what to do to the Nth
+such message).  Plans are pure data — they do nothing until handed to a
+:class:`repro.faults.injector.FaultInjector`, which attaches to a
+:class:`repro.cloud.network.Network` and executes them.  Because matching is
+by deterministic message counting and any randomness (e.g. which byte to
+corrupt) flows through :class:`repro.sim.rng.DeterministicRng`, a plan plus
+a seed replays the exact same fault in every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cloud.network import Endpoint
+
+# A hook receives (src, dst, payload, direction) and returns the payload to
+# deliver, or None to drop the message.
+HookFn = Callable[[str, str, bytes, str], "bytes | None"]
+
+
+@dataclass(frozen=True)
+class MessageMatch:
+    """Predicate over one message leg on the network.
+
+    ``None`` fields are wildcards.  ``src``/``dst`` match full endpoint
+    addresses (``machine/service``); ``service`` matches the destination's
+    service name alone; ``msg_type`` matches the ``"t"`` field of the
+    plaintext wire envelope (``la_hello``, ``ra_rec``, ``done_notice``, ...);
+    ``direction`` is ``"request"`` or ``"response"``.  ``nth`` selects the
+    Nth *matching* occurrence (0-based) — occurrences are counted per rule,
+    so two rules with the same predicate count independently.
+    """
+
+    src: str | None = None
+    dst: str | None = None
+    service: str | None = None
+    msg_type: str | None = None
+    direction: str | None = None
+    nth: int = 0
+
+    def matches(self, src: str, dst: str, msg_type: str | None, direction: str) -> bool:
+        if self.direction is not None and direction != self.direction:
+            return False
+        if self.src is not None and src != self.src:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        if self.service is not None and Endpoint.parse(dst).service != self.service:
+            return False
+        if self.msg_type is not None and msg_type != self.msg_type:
+            return False
+        return True
+
+
+class FaultAction:
+    """Base class for what to do to a matched message."""
+
+
+@dataclass(frozen=True)
+class Drop(FaultAction):
+    """Discard the message; the sender sees a network failure."""
+
+
+@dataclass(frozen=True)
+class Delay(FaultAction):
+    """Stall the message for ``seconds`` of simulated time before delivery."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Duplicate(FaultAction):
+    """Deliver the request twice (at-least-once network behaviour).  Only
+    meaningful for the request leg; the sender sees one response."""
+
+
+@dataclass(frozen=True)
+class Corrupt(FaultAction):
+    """Flip one byte of the payload, chosen by the injector's RNG."""
+
+
+@dataclass(frozen=True)
+class CrashMachine(FaultAction):
+    """Crash the named :class:`~repro.cloud.machine.PhysicalMachine` the
+    instant the matched message is observed — before delivery, modelling a
+    power failure at the worst possible moment."""
+
+    machine: str
+
+
+@dataclass(frozen=True)
+class Hook(FaultAction):
+    """Run an arbitrary callback (e.g. restart a Migration Enclave at a
+    named protocol step).  The callback decides the payload's fate."""
+
+    fn: HookFn
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault: fire ``action`` on the ``match.nth``-th matching message,
+    at most ``max_triggers`` times (so a rule cannot re-fire forever)."""
+
+    match: MessageMatch
+    action: FaultAction
+    max_triggers: int = 1
+
+
+@dataclass
+class FaultPlan:
+    """A composable, declarative list of faults.
+
+    Fluent builders return ``self`` so plans read as a sentence::
+
+        plan = (FaultPlan()
+                .drop(msg_type="ra_rec", nth=1)
+                .crash_machine("machine-a", msg_type="done_notice"))
+    """
+
+    rules: list[FaultRule] = field(default_factory=list)
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    def _rule(self, action: FaultAction, max_triggers: int, **match) -> "FaultPlan":
+        return self.add(FaultRule(MessageMatch(**match), action, max_triggers))
+
+    def drop(self, *, max_triggers: int = 1, **match) -> "FaultPlan":
+        return self._rule(Drop(), max_triggers, **match)
+
+    def delay(self, seconds: float, *, max_triggers: int = 1, **match) -> "FaultPlan":
+        return self._rule(Delay(seconds), max_triggers, **match)
+
+    def duplicate(self, *, max_triggers: int = 1, **match) -> "FaultPlan":
+        return self._rule(Duplicate(), max_triggers, **match)
+
+    def corrupt(self, *, max_triggers: int = 1, **match) -> "FaultPlan":
+        return self._rule(Corrupt(), max_triggers, **match)
+
+    def crash_machine(self, machine: str, *, max_triggers: int = 1, **match) -> "FaultPlan":
+        return self._rule(CrashMachine(machine), max_triggers, **match)
+
+    def hook(self, fn: HookFn, *, max_triggers: int = 1, **match) -> "FaultPlan":
+        return self._rule(Hook(fn), max_triggers, **match)
