@@ -6,10 +6,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze analyze-json baseline chaos ci
+.PHONY: test analyze analyze-json baseline chaos bench-fleet bench-fleet-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Fleet migration throughput (wall + virtual clock); refreshes the checked-in
+# BENCH_fleet.json.  The smoke variant is a tiny CI guard that the harness
+# runs end to end; it writes outside the tree so it never dirties the report.
+bench-fleet:
+	$(PYTHON) benchmarks/bench_fleet.py
+
+bench-fleet-smoke:
+	$(PYTHON) benchmarks/bench_fleet.py --smoke --output /tmp/BENCH_fleet_smoke.json
 
 analyze:
 	$(PYTHON) -m repro.analysis --format text src/repro examples benchmarks
@@ -20,7 +29,10 @@ analyze-json:
 baseline:
 	$(PYTHON) -m repro.analysis --update-baseline src/repro examples benchmarks
 
+# Both modes: the session-resumption ablation must uphold R3/R4 under the
+# same fault sweep as the paper's baseline protocol.
 chaos:
 	$(PYTHON) -m repro.faults.chaos
+	$(PYTHON) -m repro.faults.chaos --session-resumption
 
-ci: test analyze chaos
+ci: test analyze chaos bench-fleet-smoke

@@ -1,0 +1,89 @@
+"""Fleet-scale migration throughput (wall clock + virtual clock).
+
+Unlike the figure benchmarks (virtual clock only), this one reports how many
+end-to-end migrations per *wall-clock* second the simulator sustains — the
+gauge for simulator-throughput work, where the seeded virtual-time output
+must stay byte-identical while the wall cost drops.
+
+Runs the sweep twice, with the Migration Enclaves' attested-session
+resumption off (the paper's protocol: full RA per migration) and on (the
+ablation), and writes both to BENCH_fleet.json.
+
+Usage::
+
+    python benchmarks/bench_fleet.py                 # full run, writes JSON
+    python benchmarks/bench_fleet.py --smoke         # tiny run for CI
+    python benchmarks/bench_fleet.py -o out.json --enclaves 16 --machines 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.bench.harness import run_fleet_bench
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--enclaves", type=int, default=8, help="fleet size")
+    parser.add_argument("--machines", type=int, default=4, help="data-center size")
+    parser.add_argument("--reps", type=int, default=3, help="ring rounds (each app migrates once per round)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny configuration for CI (2 enclaves, 2 machines, 1 round)",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=Path("BENCH_fleet.json"),
+        help="where to write the JSON report (default: BENCH_fleet.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.enclaves, args.machines, args.reps = 2, 2, 1
+
+    report = {
+        "benchmark": "fleet_migration_throughput",
+        "python": platform.python_version(),
+        "config": {
+            "n_enclaves": args.enclaves,
+            "n_machines": args.machines,
+            "reps": args.reps,
+            "seed": args.seed,
+        },
+        "runs": {},
+    }
+    for label, resumption in (("baseline", False), ("session_resumption", True)):
+        result = run_fleet_bench(
+            n_enclaves=args.enclaves,
+            n_machines=args.machines,
+            reps=args.reps,
+            seed=args.seed,
+            session_resumption=resumption,
+        )
+        report["runs"][label] = result
+        print(
+            f"{label:>18}: {result['migrations']} migrations, "
+            f"{result['wall_migrations_per_sec']:.2f} mig/s wall, "
+            f"{result['virtual_seconds_mean']:.3f} s virtual/migration"
+        )
+
+    baseline = report["runs"]["baseline"]
+    resumed = report["runs"]["session_resumption"]
+    if baseline["wall_seconds"] > 0:
+        report["resumption_wall_speedup"] = (
+            resumed["wall_migrations_per_sec"] / baseline["wall_migrations_per_sec"]
+        )
+        print(f"resumption ablation wall speedup: {report['resumption_wall_speedup']:.2f}x")
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,11 +7,51 @@ Subcommands:
 * ``figures``   — alias for ``python -m repro.bench.figures all``
 * ``tables``    — print Tables I and II + the TCB report (fast)
 * ``analyze``   — alias for ``python -m repro.analysis`` (SEC001-SEC006)
+* ``bench``     — run the migration benchmark; ``--profile`` wraps it in
+  cProfile and dumps the top functions by cumulative time
 """
 
 from __future__ import annotations
 
 import sys
+
+
+def _run_bench(argv: list[str]) -> int:
+    """``python -m repro bench [--reps N] [--seed N] [--profile [TOP]]``."""
+    import argparse
+    import time
+
+    parser = argparse.ArgumentParser(prog="repro bench")
+    parser.add_argument("--reps", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--profile", nargs="?", const=25, type=int, default=None, metavar="TOP",
+        help="profile under cProfile and print the TOP functions by "
+        "cumulative time (default 25)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.harness import run_migration_bench
+
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        data = run_migration_bench(reps=args.reps, seed=args.seed)
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.profile)
+    else:
+        start = time.perf_counter()
+        data = run_migration_bench(reps=args.reps, seed=args.seed)
+        print(f"wall: {time.perf_counter() - start:.3f} s")
+    samples = data["enclave_migration"]
+    print(
+        f"enclave migration: {len(samples)} reps, "
+        f"virtual mean {sum(samples) / len(samples):.3f} s"
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -35,6 +75,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import main as analyze_main
 
         return analyze_main(argv[1:])
+    if command == "bench":
+        return _run_bench(argv[1:])
     if command == "tables":
         from repro.bench.figures import table1, table2, tcb
 

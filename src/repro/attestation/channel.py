@@ -79,7 +79,11 @@ class SecureChannel:
             ciphertext = fields["ct"]
             tag = fields["tag"]
             aad = fields["aad"]
-        except (KeyError, Exception) as exc:  # noqa: BLE001 - wire errors vary
+        except (wire.WireError, KeyError, TypeError) as exc:
+            # WireError: undecodable record; KeyError: missing field;
+            # TypeError: a field decoded to the wrong shape (e.g. dict
+            # indexing on a non-dict).  Anything else is a real bug and
+            # should surface, not be relabeled as a malformed record.
             raise ChannelError(f"malformed channel record: {exc}") from exc
         if seq != self._recv.sequence:
             raise ChannelError(

@@ -42,9 +42,7 @@ from repro.sgx.enclave import EnclaveBase, ecall
 
 def _public_of(private: int) -> int:
     """Recompute a Schnorr public key from its private scalar."""
-    from repro.crypto.dh import MODP_2048_P
-
-    return pow(4, private, MODP_2048_P)
+    return schnorr.public_key_of(private)
 
 
 class MigrationEnclave(EnclaveBase):
@@ -62,6 +60,15 @@ class MigrationEnclave(EnclaveBase):
         # sid -> session dict(kind, channel, peer_identity, authenticated, peer_credential)
         self._sessions: dict[str, dict] = {}
         self._session_seq = 0
+        # Attested-session resumption (opt-in, see provision()).  The epoch
+        # identifies THIS enclave instance: a reinstalled/recovered ME gets a
+        # fresh epoch (and an empty session table), so peers can never resume
+        # into a different instance than the one they attested.  Derived from
+        # a labelled RNG child so it does not perturb any other stream.
+        self._epoch: bytes = sdk._rng.child("me-session-epoch").random_bytes(8)
+        self._session_resumption = False
+        # destination address -> {sid, channel, peer_credential, epoch}
+        self._resumable: dict[str, dict] = {}
         # target mrenclave -> {"data": bytes, "source_me": str, "token": bytes, "txn": str}
         self._incoming: dict[bytes, dict] = {}
         # target mrenclave -> {"data": bytes, "dest": str, "token": bytes, "txn": str}
@@ -90,9 +97,20 @@ class MigrationEnclave(EnclaveBase):
         ias_public_key: int,
         my_address: str,
         policies: PolicySet | None = None,
+        session_resumption: bool = False,
     ) -> None:
         """Setup phase (Section V-B): install the provider credential, the
-        pinned CA key, the IAS access, and any operator policies."""
+        pinned CA key, the IAS access, and any operator policies.
+
+        ``session_resumption=True`` (default off — it goes beyond the paper)
+        lets this ME reuse an already-attested, provider-authenticated
+        secure channel for repeated migrations to the same destination ME,
+        keyed by (machine pair, peer ME epoch).  Any failure of a resumed
+        session — a restarted peer, a desynchronized channel — falls back
+        to a full remote attestation, so R1/R2 are unchanged: every channel
+        in use was established by mutual RA + provider authentication with
+        the very ME instance currently holding it.
+        """
         credential = ProviderCredential.from_bytes(credential_bytes)
         if credential.me_public_key != self._keypair.public:
             raise InvalidStateError("credential does not certify this ME's signing key")
@@ -107,6 +125,8 @@ class MigrationEnclave(EnclaveBase):
         self._my_address = my_address
         if policies is not None:
             self._policies = policies
+        self._session_resumption = bool(session_resumption)
+        self._resumable.clear()
 
     @ecall
     def handle_message(self, payload: bytes, src: str) -> bytes:
@@ -396,7 +416,41 @@ class MigrationEnclave(EnclaveBase):
 
         Returns ``"shipped"`` when the destination stored the data, or
         ``"already_delivered"`` when the destination reports it already
-        confirmed this transaction (idempotent duplicate)."""
+        confirmed this transaction (idempotent duplicate).
+
+        With session resumption enabled, an attested channel to this
+        destination left over from a previous migration is tried first; a
+        stale session (restarted peer, desynchronized channel) drops out of
+        the cache and the full handshake below runs as if it never existed.
+        """
+        if self._session_resumption:
+            cached = self._resumable.get(destination)
+            if cached is not None:
+                try:
+                    return self._transfer_over_channel(
+                        destination,
+                        cached["sid"],
+                        cached["channel"],
+                        cached["peer_credential"],
+                        target_mrenclave,
+                        data,
+                        txn,
+                    )
+                except PolicyViolationError:
+                    # Policy outcomes do not depend on the session; a fresh
+                    # handshake would be refused identically.
+                    raise
+                except (
+                    TransientError,
+                    MigrationError,
+                    AttestationError,
+                    ChannelError,
+                    wire.WireError,
+                    KeyError,
+                    TypeError,
+                ):
+                    self._resumable.pop(destination, None)
+
         my_mrenclave = self.sdk.identity.mrenclave
 
         def same_me(identity) -> bool:
@@ -442,7 +496,30 @@ class MigrationEnclave(EnclaveBase):
         self._verify_peer_credential(
             peer_credential, peer_sig, result, role=b"resp", expected_machine=destination
         )
+        if self._session_resumption:
+            self._resumable[destination] = {
+                "sid": remote_sid,
+                "channel": channel,
+                "peer_credential": peer_credential,
+                "epoch": auth_reply.get("epoch", b""),
+            }
+        return self._transfer_over_channel(
+            destination, remote_sid, channel, peer_credential,
+            target_mrenclave, data, txn,
+        )
 
+    def _transfer_over_channel(
+        self,
+        destination: str,
+        sid: str,
+        channel,
+        peer_credential: ProviderCredential,
+        target_mrenclave: bytes,
+        data: bytes,
+        txn: str,
+    ) -> str:
+        """Policy check + data transfer over an attested, authenticated
+        channel (freshly established or resumed — policies run either way)."""
         # Operator / provider policies (R2 + Section X).
         self._policies.check(
             MigrationContext(
@@ -456,7 +533,7 @@ class MigrationEnclave(EnclaveBase):
         token = self.sdk.random_bytes(16)
         transfer_reply = self._ra_exchange(
             destination,
-            remote_sid,
+            sid,
             channel,
             {
                 "cmd": "transfer",
@@ -599,11 +676,20 @@ class MigrationEnclave(EnclaveBase):
         my_sig = schnorr.sign(
             self._keypair.private, b"ME-AUTH|resp|" + session["transcript"]
         )
-        return {
+        reply = {
             "status": "ok",
             "credential": self._credential.to_bytes(),
             "transcript_sig": my_sig.to_bytes(),
         }
+        if self._session_resumption:
+            # Instance-unique epoch: a reinstalled/restarted ME gets a fresh
+            # one, so initiators can tell which instance a cached session
+            # belongs to (the session itself also dies with the instance).
+            # Only advertised when resumption is on, so the default
+            # protocol's messages — and with them the virtual network
+            # charges — are byte-identical to the pre-resumption protocol.
+            reply["epoch"] = self._epoch
+        return reply
 
     def _handle_transfer(self, command: dict, session: dict) -> dict:
         if not session.get("authenticated"):

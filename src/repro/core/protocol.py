@@ -126,6 +126,7 @@ def _provision_and_register(
     policies: PolicySet | None,
     durable: bool,
     replace: bool,
+    session_resumption: bool,
 ) -> MigrationEnclaveHost:
     """Shared tail of (re)installation: setup phase + endpoint binding."""
     # Setup phase: the data-center operator certifies this ME.
@@ -143,6 +144,7 @@ def _provision_and_register(
         dc.ias.report_public_key,
         machine.address,
         policies,
+        session_resumption,
     )
 
     if durable:
@@ -173,6 +175,7 @@ def install_migration_enclave(
     policies: PolicySet | None = None,
     *,
     durable: bool = False,
+    session_resumption: bool = False,
 ) -> MigrationEnclaveHost:
     """Deploy + provision the Migration Enclave on ``machine``.
 
@@ -180,7 +183,9 @@ def install_migration_enclave(
     Section VI-C), registers the ``<machine>/me`` network endpoint, and
     performs the provider's setup phase.  ``durable=True`` adds a sealed
     checkpoint after every handled message (see
-    :func:`reinstall_migration_enclave`).
+    :func:`reinstall_migration_enclave`).  ``session_resumption=True``
+    opts the ME into reusing attested ME<->ME sessions across migrations
+    to the same destination (an ablation, off by default).
     """
     mgmt_app = machine.management_vm.launch_application("migration-service")
     me_enclave = mgmt_app.launch_enclave(MigrationEnclave, me_signing_key)
@@ -189,7 +194,8 @@ def install_migration_enclave(
         lambda dst, payload: mgmt_app.send(dst, payload, timeout=ME_REQUEST_TIMEOUT),
     )
     return _provision_and_register(
-        dc, machine, mgmt_app, me_enclave, policies, durable, replace=False
+        dc, machine, mgmt_app, me_enclave, policies, durable, replace=False,
+        session_resumption=session_resumption,
     )
 
 
@@ -200,6 +206,7 @@ def reinstall_migration_enclave(
     policies: PolicySet | None = None,
     *,
     durable: bool = True,
+    session_resumption: bool = False,
 ) -> MigrationEnclaveHost:
     """Bring the Migration Enclave back after a machine crash or mgmt-VM
     restart, restoring its sealed checkpoint when one survives on disk.
@@ -230,7 +237,8 @@ def reinstall_migration_enclave(
     if mgmt_app.has_stored(ME_CHECKPOINT_PATH):
         me_enclave.ecall("import_sealed_state", mgmt_app.load(ME_CHECKPOINT_PATH))
     return _provision_and_register(
-        dc, machine, mgmt_app, me_enclave, policies, durable, replace=True
+        dc, machine, mgmt_app, me_enclave, policies, durable, replace=True,
+        session_resumption=session_resumption,
     )
 
 
@@ -239,12 +247,16 @@ def install_all_migration_enclaves(
     me_signing_key: SigningKey | None = None,
     *,
     durable: bool = False,
+    session_resumption: bool = False,
 ) -> dict[str, MigrationEnclaveHost]:
     """Deploy the ME on every machine of the data center."""
     if me_signing_key is None:
         me_signing_key = SigningKey.generate(dc.rng.child("me-signer"))
     return {
-        name: install_migration_enclave(dc, machine, me_signing_key, durable=durable)
+        name: install_migration_enclave(
+            dc, machine, me_signing_key,
+            durable=durable, session_resumption=session_resumption,
+        )
         for name, machine in dc.machines.items()
     }
 

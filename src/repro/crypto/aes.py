@@ -2,12 +2,18 @@
 
 Two code paths are provided:
 
-* a scalar reference path (:meth:`AES.encrypt_block` /
-  :meth:`AES.decrypt_block`) used for single blocks — key schedules, CMAC
-  subkeys, GHASH key derivation; and
+* a scalar path (:meth:`AES.encrypt_block` / :meth:`AES.decrypt_block`)
+  used for single blocks — key schedules, CMAC subkeys, GHASH key
+  derivation — with GF(2^8) multiplication tables so each round is pure
+  lookups; and
 * a numpy-vectorised batch path (:meth:`AES.encrypt_blocks`) that encrypts
   many blocks in parallel, used by CTR/GCM for bulk payloads such as the
   100 kB sealing benchmark.
+
+Key schedules are cached across instances in a bounded module-level table
+keyed by the key bytes: AEAD objects are constructed per seal / per channel
+record stream, but the underlying keys (CPU fuse keys, report keys, session
+keys) recur, so re-expanding them dominates AEAD setup without the cache.
 
 The S-box and its inverse are computed programmatically from the GF(2^8)
 inverse plus the affine transform, rather than transcribed, to rule out
@@ -16,6 +22,8 @@ copy errors; known-answer tests against the FIPS 197 vectors live in
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
@@ -77,18 +85,64 @@ _INV_SHIFT_ROWS_IDX = np.argsort(_SHIFT_ROWS_IDX)
 
 _KEY_ROUNDS = {16: 10, 24: 12, 32: 14}
 
+# GF(2^8) multiplication tables for the MixColumns constants, so the scalar
+# rounds are table lookups instead of per-bit _gf_mul loops.
+_MUL2 = [_gf_mul(i, 2) for i in range(256)]
+_MUL3 = [_gf_mul(i, 3) for i in range(256)]
+_MUL9 = [_gf_mul(i, 9) for i in range(256)]
+_MUL11 = [_gf_mul(i, 11) for i in range(256)]
+_MUL13 = [_gf_mul(i, 13) for i in range(256)]
+_MUL14 = [_gf_mul(i, 14) for i in range(256)]
+
+# key bytes -> (round_keys, round_keys_np), most-recently-used last.
+_SCHEDULE_CACHE: OrderedDict[bytes, tuple[list[bytes], np.ndarray]] = OrderedDict()
+_SCHEDULE_CACHE_MAX = 512
+_schedule_hits = 0
+_schedule_misses = 0
+
+
+def key_schedule_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters for the key-schedule cache (tests, tuning)."""
+    return {
+        "hits": _schedule_hits,
+        "misses": _schedule_misses,
+        "size": len(_SCHEDULE_CACHE),
+        "capacity": _SCHEDULE_CACHE_MAX,
+    }
+
+
+def clear_key_schedule_cache() -> None:
+    global _schedule_hits, _schedule_misses
+    _SCHEDULE_CACHE.clear()
+    _schedule_hits = 0
+    _schedule_misses = 0
+
 
 class AES:
     """AES-128/192/256 block cipher over 16-byte blocks."""
 
     def __init__(self, key: bytes):
+        global _schedule_hits, _schedule_misses
         if len(key) not in _KEY_ROUNDS:
             raise CryptoError(f"invalid AES key length: {len(key)}")
         self.rounds = _KEY_ROUNDS[len(key)]
-        self._round_keys = self._expand_key(key)
-        self._round_keys_np = np.array(
-            [np.frombuffer(rk, dtype=np.uint8) for rk in self._round_keys]
-        )
+        key = bytes(key)
+        cached = _SCHEDULE_CACHE.get(key)
+        if cached is not None:
+            _schedule_hits += 1
+            _SCHEDULE_CACHE.move_to_end(key)
+        else:
+            _schedule_misses += 1
+            round_keys = self._expand_key(key)
+            round_keys_np = np.array(
+                [np.frombuffer(rk, dtype=np.uint8) for rk in round_keys]
+            )
+            round_keys_np.setflags(write=False)
+            cached = (round_keys, round_keys_np)
+            _SCHEDULE_CACHE[key] = cached
+            while len(_SCHEDULE_CACHE) > _SCHEDULE_CACHE_MAX:
+                _SCHEDULE_CACHE.popitem(last=False)
+        self._round_keys, self._round_keys_np = cached
 
     # ----------------------------------------------------------- key schedule
     def _expand_key(self, key: bytes) -> list[bytes]:
@@ -123,10 +177,10 @@ class AES:
     def _mix_single_column(col: list[int]) -> list[int]:
         a0, a1, a2, a3 = col
         return [
-            _gf_mul(a0, 2) ^ _gf_mul(a1, 3) ^ a2 ^ a3,
-            a0 ^ _gf_mul(a1, 2) ^ _gf_mul(a2, 3) ^ a3,
-            a0 ^ a1 ^ _gf_mul(a2, 2) ^ _gf_mul(a3, 3),
-            _gf_mul(a0, 3) ^ a1 ^ a2 ^ _gf_mul(a3, 2),
+            _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3,
+            a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3,
+            a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3],
+            _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3],
         ]
 
     @classmethod
@@ -137,7 +191,12 @@ class AES:
         return out
 
     def encrypt_block(self, block: bytes) -> bytes:
-        """Encrypt a single 16-byte block (scalar reference path)."""
+        """Encrypt a single 16-byte block (scalar path, GF-table rounds).
+
+        Single blocks (GCM tag masks, CMAC chaining, key derivation) stay
+        scalar on purpose: numpy's per-call overhead only pays off from a
+        few blocks up, which is what :meth:`encrypt_blocks` is for.
+        """
         if len(block) != 16:
             raise CryptoError(f"AES block must be 16 bytes, got {len(block)}")
         state = [b ^ k for b, k in zip(block, self._round_keys[0])]
@@ -173,10 +232,10 @@ class AES:
             a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
             out.extend(
                 [
-                    _gf_mul(a0, 14) ^ _gf_mul(a1, 11) ^ _gf_mul(a2, 13) ^ _gf_mul(a3, 9),
-                    _gf_mul(a0, 9) ^ _gf_mul(a1, 14) ^ _gf_mul(a2, 11) ^ _gf_mul(a3, 13),
-                    _gf_mul(a0, 13) ^ _gf_mul(a1, 9) ^ _gf_mul(a2, 14) ^ _gf_mul(a3, 11),
-                    _gf_mul(a0, 11) ^ _gf_mul(a1, 13) ^ _gf_mul(a2, 9) ^ _gf_mul(a3, 14),
+                    _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3],
+                    _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3],
+                    _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3],
+                    _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3],
                 ]
             )
         return out

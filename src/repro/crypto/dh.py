@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crypto import modexp
 from repro.crypto.kdf import HkdfSha256
 from repro.errors import CryptoError
 from repro.sim.rng import DeterministicRng
@@ -29,6 +30,10 @@ MODP_2048_P = int(
 MODP_2048_G = 2
 MODP_2048_Q = (MODP_2048_P - 1) // 2  # order of the quadratic-residue subgroup
 
+# Ephemeral DH private keys are 256-bit (see generate_keypair), so the
+# generator's fixed-base table only needs short-exponent coverage.
+modexp.register_fixed_base(MODP_2048_G, MODP_2048_P, max_bits=256)
+
 
 @dataclass(frozen=True)
 class DhKeyPair:
@@ -47,7 +52,7 @@ class DiffieHellman:
         """Generate an ephemeral keypair from the (injected) RNG."""
         # 256 bits of private key is ample for a 2048-bit group.
         private = int.from_bytes(rng.random_bytes(32), "big") | 1
-        public = pow(self.g, private, self.p)
+        public = modexp.powmod(self.g, private, self.p)
         return DhKeyPair(private=private, public=public)
 
     def validate_public(self, public: int) -> None:

@@ -1,0 +1,233 @@
+"""Fast modular exponentiation for the simulator's hot crypto paths.
+
+Profiling ``run_migration_bench`` shows big-integer ``pow`` dominating
+wall-clock time: every ME<->ME remote attestation redoes Schnorr/EPID
+verification from scratch, and almost all of those exponentiations share a
+handful of bases — the group generators (``g = 2`` for DH, ``g = 4`` for
+Schnorr) and a small set of long-lived public keys (the EPID group key, the
+IAS report key, the provider CA key, the ME signing keys).
+
+Three techniques, all bit-exact with ``builtins.pow``:
+
+* :class:`FixedBaseTable` — windowed fixed-base precomputation.  For a base
+  used with many exponents, precompute ``base**(d << (w*i))`` for every
+  window position ``i`` and digit ``d``; an exponentiation then costs one
+  modular multiplication per window instead of one squaring per bit.
+* :func:`mul2_powmod` — Shamir's trick (simultaneous multi-exponentiation):
+  ``b1**e1 * b2**e2 mod m`` in a single interleaved square-and-multiply
+  pass, sharing the squaring chain between both exponents.  Used by Schnorr
+  verification (``g**s * y**e``) whenever no precompute table applies.
+* a bounded LRU of per-public-key tables — verification keys recur across
+  attestations, so their (short-exponent) tables pay for themselves after a
+  few uses and are evicted least-recently-used once :data:`LRU_CAPACITY`
+  keys are live.
+
+Everything here only changes *wall-clock* cost.  Virtual-time charges are
+made by the cost meter, never by measuring this code, so seeded simulation
+results are unchanged (asserted by ``tests/unit/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import CryptoError
+
+#: Window width (bits) for full-length (2048-bit) exponents.
+DEFAULT_WINDOW = 6
+
+#: Window width for the short (<= 256-bit) exponents of cached public keys.
+SHORT_WINDOW = 4
+
+#: Maximum number of per-public-key tables kept alive at once.
+LRU_CAPACITY = 64
+
+
+class FixedBaseTable:
+    """Windowed fixed-base precomputation for one ``(base, modulus)`` pair.
+
+    ``pow(exponent)`` returns exactly ``pow(base, exponent, modulus)`` for
+    any non-negative exponent; exponents longer than ``max_bits`` fall back
+    to ``builtins.pow`` rather than failing.
+    """
+
+    __slots__ = ("base", "modulus", "window", "max_bits", "_rows")
+
+    def __init__(
+        self,
+        base: int,
+        modulus: int,
+        *,
+        window: int = DEFAULT_WINDOW,
+        max_bits: int = 2048,
+    ):
+        if modulus <= 1:
+            raise CryptoError("modulus must be > 1")
+        if window < 1 or max_bits < 1:
+            raise CryptoError("window and max_bits must be positive")
+        self.base = base % modulus
+        self.modulus = modulus
+        self.window = window
+        self.max_bits = max_bits
+        self._rows: list[list[int]] | None = None  # built lazily on first use
+
+    def _build_rows(self) -> list[list[int]]:
+        modulus = self.modulus
+        radix = 1 << self.window
+        n_windows = -(-self.max_bits // self.window)
+        rows: list[list[int]] = []
+        step = self.base  # base**(radix**i) as i advances
+        for _ in range(n_windows):
+            row = [1] * radix
+            acc = 1
+            for digit in range(1, radix):
+                acc = acc * step % modulus
+                row[digit] = acc
+            rows.append(row)
+            step = acc * step % modulus
+        self._rows = rows
+        return rows
+
+    def pow(self, exponent: int) -> int:
+        """``base ** exponent % modulus`` via table lookups."""
+        if exponent < 0:
+            raise CryptoError("negative exponent")
+        if exponent.bit_length() > self.max_bits:
+            return pow(self.base, exponent, self.modulus)
+        rows = self._rows
+        if rows is None:
+            rows = self._build_rows()
+        acc = 1
+        modulus = self.modulus
+        mask = (1 << self.window) - 1
+        window = self.window
+        for row in rows:
+            if not exponent:
+                break
+            digit = exponent & mask
+            if digit:
+                acc = acc * row[digit] % modulus
+            exponent >>= window
+        return acc
+
+
+def mul2_powmod(b1: int, e1: int, b2: int, e2: int, modulus: int) -> int:
+    """``b1**e1 * b2**e2 % modulus`` — Shamir simultaneous exponentiation.
+
+    One shared squaring chain of ``max(bits(e1), bits(e2))`` steps with a
+    3-entry product table, instead of two independent square-and-multiply
+    passes.
+    """
+    if modulus <= 1:
+        raise CryptoError("modulus must be > 1")
+    if e1 < 0 or e2 < 0:
+        raise CryptoError("negative exponent")
+    b1 %= modulus
+    b2 %= modulus
+    products = (None, b1, b2, b1 * b2 % modulus)
+    acc = 1
+    for i in range(max(e1.bit_length(), e2.bit_length()) - 1, -1, -1):
+        acc = acc * acc % modulus
+        index = ((e1 >> i) & 1) | (((e2 >> i) & 1) << 1)
+        if index:
+            acc = acc * products[index] % modulus
+    return acc
+
+
+# ------------------------------------------------------------ shared bases
+# Tables for the group generators, registered once at crypto-module import.
+_SHARED_TABLES: dict[tuple[int, int], FixedBaseTable] = {}
+
+
+def register_fixed_base(
+    base: int, modulus: int, *, window: int = DEFAULT_WINDOW, max_bits: int = 2048
+) -> FixedBaseTable:
+    """Precompute (idempotently) a shared table for a well-known generator."""
+    key = (base % modulus, modulus)
+    table = _SHARED_TABLES.get(key)
+    if table is None:
+        table = FixedBaseTable(base, modulus, window=window, max_bits=max_bits)
+        _SHARED_TABLES[key] = table
+    return table
+
+
+def powmod(base: int, exponent: int, modulus: int) -> int:
+    """Drop-in ``pow(base, exponent, modulus)`` that uses a shared table
+    when one is registered for ``(base, modulus)``."""
+    if exponent < 0 or modulus <= 1:
+        return pow(base, exponent, modulus)
+    table = _SHARED_TABLES.get((base % modulus, modulus))
+    if table is not None:
+        return table.pow(exponent)
+    return pow(base, exponent, modulus)
+
+
+# ---------------------------------------------------- per-public-key tables
+class _LruTableCache:
+    """Bounded LRU of :class:`FixedBaseTable` keyed by ``(base, modulus)``."""
+
+    def __init__(self, capacity: int = LRU_CAPACITY):
+        self.capacity = capacity
+        self._tables: OrderedDict[tuple[int, int], FixedBaseTable] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, base: int, modulus: int, *, max_bits: int) -> FixedBaseTable:
+        key = (base % modulus, modulus)
+        table = self._tables.get(key)
+        if table is not None and table.max_bits >= max_bits:
+            self.hits += 1
+            self._tables.move_to_end(key)
+            return table
+        self.misses += 1
+        table = FixedBaseTable(base, modulus, window=SHORT_WINDOW, max_bits=max_bits)
+        self._tables[key] = table
+        self._tables.move_to_end(key)
+        while len(self._tables) > self.capacity:
+            self._tables.popitem(last=False)
+        return table
+
+    def clear(self) -> None:
+        self._tables.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+
+_PUBLIC_KEY_TABLES = _LruTableCache()
+
+
+def warm_public_key(public: int, modulus: int, *, max_bits: int = 256) -> None:
+    """Pre-build the verification table for a key known to recur (e.g. the
+    EPID group key, against which every quote is verified)."""
+    _PUBLIC_KEY_TABLES.get(public, modulus, max_bits=max_bits)
+
+
+def public_key_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters for the per-public-key LRU (tests, tuning)."""
+    return {
+        "hits": _PUBLIC_KEY_TABLES.hits,
+        "misses": _PUBLIC_KEY_TABLES.misses,
+        "size": len(_PUBLIC_KEY_TABLES),
+        "capacity": _PUBLIC_KEY_TABLES.capacity,
+    }
+
+
+def clear_public_key_cache() -> None:
+    _PUBLIC_KEY_TABLES.clear()
+
+
+def verify_product(g: int, s: int, y: int, e: int, modulus: int) -> int:
+    """``g**s * y**e % modulus`` — the Schnorr verification equation.
+
+    Fast path: the generator's shared table for ``g**s`` plus a per-key LRU
+    table (sized to the 256-bit challenge) for ``y**e``.  Without a shared
+    generator table, fall back to one Shamir pass.
+    """
+    g_table = _SHARED_TABLES.get((g % modulus, modulus))
+    if g_table is None:
+        return mul2_powmod(g, s, y, e, modulus)
+    y_table = _PUBLIC_KEY_TABLES.get(y, modulus, max_bits=max(e.bit_length(), 256))
+    return g_table.pow(s) * y_table.pow(e) % modulus

@@ -18,6 +18,7 @@ import hashlib
 import hmac
 from dataclasses import dataclass
 
+from repro.crypto import modexp
 from repro.crypto.bytesutil import constant_time_equal
 from repro.crypto.dh import MODP_2048_P, MODP_2048_Q
 from repro.errors import CryptoError
@@ -26,6 +27,28 @@ from repro.sim.rng import DeterministicRng
 _P = MODP_2048_P
 _Q = MODP_2048_Q
 _G = 4  # 2^2 is a quadratic residue, so it generates the order-q subgroup
+
+# Every sign/keygen exponentiates the fixed generator with a ~2046-bit
+# exponent; the windowed table turns each into ~340 multiplications.
+modexp.register_fixed_base(_G, _P, max_bits=_Q.bit_length() + 1)
+
+
+# sign() re-derives g**x on every call; the signing keys in play (ME keys,
+# the EPID group key, the IAS report key) are few and long-lived, so a
+# bounded memo removes one full-length exponentiation per signature.
+_PUBLIC_MEMO: dict[int, int] = {}
+_PUBLIC_MEMO_MAX = 256
+
+
+def public_key_of(private: int) -> int:
+    """The Schnorr public key ``g**x mod p`` (fixed-base fast path, memoized)."""
+    public = _PUBLIC_MEMO.get(private)
+    if public is None:
+        public = modexp.powmod(_G, private, _P)
+        if len(_PUBLIC_MEMO) >= _PUBLIC_MEMO_MAX:
+            _PUBLIC_MEMO.clear()
+        _PUBLIC_MEMO[private] = public
+    return public
 
 
 @dataclass(frozen=True)
@@ -58,7 +81,7 @@ class SchnorrSignature:
 
 def generate_keypair(rng: DeterministicRng) -> SchnorrKeyPair:
     private = (int.from_bytes(rng.random_bytes(40), "big") % (_Q - 1)) + 1
-    return SchnorrKeyPair(private=private, public=pow(_G, private, _P))
+    return SchnorrKeyPair(private=private, public=public_key_of(private))
 
 
 def _hash_challenge(commitment: int, public: int, message: bytes) -> int:
@@ -79,8 +102,8 @@ def _deterministic_nonce(private: int, message: bytes) -> int:
 def sign(private: int, message: bytes) -> SchnorrSignature:
     """Produce a Schnorr signature (e, s) with s = k - x*e mod q."""
     k = _deterministic_nonce(private, message)
-    commitment = pow(_G, k, _P)
-    public = pow(_G, private, _P)
+    commitment = modexp.powmod(_G, k, _P)
+    public = public_key_of(private)
     e = _hash_challenge(commitment, public, message)
     s = (k - private * e) % _Q
     return SchnorrSignature(challenge=e, response=s)
@@ -92,7 +115,11 @@ def verify(public: int, message: bytes, signature: SchnorrSignature) -> bool:
         return False
     if not (0 <= signature.challenge < _Q and 0 <= signature.response < _Q):
         return False
-    commitment = (pow(_G, signature.response, _P) * pow(public, signature.challenge, _P)) % _P
+    # g^s * y^e in one pass: shared-generator table + per-key LRU table,
+    # falling back to Shamir simultaneous exponentiation (see modexp).
+    commitment = modexp.verify_product(
+        _G, signature.response, public, signature.challenge, _P
+    )
     expected = _hash_challenge(commitment, public, message)
     # Compare fixed-width encodings in constant time rather than ints with ==;
     # 256 bytes holds any value below q, so the encoding cannot overflow.

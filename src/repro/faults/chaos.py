@@ -66,6 +66,7 @@ class ChaosWorld:
     app: MigratableApp
     counter_id: int
     me_signer: SigningKey
+    session_resumption: bool = False
 
 
 @dataclass
@@ -85,14 +86,16 @@ class ScenarioReport:
         return not self.violations
 
 
-def build_world(seed: int = 2018) -> ChaosWorld:
+def build_world(seed: int = 2018, session_resumption: bool = False) -> ChaosWorld:
     """Two machines, durable MEs on both, one counter enclave at
     ``COUNTER_TARGET`` on the source."""
     dc = DataCenter(name="chaos", seed=seed)
     dc.add_machine(SOURCE)
     dc.add_machine(DESTINATION)
     me_signer = SigningKey.generate(dc.rng.child("chaos-me-signer"))
-    install_all_migration_enclaves(dc, me_signer, durable=True)
+    install_all_migration_enclaves(
+        dc, me_signer, durable=True, session_resumption=session_resumption
+    )
     dev_key = SigningKey.generate(dc.rng.child("chaos-dev"))
     app = MigratableApp.deploy(
         dc, dc.machine(SOURCE), MigratableBenchEnclave, dev_key
@@ -102,12 +105,20 @@ def build_world(seed: int = 2018) -> ChaosWorld:
     counter_id, _ = enclave.ecall("create_counter")
     for _ in range(COUNTER_TARGET):
         enclave.ecall("increment_counter", counter_id)
-    return ChaosWorld(dc=dc, app=app, counter_id=counter_id, me_signer=me_signer)
+    return ChaosWorld(
+        dc=dc,
+        app=app,
+        counter_id=counter_id,
+        me_signer=me_signer,
+        session_resumption=session_resumption,
+    )
 
 
-def probe_message_sequence(seed: int = 2018) -> list[ObservedMessage]:
+def probe_message_sequence(
+    seed: int = 2018, session_resumption: bool = False
+) -> list[ObservedMessage]:
     """Record the full message trace of one fault-free migration."""
-    world = build_world(seed)
+    world = build_world(seed, session_resumption)
     injector = FaultInjector(
         plan=FaultPlan(),
         rng=world.dc.rng.child("chaos-faults"),
@@ -181,10 +192,14 @@ def check_invariants(world: ChaosWorld) -> list[str]:
 
 
 def run_scenario(
-    kind: str, leg: ObservedMessage, request_ordinal: int, seed: int = 2018
+    kind: str,
+    leg: ObservedMessage,
+    request_ordinal: int,
+    seed: int = 2018,
+    session_resumption: bool = False,
 ) -> ScenarioReport:
     """Fresh world, one fault at ``leg``, recovery, invariant check."""
-    world = build_world(seed)
+    world = build_world(seed, session_resumption)
     dc, app = world.dc, world.app
     plan, crashed = _plan_for(kind, leg, request_ordinal)
     dc.network.fault_injector = FaultInjector(
@@ -208,7 +223,12 @@ def run_scenario(
     recovery_outcome = "not-needed"
     if not completed:
         for name in crashed:
-            reinstall_migration_enclave(dc, dc.machine(name), world.me_signer)
+            reinstall_migration_enclave(
+                dc,
+                dc.machine(name),
+                world.me_signer,
+                session_resumption=world.session_resumption,
+            )
         try:
             resumed = app.resume(migrate_vm=False)
             recovery_outcome = resumed.outcome.value
@@ -230,17 +250,21 @@ def run_scenario(
 
 
 def sweep(
-    seed: int = 2018, kinds: tuple[str, ...] = DEFAULT_KINDS
+    seed: int = 2018,
+    kinds: tuple[str, ...] = DEFAULT_KINDS,
+    session_resumption: bool = False,
 ) -> list[ScenarioReport]:
     """Every message of the migration sequence under every fault kind."""
-    trace = probe_message_sequence(seed)
+    trace = probe_message_sequence(seed, session_resumption)
     reports: list[ScenarioReport] = []
     request_ordinal = 0
     for leg in trace:
         for kind in kinds:
             if kind == "duplicate" and leg.direction != "request":
                 continue
-            reports.append(run_scenario(kind, leg, request_ordinal, seed))
+            reports.append(
+                run_scenario(kind, leg, request_ordinal, seed, session_resumption)
+            )
         if leg.direction == "request":
             request_ordinal += 1
     return reports
@@ -248,10 +272,16 @@ def sweep(
 
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
+    session_resumption = "--session-resumption" in args
+    args = [a for a in args if a != "--session-resumption"]
     seed = int(args[0]) if args else 2018
-    trace = probe_message_sequence(seed)
-    print(f"migration message sequence: {len(trace)} legs (seed {seed})")
-    reports = sweep(seed)
+    trace = probe_message_sequence(seed, session_resumption)
+    mode = "on" if session_resumption else "off"
+    print(
+        f"migration message sequence: {len(trace)} legs "
+        f"(seed {seed}, session resumption {mode})"
+    )
+    reports = sweep(seed, session_resumption=session_resumption)
     failures = [r for r in reports if not r.ok]
     for report in reports:
         marker = "FAIL" if report.violations else "ok"

@@ -75,6 +75,13 @@ def pages_from_blob(blob: bytes, properties: PageProperties | None = None) -> li
     return pages
 
 
+# Class sources cannot change within one interpreter run, so measuring the
+# same (class, config) twice always yields the same MRENCLAVE; without the
+# memo every enclave launch re-tokenizes the class source via inspect, which
+# dominates relaunch-heavy paths like migration benchmarks.
+_MEASUREMENT_MEMO: dict[tuple[type, bytes], bytes] = {}
+
+
 def measure_source(enclave_class: type, config: bytes = b"") -> bytes:
     """MRENCLAVE of an enclave written as a Python class.
 
@@ -83,11 +90,16 @@ def measure_source(enclave_class: type, config: bytes = b"") -> bytes:
     library is linked *into* the enclave and therefore part of its identity),
     plus an optional build ``config``.
     """
-    sources = [_class_blob(enclave_class)]
-    for library in getattr(enclave_class, "MEASURED_LIBRARIES", ()):
-        sources.append(_class_blob(library))
-    blob = b"\n".join(sources) + b"\x00" + config
-    return measure_pages(pages_from_blob(blob))
+    memo_key = (enclave_class, config)
+    measurement = _MEASUREMENT_MEMO.get(memo_key)
+    if measurement is None:
+        sources = [_class_blob(enclave_class)]
+        for library in getattr(enclave_class, "MEASURED_LIBRARIES", ()):
+            sources.append(_class_blob(library))
+        blob = b"\n".join(sources) + b"\x00" + config
+        measurement = measure_pages(pages_from_blob(blob))
+        _MEASUREMENT_MEMO[memo_key] = measurement
+    return measurement
 
 
 def _class_blob(cls: type) -> bytes:

@@ -1,0 +1,106 @@
+"""Attested-session resumption (opt-in ME<->ME channel cache).
+
+The cache must be invisible when off (the default), cut repeat handshakes
+when on, and never outlive the peer instance it was established with —
+R1/R2 rest on every *session* having been attested, so a reinstalled ME
+must force a fresh handshake.
+"""
+
+import pytest
+
+from repro.apps.counter_app import MigratableBenchEnclave
+from repro.cloud.datacenter import DataCenter
+from repro.core.protocol import (
+    MigratableApp,
+    install_migration_enclave,
+    reinstall_migration_enclave,
+)
+from repro.sgx.identity import SigningKey
+
+
+def _build(seed, session_resumption, durable=False):
+    dc = DataCenter(name="resume-test", seed=seed)
+    machine_a = dc.add_machine("machine-a")
+    machine_b = dc.add_machine("machine-b")
+    me_key = SigningKey.generate(dc.rng.child("me-signer"))
+    hosts = {
+        machine.address: install_migration_enclave(
+            dc, machine, me_key,
+            durable=durable, session_resumption=session_resumption,
+        )
+        for machine in (machine_a, machine_b)
+    }
+    app_key = SigningKey.generate(dc.rng.child("dev"))
+    app = MigratableApp.deploy(
+        dc, machine_a, MigratableBenchEnclave, app_key, vm_name="rv"
+    )
+    app.start_new()
+    return dc, machine_a, machine_b, me_key, hosts, app
+
+
+def _me(hosts, address):
+    return hosts[address].enclave.trusted
+
+
+class TestSessionResumption:
+    def test_off_by_default_keeps_no_sessions(self):
+        dc, a, b, _, hosts, app = _build(seed=1, session_resumption=False)
+        for target in (b, a, b):
+            result = app.migrate(target, migrate_vm=False)
+            assert result.outcome.name == "COMPLETED"
+        assert _me(hosts, a.address)._resumable == {}
+        assert _me(hosts, b.address)._resumable == {}
+
+    def test_on_caches_and_reuses_sessions(self):
+        dc, a, b, _, hosts, app = _build(seed=2, session_resumption=True)
+        first = app.migrate(b, migrate_vm=False)
+        assert first.outcome.name == "COMPLETED"
+        assert b.address in _me(hosts, a.address)._resumable
+        cached = _me(hosts, a.address)._resumable[b.address]
+        # Round-trip and come back: the A->B session must be the same one.
+        assert app.migrate(a, migrate_vm=False).outcome.name == "COMPLETED"
+        assert app.migrate(b, migrate_vm=False).outcome.name == "COMPLETED"
+        assert _me(hosts, a.address)._resumable[b.address]["sid"] == cached["sid"]
+
+    def test_resumed_migrations_cost_less_virtual_time(self):
+        costs = {}
+        for resumption in (False, True):
+            dc, a, b, _, hosts, app = _build(seed=3, session_resumption=resumption)
+            app.migrate(b, migrate_vm=False)  # warm: first is always a full RA
+            app.migrate(a, migrate_vm=False)
+            start = dc.clock.now
+            app.migrate(b, migrate_vm=False)
+            costs[resumption] = dc.clock.now - start
+        assert costs[True] < costs[False]
+
+    def test_reinstall_invalidates_cached_sessions(self):
+        dc, a, b, me_key, hosts, app = _build(
+            seed=4, session_resumption=True, durable=True
+        )
+        assert app.migrate(b, migrate_vm=False).outcome.name == "COMPLETED"
+        assert app.migrate(a, migrate_vm=False).outcome.name == "COMPLETED"
+        stale = dict(_me(hosts, a.address)._resumable[b.address])
+        # The destination ME restarts: fresh instance, fresh epoch, empty
+        # session table.  A's cached session is now stale.
+        hosts[b.address] = reinstall_migration_enclave(
+            dc, b, me_key, durable=True, session_resumption=True
+        )
+        result = app.migrate(b, migrate_vm=False)
+        assert result.outcome.name == "COMPLETED"
+        renewed = _me(hosts, a.address)._resumable[b.address]
+        assert renewed["epoch"] != stale["epoch"]
+        assert _me(hosts, b.address)._epoch == renewed["epoch"]
+
+    def test_own_reinstall_drops_cache(self):
+        dc, a, b, me_key, hosts, app = _build(
+            seed=5, session_resumption=True, durable=True
+        )
+        assert app.migrate(b, migrate_vm=False).outcome.name == "COMPLETED"
+        assert _me(hosts, a.address)._resumable
+        # A's own ME restarts: its cache (enclave memory) is gone even
+        # though its sealed checkpoint is restored.
+        hosts[a.address] = reinstall_migration_enclave(
+            dc, a, me_key, durable=True, session_resumption=True
+        )
+        assert _me(hosts, a.address)._resumable == {}
+        assert app.migrate(a, migrate_vm=False).outcome.name == "COMPLETED"

@@ -1,9 +1,14 @@
 """Reproducibility: every experiment is a pure function of its seed."""
 
-from repro.bench.harness import run_fig3, run_migration_bench
+import json
+from pathlib import Path
+
+from repro.bench.harness import run_fig3, run_fleet_bench, run_migration_bench
 from repro.cloud.datacenter import DataCenter
 from repro.sgx.enclave import EnclaveBase, ecall
 from repro.sgx.identity import SigningKey
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
 
 
 class ProbeEnclave(EnclaveBase):
@@ -27,6 +32,25 @@ class TestSeedDeterminism:
         a = run_migration_bench(reps=3, num_counters=1, seed=4)
         b = run_migration_bench(reps=3, num_counters=1, seed=4)
         assert a["enclave_migration"] == b["enclave_migration"]
+
+    def test_migration_bench_matches_golden_file(self):
+        """Wall-clock optimizations must not move the virtual clock.
+
+        The golden file was captured from run_migration_bench(reps=5,
+        seed=0) *before* the fast-modexp / AEAD-cache / measurement-memo
+        work landed; the samples must stay bit-identical (floats compared
+        exactly — the virtual clock is pure bookkeeping, not measurement).
+        """
+        golden = json.loads((GOLDEN_DIR / "migration_bench_seed0.json").read_text())
+        data = run_migration_bench(reps=5, seed=0)
+        assert data["enclave_migration"] == golden["enclave_migration"]
+
+    def test_fleet_bench_virtual_time_identical_under_seed(self):
+        a = run_fleet_bench(n_enclaves=2, n_machines=2, reps=1, seed=7)
+        b = run_fleet_bench(n_enclaves=2, n_machines=2, reps=1, seed=7)
+        assert (
+            a["virtual_seconds_per_migration"] == b["virtual_seconds_per_migration"]
+        )
 
     def test_datacenter_key_material_deterministic(self):
         dc1 = DataCenter(name="same", seed=5)
