@@ -29,10 +29,13 @@ analyze-json:
 baseline:
 	$(PYTHON) -m repro.analysis --update-baseline src/repro examples benchmarks
 
-# Both modes: the session-resumption ablation must uphold R3/R4 under the
-# same fault sweep as the paper's baseline protocol.
+# All four modes: sequential and batched-wave migrations, each with the
+# session-resumption ablation on and off, must uphold R3/R4 under the same
+# fault sweep as the paper's baseline protocol.
 chaos:
 	$(PYTHON) -m repro.faults.chaos
 	$(PYTHON) -m repro.faults.chaos --session-resumption
+	$(PYTHON) -m repro.faults.chaos --batched
+	$(PYTHON) -m repro.faults.chaos --batched --session-resumption
 
 ci: test analyze chaos bench-fleet-smoke

@@ -5,37 +5,68 @@ end-to-end migrations per *wall-clock* second the simulator sustains — the
 gauge for simulator-throughput work, where the seeded virtual-time output
 must stay byte-identical while the wall cost drops.
 
-Runs the sweep twice, with the Migration Enclaves' attested-session
-resumption off (the paper's protocol: full RA per migration) and on (the
-ablation), and writes both to BENCH_fleet.json.
+Five sweeps are recorded:
+
+- ``baseline``            ring plan, one ``migrate`` per app, full RA per
+                          migration (the paper's protocol).
+- ``session_resumption``  same, with the attested-session cache (ablation).
+- ``wave_sequential``     drain plan (round r evacuates machine r % n onto
+                          its ring successor), still one migrate per app.
+- ``wave_batched``        drain plan, one ``migrate_group`` wave per round —
+                          N records over ONE attested ME<->ME session.
+- ``workers_1`` / ``workers_N``  the same set of independent seeded shard
+                          worlds run on 1 process vs ``--workers`` processes;
+                          wall migrations/sec is the multiprocess gauge.
 
 Usage::
 
     python benchmarks/bench_fleet.py                 # full run, writes JSON
     python benchmarks/bench_fleet.py --smoke         # tiny run for CI
-    python benchmarks/bench_fleet.py -o out.json --enclaves 16 --machines 8
+    python benchmarks/bench_fleet.py -o out.json --enclaves 16 --workers 8
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
 import sys
 from pathlib import Path
 
 from repro.bench.harness import run_fleet_bench
 
 
+def _git_commit() -> str:
+    """Current HEAD hash, or "unknown" outside a usable git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--enclaves", type=int, default=8, help="fleet size")
     parser.add_argument("--machines", type=int, default=4, help="data-center size")
-    parser.add_argument("--reps", type=int, default=3, help="ring rounds (each app migrates once per round)")
+    parser.add_argument("--reps", type=int, default=3, help="migration rounds (ring: each app moves once per round; drain: one machine evacuated per round)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--workers", type=int, default=4,
+        help="process count for the sharded run (also the shard count)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
-        help="tiny configuration for CI (2 enclaves, 2 machines, 1 round)",
+        help="tiny configuration for CI (2 enclaves, 2 machines, 1 round, 2 workers)",
     )
     parser.add_argument(
         "-o", "--output", type=Path, default=Path("BENCH_fleet.json"),
@@ -45,26 +76,40 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.smoke:
         args.enclaves, args.machines, args.reps = 2, 2, 1
+        args.workers = min(args.workers, 2)
 
     report = {
         "benchmark": "fleet_migration_throughput",
         "python": platform.python_version(),
+        "platform": platform.platform(),
+        "processor": platform.processor() or platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_commit": _git_commit(),
         "config": {
             "n_enclaves": args.enclaves,
             "n_machines": args.machines,
             "reps": args.reps,
             "seed": args.seed,
+            "workers": args.workers,
         },
         "runs": {},
     }
-    for label, resumption in (("baseline", False), ("session_resumption", True)):
-        result = run_fleet_bench(
-            n_enclaves=args.enclaves,
-            n_machines=args.machines,
-            reps=args.reps,
-            seed=args.seed,
-            session_resumption=resumption,
-        )
+    common = dict(
+        n_enclaves=args.enclaves,
+        n_machines=args.machines,
+        reps=args.reps,
+        seed=args.seed,
+    )
+    sweeps = (
+        ("baseline", dict(session_resumption=False)),
+        ("session_resumption", dict(session_resumption=True)),
+        ("wave_sequential", dict(session_resumption=False, plan="drain")),
+        ("wave_batched", dict(session_resumption=False, plan="drain", batch=True)),
+        ("workers_1", dict(session_resumption=False, workers=1, shards=args.workers)),
+        ("workers_%d" % args.workers, dict(session_resumption=False, workers=args.workers, shards=args.workers)),
+    )
+    for label, extra in sweeps:
+        result = run_fleet_bench(**common, **extra)
         report["runs"][label] = result
         print(
             f"{label:>18}: {result['migrations']} migrations, "
@@ -72,13 +117,38 @@ def main(argv: list[str] | None = None) -> int:
             f"{result['virtual_seconds_mean']:.3f} s virtual/migration"
         )
 
-    baseline = report["runs"]["baseline"]
-    resumed = report["runs"]["session_resumption"]
+    runs = report["runs"]
+    baseline = runs["baseline"]
+    resumed = runs["session_resumption"]
     if baseline["wall_seconds"] > 0:
         report["resumption_wall_speedup"] = (
             resumed["wall_migrations_per_sec"] / baseline["wall_migrations_per_sec"]
         )
         print(f"resumption ablation wall speedup: {report['resumption_wall_speedup']:.2f}x")
+    if runs["wave_batched"]["virtual_seconds_mean"] > 0:
+        report["batch_virtual_speedup"] = (
+            runs["wave_sequential"]["virtual_seconds_mean"]
+            / runs["wave_batched"]["virtual_seconds_mean"]
+        )
+        report["batch_vs_baseline_virtual_speedup"] = (
+            baseline["virtual_seconds_mean"]
+            / runs["wave_batched"]["virtual_seconds_mean"]
+        )
+        print(
+            f"batched wave virtual speedup: {report['batch_virtual_speedup']:.2f}x "
+            f"vs wave_sequential, {report['batch_vs_baseline_virtual_speedup']:.2f}x "
+            f"vs baseline"
+        )
+    workers_label = "workers_%d" % args.workers
+    if runs["workers_1"]["wall_migrations_per_sec"] > 0:
+        report["workers_wall_speedup"] = (
+            runs[workers_label]["wall_migrations_per_sec"]
+            / runs["workers_1"]["wall_migrations_per_sec"]
+        )
+        print(
+            f"--workers {args.workers} wall speedup over --workers 1 "
+            f"(same {args.workers} shards): {report['workers_wall_speedup']:.2f}x"
+        )
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

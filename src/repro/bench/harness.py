@@ -207,27 +207,126 @@ def run_migration_bench(
 
 
 # --------------------------------------------------------------------- fleet
+def _require_completed(results) -> None:
+    for result in results:
+        if result.outcome.name != "COMPLETED":
+            raise RuntimeError(f"fleet migration failed: {result.outcome}")
+
+
+def _fleet_shard_worker(kwargs: dict) -> dict:
+    """Run one independent seeded fleet world; module-level so it pickles."""
+    return run_fleet_bench(**kwargs)
+
+
+def _run_fleet_shards(base_kwargs: dict, workers: int, shards: int) -> dict:
+    """Run ``shards`` independent fleet worlds, optionally across processes.
+
+    Shard ``i`` runs with ``seed + i`` so every shard is a byte-deterministic
+    world of its own; the aggregate merges wall throughput (the quantity that
+    scales with cores) and sums virtual time (each shard has its own virtual
+    clock — virtual totals are additive work, not elapsed time).
+    """
+    shard_kwargs = []
+    for index in range(shards):
+        kw = dict(base_kwargs)
+        kw["seed"] = base_kwargs["seed"] + index
+        kw["workers"] = 1
+        kw["shards"] = 1
+        shard_kwargs.append(kw)
+    wall_start = time.perf_counter()
+    if workers <= 1:
+        shard_results = [_fleet_shard_worker(kw) for kw in shard_kwargs]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            shard_results = list(pool.map(_fleet_shard_worker, shard_kwargs))
+    wall_seconds = time.perf_counter() - wall_start
+    migrations = sum(r["migrations"] for r in shard_results)
+    return {
+        "n_enclaves": base_kwargs["n_enclaves"],
+        "n_machines": base_kwargs["n_machines"],
+        "reps": base_kwargs["reps"],
+        "seed": base_kwargs["seed"],
+        "session_resumption": base_kwargs["session_resumption"],
+        "batch": base_kwargs["batch"],
+        "plan": base_kwargs["plan"],
+        "workers": workers,
+        "shards": shards,
+        "shard_seeds": [kw["seed"] for kw in shard_kwargs],
+        "migrations": migrations,
+        "wall_seconds": wall_seconds,
+        "wall_migrations_per_sec": migrations / wall_seconds if wall_seconds else 0.0,
+        "virtual_seconds_total": sum(r["virtual_seconds_total"] for r in shard_results),
+        "virtual_seconds_mean": (
+            sum(r["virtual_seconds_mean"] * r["migrations"] for r in shard_results)
+            / migrations
+            if migrations
+            else 0.0
+        ),
+        "shard_wall_seconds": [r["wall_seconds"] for r in shard_results],
+    }
+
+
 def run_fleet_bench(
     n_enclaves: int = 8,
     n_machines: int = 4,
     reps: int = 3,
     seed: int = 0,
     session_resumption: bool = False,
+    batch: bool = False,
+    plan: str = "ring",
+    workers: int = 1,
+    shards: int | None = None,
 ) -> dict:
     """Fleet-scale migration throughput (wall clock AND virtual clock).
 
     Builds an ``n_machines`` data center, deploys ``n_enclaves`` migratable
-    apps round-robin across it, then runs ``reps`` rounds in which every app
-    migrates to the next machine in the ring (state-only, ``migrate_vm=False``
-    — the paper's enclave-specific overhead).  Unlike the figure benchmarks,
-    which report only virtual time, this one also reports *wall-clock*
-    migrations/sec: it is the gauge for simulator-throughput work, where the
-    virtual-time distribution must stay fixed while the wall cost drops.
+    apps round-robin across it, then migrates them for ``reps`` rounds
+    (state-only, ``migrate_vm=False`` — the paper's enclave-specific
+    overhead).  Unlike the figure benchmarks, which report only virtual time,
+    this one also reports *wall-clock* migrations/sec: it is the gauge for
+    simulator-throughput work, where the virtual-time distribution must stay
+    fixed while the wall cost drops.
+
+    ``plan`` picks the movement pattern per round:
+
+    - ``"ring"``: every app moves to the next machine in the ring (the
+      original schedule; with ``batch=True`` co-located apps form one wave).
+    - ``"drain"``: round ``r`` evacuates machine ``r % n_machines`` onto its
+      ring successor — the maintenance-drain shape where waves are largest.
+
+    ``batch=True`` replaces per-app ``migrate`` calls with one
+    ``MigratableApp.migrate_group`` wave per (source, destination) pair; the
+    wave's virtual cost is split evenly across its members so per-migration
+    numbers stay comparable with the sequential path.
+
+    ``workers``/``shards`` run that many *independent* seeded fleet worlds
+    (shard ``i`` uses ``seed + i``) and merge the results;  ``workers > 1``
+    spreads the shards over a ``ProcessPoolExecutor`` so aggregate wall
+    migrations/sec can scale with cores while each shard stays
+    byte-deterministic.
 
     ``session_resumption=True`` provisions the MEs with the attested-session
     cache (an explicit ablation; it shortens repeat ME<->ME handshakes on
     both clocks, so it is never folded into reproduced figures).
     """
+    if plan not in ("ring", "drain"):
+        raise ValueError(f"unknown fleet plan: {plan!r}")
+    if shards is None:
+        shards = workers if workers > 1 else 1
+    if shards > 1:
+        base_kwargs = dict(
+            n_enclaves=n_enclaves,
+            n_machines=n_machines,
+            reps=reps,
+            seed=seed,
+            session_resumption=session_resumption,
+            batch=batch,
+            plan=plan,
+        )
+        return _run_fleet_shards(base_kwargs, workers, shards)
+
     dc = DataCenter(name="fleet", seed=seed)
     machines = [dc.add_machine(f"fleet-{i}") for i in range(n_machines)]
     install_all_migration_enclaves(dc, session_resumption=session_resumption)
@@ -245,18 +344,50 @@ def run_fleet_bench(
         app.start_new()
         apps.append(app)
 
+    # Machine position per app, maintained across migrations so the loop never
+    # pays an O(n) ``machines.index`` scan (apps deploy round-robin).
+    positions = [i % n_machines for i in range(n_enclaves)]
+
     per_migration_virtual: list[float] = []
     virtual_start = dc.clock.now
     wall_start = time.perf_counter()
-    for _ in range(reps):
-        for app in apps:
-            position = machines.index(app.app.machine)
-            target = machines[(position + 1) % n_machines]
-            before = dc.clock.now
-            result = app.migrate(target, migrate_vm=False)
-            if result.outcome.name != "COMPLETED":
-                raise RuntimeError(f"fleet migration failed: {result.outcome}")
-            per_migration_virtual.append(dc.clock.now - before)
+    for round_index in range(reps):
+        if plan == "ring":
+            moves = [(idx, positions[idx]) for idx in range(n_enclaves)]
+        else:  # drain: evacuate one machine per round
+            src_pos = round_index % n_machines
+            moves = [
+                (idx, src_pos)
+                for idx in range(n_enclaves)
+                if positions[idx] == src_pos
+            ]
+        if not batch:
+            for idx, pos in moves:
+                target = machines[(pos + 1) % n_machines]
+                before = dc.clock.now
+                result = apps[idx].migrate(target, migrate_vm=False)
+                _require_completed([result])
+                per_migration_virtual.append(dc.clock.now - before)
+                positions[idx] = (pos + 1) % n_machines
+        else:
+            # One wave per (source, destination) pair; ring rounds produce one
+            # wave per occupied machine, drain rounds a single big wave.
+            groups: dict[int, list[int]] = {}
+            for idx, pos in moves:
+                groups.setdefault(pos, []).append(idx)
+            for pos in sorted(groups):
+                members = groups[pos]
+                target = machines[(pos + 1) % n_machines]
+                wave = [apps[idx] for idx in members]
+                before = dc.clock.now
+                results = MigratableApp.migrate_group(
+                    wave, target, migrate_vm=False
+                )
+                _require_completed(results)
+                share = (dc.clock.now - before) / len(wave)
+                per_migration_virtual.extend([share] * len(wave))
+                for idx in members:
+                    positions[idx] = (pos + 1) % n_machines
     wall_seconds = time.perf_counter() - wall_start
     migrations = len(per_migration_virtual)
     return {
@@ -265,6 +396,10 @@ def run_fleet_bench(
         "reps": reps,
         "seed": seed,
         "session_resumption": session_resumption,
+        "batch": batch,
+        "plan": plan,
+        "workers": 1,
+        "shards": 1,
         "migrations": migrations,
         "wall_seconds": wall_seconds,
         "wall_migrations_per_sec": migrations / wall_seconds if wall_seconds else 0.0,

@@ -69,18 +69,25 @@ class MigrationEnclave(EnclaveBase):
         self._session_resumption = False
         # destination address -> {sid, channel, peer_credential, epoch}
         self._resumable: dict[str, dict] = {}
-        # target mrenclave -> {"data": bytes, "source_me": str, "token": bytes, "txn": str}
-        self._incoming: dict[bytes, dict] = {}
-        # target mrenclave -> {"data": bytes, "dest": str, "token": bytes, "txn": str}
-        self._pending_outgoing: dict[bytes, dict] = {}
-        # Idempotency records, keyed by target mrenclave -> transaction id.
-        # _completed (source side): migrations this ME confirmed delivered
-        # (done_notice received).  _confirmed (destination side): migrations
-        # whose data the local enclave fetched and acknowledged.  They let a
-        # crashed-and-resumed peer repeat migrate_out / retry / transfer for
-        # the same transaction without forking state.
-        self._completed: dict[bytes, str] = {}
-        self._confirmed: dict[bytes, str] = {}
+        # Migration-data stores, keyed target mrenclave -> transaction id ->
+        # record.  A wave parks several records for the SAME mrenclave (a
+        # fleet of one enclave build migrating together), so the transaction
+        # id — unique per migrating application — is part of the key; the
+        # classic one-migration protocol uses the sole record under its
+        # (possibly empty) transaction id.
+        # incoming record: {"data": bytes, "source_me": str, "token": bytes, "txn": str}
+        self._incoming: dict[bytes, dict[str, dict]] = {}
+        # pending record: {"data": bytes, "dest": str, "token": bytes, "txn": str}
+        self._pending_outgoing: dict[bytes, dict[str, dict]] = {}
+        # Idempotency ledgers, keyed by target mrenclave -> set of
+        # transaction ids.  _completed (source side): migrations this ME
+        # confirmed delivered (done_notice received).  _confirmed
+        # (destination side): migrations whose data the local enclave
+        # fetched and acknowledged.  They let a crashed-and-resumed peer
+        # repeat migrate_out / retry / transfer for the same transaction
+        # without forking state.
+        self._completed: dict[bytes, set[str]] = {}
+        self._confirmed: dict[bytes, set[str]] = {}
 
     # ------------------------------------------------------------- ECALLs
     @ecall
@@ -160,16 +167,38 @@ class MigrationEnclave(EnclaveBase):
             return self._on_ra_record(message)
         if msg_type == "done_notice":
             return self._on_done_notice(message)
+        if msg_type == "flush_staged":
+            return self._on_flush_staged(message)
         return wire.encode({"status": "error", "error": f"unknown message {msg_type!r}"})
 
     # -------------------------------------------------------- diagnostics
     @ecall
     def has_incoming(self, mrenclave: bytes) -> bool:
-        return mrenclave in self._incoming
+        return bool(self._incoming.get(mrenclave))
 
     @ecall
     def has_pending_outgoing(self, mrenclave: bytes) -> bool:
-        return mrenclave in self._pending_outgoing
+        return bool(self._pending_outgoing.get(mrenclave))
+
+    # ----------------------------------------------------- record resolution
+    @staticmethod
+    def _resolve_record(
+        records: dict[str, dict] | None, txn: str
+    ) -> tuple[dict | None, str | None]:
+        """Find the record for ``txn`` in a per-mrenclave store slice.
+
+        An empty ``txn`` resolves the sole record — the classic
+        one-migration-per-identity protocol — and reports ambiguity when a
+        wave parked several, so an unnamed command can never operate on the
+        wrong application's state.  Returns ``(record, error)``.
+        """
+        if not records:
+            return None, None
+        if txn:
+            return records.get(txn), None
+        if len(records) == 1:
+            return next(iter(records.values())), None
+        return None, "several transactions pending for this enclave identity"
 
     # ------------------------------------------------------- durability
     @ecall
@@ -182,26 +211,28 @@ class MigrationEnclave(EnclaveBase):
         peers simply re-attest.
         """
 
-        def encode_store(store: dict[bytes, dict]) -> list:
+        def encode_store(store: dict[bytes, dict[str, dict]]) -> list:
             rows = []
-            for target, entry in sorted(store.items()):
-                rows.append(
-                    wire.encode(
-                        {
-                            "target": target,
-                            "data": entry["data"],
-                            "peer": entry.get("source_me", entry.get("dest", "")),
-                            "token": entry["token"],
-                            "txn": entry.get("txn", ""),
-                        }
+            for target, records in sorted(store.items()):
+                for txn, entry in sorted(records.items()):
+                    rows.append(
+                        wire.encode(
+                            {
+                                "target": target,
+                                "data": entry["data"],
+                                "peer": entry.get("source_me", entry.get("dest", "")),
+                                "token": entry["token"],
+                                "txn": txn,
+                            }
+                        )
                     )
-                )
             return rows
 
-        def encode_ledger(ledger: dict[bytes, str]) -> list:
+        def encode_ledger(ledger: dict[bytes, set[str]]) -> list:
             return [
                 wire.encode({"target": target, "txn": txn})
-                for target, txn in sorted(ledger.items())
+                for target, txns in sorted(ledger.items())
+                for txn in sorted(txns)
             ]
 
         payload = wire.encode(
@@ -217,13 +248,15 @@ class MigrationEnclave(EnclaveBase):
         # restore the checkpoint, regardless of deployment signer.
         from repro.sgx.identity import KeyPolicy
 
-        return self.sdk.seal_data(payload, b"me-checkpoint-v2", KeyPolicy.MRENCLAVE)
+        return self.sdk.seal_data(payload, b"me-checkpoint-v3", KeyPolicy.MRENCLAVE)
 
     @ecall
     def import_sealed_state(self, checkpoint: bytes) -> None:
         """Restore a checkpoint after a restart (same machine only)."""
         plaintext, aad = self.sdk.unseal_data(checkpoint)
-        if aad != b"me-checkpoint-v2":
+        # v3: stores and ledgers hold one row per (mrenclave, transaction)
+        # pair so wave records survive a restart individually.
+        if aad != b"me-checkpoint-v3":
             raise InvalidStateError("not a Migration Enclave checkpoint")
         fields = wire.decode(plaintext)
         # The signing key must persist or the provisioned credential (which
@@ -240,17 +273,18 @@ class MigrationEnclave(EnclaveBase):
             peer_key = "source_me" if name == "incoming" else "dest"
             for row in fields[name]:
                 entry = wire.decode(row)
-                store[entry["target"]] = {
+                txn = entry.get("txn", "")
+                store.setdefault(entry["target"], {})[txn] = {
                     "data": entry["data"],
                     peer_key: entry["peer"],
                     "token": entry["token"],
-                    "txn": entry.get("txn", ""),
+                    "txn": txn,
                 }
         for name, ledger in (("completed", self._completed), ("confirmed", self._confirmed)):
             ledger.clear()
             for row in fields.get(name, []):
                 entry = wire.decode(row)
-                ledger[entry["target"]] = entry["txn"]
+                ledger.setdefault(entry["target"], set()).add(entry["txn"])
 
     # ---------------------------------------------------- local attestation
     def _require_provisioned(self) -> None:
@@ -304,23 +338,35 @@ class MigrationEnclave(EnclaveBase):
         cmd = command.get("cmd")
         if cmd == "migrate_out":
             return self._handle_migrate_out(command, session)
+        if cmd == "stage_out":
+            return self._handle_stage_out(command, session)
         if cmd == "retry":
             return self._handle_retry(command, session)
         if cmd == "fetch":
-            return self._handle_fetch(session)
+            return self._handle_fetch(command, session)
         if cmd == "done":
-            return self._handle_done(session)
+            return self._handle_done(command, session)
         return {"status": "error", "error": f"unknown command {cmd!r}"}
 
     # ------------------------------------------------------------- outgoing
     def _park_pending(self, target: bytes, data: bytes, dest: str, txn: str) -> None:
         """Retain undelivered migration data for a later retry (Section V-D)."""
-        self._pending_outgoing[target] = {
+        self._pending_outgoing.setdefault(target, {})[txn] = {
             "data": data,
             "dest": dest,
             "token": b"",
             "txn": txn,
         }
+
+    def _drop_pending(self, target: bytes, txn: str) -> None:
+        """Remove one delivered/confirmed record; prune the empty slice so
+        ``has_pending_outgoing`` goes back to False."""
+        records = self._pending_outgoing.get(target)
+        if records is None:
+            return
+        records.pop(txn, None)
+        if not records:
+            del self._pending_outgoing[target]
 
     def _handle_migrate_out(self, command: dict, session: dict) -> dict:
         destination = command["dest"]
@@ -335,9 +381,10 @@ class MigrationEnclave(EnclaveBase):
             shipped = self._send_to_destination(
                 destination, target_mrenclave, command["data"], txn
             )
-        except TransientError as exc:
-            # The destination may come back; park the data so the exact same
-            # transaction can be retried without re-entering the enclave.
+        except (TransientError, ChannelError) as exc:
+            # The destination may come back (and a broken channel is cured by
+            # re-attesting); park the data so the exact same transaction can
+            # be retried without re-entering the enclave.
             self._park_pending(target_mrenclave, command["data"], destination, txn)
             return {"status": "error", "error": str(exc), "retryable": True}
         except (
@@ -354,35 +401,67 @@ class MigrationEnclave(EnclaveBase):
             return {"status": "ok", "already_done": True}
         return {"status": "ok"}
 
+    def _handle_stage_out(self, command: dict, session: dict) -> dict:
+        """Wave phase 1: retain the caller's migration data for a later
+        ``flush_staged`` batch ship to ``dest`` — no ME<->ME exchange yet.
+
+        A staged record is indistinguishable from a transfer that failed
+        transiently (parked, empty token), so every existing retry/resume
+        path applies to it unchanged.
+        """
+        destination = command["dest"]
+        txn = command.get("txn", "")
+        target_mrenclave = session["peer_identity"].mrenclave
+        # As with migrate_out: a fresh transaction supersedes the identity's
+        # completion records (multi-hop chains reuse the same MRENCLAVE).
+        self._completed.pop(target_mrenclave, None)
+        self._park_pending(target_mrenclave, command["data"], destination, txn)
+        return {"status": "ok", "staged": True}
+
     def _handle_retry(self, command: dict, session: dict) -> dict:
         """The frozen source library (or its operator) selects a (possibly
         new) destination for migration data this ME still holds."""
         target_mrenclave = session["peer_identity"].mrenclave
         txn = command.get("txn", "")
-        pending = self._pending_outgoing.get(target_mrenclave)
-        if pending is None:
-            if txn and self._completed.get(target_mrenclave) == txn:
+        entry, ambiguous = self._resolve_record(
+            self._pending_outgoing.get(target_mrenclave), txn
+        )
+        if ambiguous:
+            return {"status": "error", "error": ambiguous}
+        if entry is None:
+            completed = self._completed.get(target_mrenclave, set())
+            if txn and txn in completed:
                 # This very transaction already reached the destination and
                 # was confirmed; the retry is a harmless duplicate.
                 return {"status": "ok", "already_done": True}
-            if target_mrenclave in self._completed:
-                # Some *other* transaction for this identity completed; a
+            if not txn and completed:
+                # Legacy txn-less retry: with no transaction to key on, any
+                # completion for this identity could be this migration — a
                 # re-ship could hand state to a second instance (R3).
                 return {"status": "error", "error": "migration already completed"}
+            # With an explicit transaction, a *sibling* transaction's
+            # completion (another wave member with the same MRENCLAVE) must
+            # not block this one: the destination dedups per (mrenclave,
+            # txn), so rebuilding and re-shipping this txn cannot fork.
             return {
                 "status": "error",
                 "error": "no pending migration data",
                 "no_pending": True,
             }
+        if command.get("staged"):
+            # Deferred retry: the record is already parked for the wave
+            # flush; just (re-)route it to the requested destination.
+            entry["dest"] = command["dest"]
+            return {"status": "ok", "staged": True}
         try:
             self._require_provisioned()
             shipped = self._send_to_destination(
                 command["dest"],
                 target_mrenclave,
-                pending["data"],
-                pending.get("txn") or txn,
+                entry["data"],
+                entry.get("txn") or txn,
             )
-        except TransientError as exc:
+        except (TransientError, ChannelError) as exc:
             return {"status": "error", "error": str(exc), "retryable": True}
         except (
             MigrationError,
@@ -397,16 +476,25 @@ class MigrationEnclave(EnclaveBase):
 
     @ecall
     def retry_pending(self, mrenclave: bytes, destination: str) -> MigrationResult:
-        """Operator action: retry a failed migration, possibly elsewhere."""
+        """Operator action: retry a failed migration, possibly elsewhere.
+
+        Ships every record this ME retains for the enclave identity (a
+        wave may have parked several); reports the transaction id when it
+        is unambiguous.
+        """
         self._require_provisioned()
-        pending = self._pending_outgoing.get(mrenclave)
-        if pending is None:
+        records = self._pending_outgoing.get(mrenclave)
+        if not records:
             raise MigrationError("no pending migration for that enclave")
-        self._send_to_destination(
-            destination, mrenclave, pending["data"], pending.get("txn", "")
-        )
+        txns = sorted(records)
+        for txn in txns:
+            entry = records.get(txn)
+            if entry is None:  # delivered while iterating (already_delivered)
+                continue
+            self._send_to_destination(destination, mrenclave, entry["data"], txn)
         return MigrationResult(
-            outcome=MigrationOutcome.SHIPPED, txn_id=pending.get("txn", "")
+            outcome=MigrationOutcome.SHIPPED,
+            txn_id=txns[0] if len(txns) == 1 else "",
         )
 
     def _send_to_destination(
@@ -417,24 +505,32 @@ class MigrationEnclave(EnclaveBase):
         Returns ``"shipped"`` when the destination stored the data, or
         ``"already_delivered"`` when the destination reports it already
         confirmed this transaction (idempotent duplicate).
+        """
+        return self._with_destination_session(
+            destination,
+            lambda sid, channel, peer_credential: self._transfer_over_channel(
+                destination, sid, channel, peer_credential,
+                target_mrenclave, data, txn,
+            ),
+        )
 
-        With session resumption enabled, an attested channel to this
-        destination left over from a previous migration is tried first; a
-        stale session (restarted peer, desynchronized channel) drops out of
-        the cache and the full handshake below runs as if it never existed.
+    def _with_destination_session(self, destination: str, operation):
+        """Run ``operation(sid, channel, peer_credential)`` over an attested,
+        provider-authenticated channel to the destination ME.
+
+        Shared by the single-record transfer and the wave batch transfer, so
+        both compose identically with session resumption: when it is
+        enabled, an attested channel to this destination left over from a
+        previous migration is tried first; a stale session (restarted peer,
+        desynchronized channel) drops out of the cache and the full
+        handshake below runs as if it never existed.
         """
         if self._session_resumption:
             cached = self._resumable.get(destination)
             if cached is not None:
                 try:
-                    return self._transfer_over_channel(
-                        destination,
-                        cached["sid"],
-                        cached["channel"],
-                        cached["peer_credential"],
-                        target_mrenclave,
-                        data,
-                        txn,
+                    return operation(
+                        cached["sid"], cached["channel"], cached["peer_credential"]
                     )
                 except PolicyViolationError:
                     # Policy outcomes do not depend on the session; a fresh
@@ -503,10 +599,7 @@ class MigrationEnclave(EnclaveBase):
                 "peer_credential": peer_credential,
                 "epoch": auth_reply.get("epoch", b""),
             }
-        return self._transfer_over_channel(
-            destination, remote_sid, channel, peer_credential,
-            target_mrenclave, data, txn,
-        )
+        return operation(remote_sid, channel, peer_credential)
 
     def _transfer_over_channel(
         self,
@@ -547,18 +640,135 @@ class MigrationEnclave(EnclaveBase):
         if transfer_reply.get("status") == "already_delivered":
             # The destination confirmed this transaction on an earlier
             # attempt (our done_notice was lost); release the retained copy.
-            self._completed[target_mrenclave] = txn
-            self._pending_outgoing.pop(target_mrenclave, None)
+            self._completed.setdefault(target_mrenclave, set()).add(txn)
+            self._drop_pending(target_mrenclave, txn)
             return "already_delivered"
         if transfer_reply.get("status") != "stored":
             raise MigrationError(f"destination ME did not store data: {transfer_reply}")
-        self._pending_outgoing[target_mrenclave] = {
+        self._pending_outgoing.setdefault(target_mrenclave, {})[txn] = {
             "data": data,
             "dest": destination,
             "token": token,
             "txn": txn,
         }
         return "shipped"
+
+    # ------------------------------------------------------ migration waves
+    def _on_flush_staged(self, message: dict) -> bytes:
+        """Wave phase 2: ship every record staged for ``dest`` in ONE
+        ``transfer_batch`` exchange over one attested ME<->ME session.
+
+        Like an operator ``retry_pending``, the trigger itself arrives
+        unauthenticated — it only *selects* records.  Each record's
+        destination was fixed over the staging enclave's attested LA
+        channel, so a forged flush can at worst ship data where it was
+        already going.
+        """
+        destination = message["dest"]
+        staged: list[tuple[bytes, dict]] = []
+        for target, records in sorted(self._pending_outgoing.items()):
+            for _txn, entry in sorted(records.items()):
+                if entry["token"] == b"" and entry["dest"] == destination:
+                    staged.append((target, entry))
+        if not staged:
+            # Idempotent: a duplicated flush after everything shipped (or a
+            # flush racing an individual retry) has nothing left to do.
+            return wire.encode({"status": "ok", "shipped": 0, "already_delivered": 0})
+        try:
+            self._require_provisioned()
+            counts = self._with_destination_session(
+                destination,
+                lambda sid, channel, peer_credential: (
+                    self._batch_transfer_over_channel(
+                        destination, sid, channel, peer_credential, staged
+                    )
+                ),
+            )
+        except TransientError as exc:
+            return wire.encode({"status": "error", "error": str(exc), "retryable": True})
+        except ChannelError as exc:
+            # Same classification as the library's ME channel: a broken or
+            # desynchronized channel is cured by re-attesting on retry.
+            return wire.encode({"status": "error", "error": str(exc), "retryable": True})
+        except (
+            MigrationError,
+            AttestationError,
+            PolicyViolationError,
+            InvalidStateError,
+        ) as exc:
+            return wire.encode({"status": "error", "error": str(exc)})
+        return wire.encode({"status": "ok", **counts})
+
+    def _batch_transfer_over_channel(
+        self,
+        destination: str,
+        sid: str,
+        channel,
+        peer_credential: ProviderCredential,
+        staged: list[tuple[bytes, dict]],
+    ) -> dict:
+        """One policy check + one ``transfer_batch`` exchange for the wave.
+
+        The per-migration policy context names the machine pair and the ME
+        identities — never the migrating enclave — so it is identical for
+        every record of a wave; checking once IS the per-record loop, just
+        not repeated.  Tokens are committed to the parked records only for
+        outcomes the destination acknowledged, so a lost exchange leaves
+        every record staged (empty token) for the next flush.
+        """
+        self._policies.check(
+            MigrationContext(
+                source_machine=self._my_address or "",
+                destination_machine=destination,
+                enclave_identity=self.sdk.identity,
+                destination_credential=peer_credential,
+            )
+        )
+        rows = []
+        tokens = []
+        for target, entry in staged:
+            token = self.sdk.random_bytes(16)
+            tokens.append(token)
+            rows.append(
+                {
+                    "target": target,
+                    "data": entry["data"],
+                    "token": token,
+                    "txn": entry["txn"],
+                }
+            )
+        reply = self._ra_exchange(
+            destination,
+            sid,
+            channel,
+            {
+                "cmd": "transfer_batch",
+                "source_me": self._my_address or "",
+                "records": wire.pack_records(rows),
+            },
+        )
+        results = reply.get("results")
+        if (
+            reply.get("status") != "ok"
+            or not isinstance(results, list)
+            or len(results) != len(staged)
+        ):
+            raise MigrationError(f"destination ME rejected batch transfer: {reply}")
+        shipped = delivered = 0
+        for (target, entry), token, status in zip(staged, tokens, results):
+            if status == "stored":
+                # Retained until the done_notice for this token arrives.
+                entry["token"] = token
+                shipped += 1
+            elif status == "already_delivered":
+                self._completed.setdefault(target, set()).add(entry["txn"])
+                self._drop_pending(target, entry["txn"])
+                delivered += 1
+            else:
+                raise MigrationError(
+                    f"destination ME refused wave record: {status!r}"
+                )
+        return {"shipped": shipped, "already_delivered": delivered}
 
     def _verify_peer_credential(
         self,
@@ -594,7 +804,12 @@ class MigrationEnclave(EnclaveBase):
             )
         )
         if "payload" not in reply:
-            raise MigrationError(f"destination ME error: {reply}")
+            # A payload-less reply is a *session-level* failure (the peer
+            # could not authenticate our record — corruption in flight — or
+            # no longer knows the session, e.g. it restarted).  Re-attesting
+            # establishes a fresh channel and cures all of these, so this is
+            # a ChannelError, not a protocol failure.
+            raise ChannelError(f"destination ME rejected channel record: {reply}")
         plaintext, _ = channel.recv(reply["payload"])
         return wire.decode(plaintext)
 
@@ -649,6 +864,8 @@ class MigrationEnclave(EnclaveBase):
             return self._handle_peer_auth(command, session)
         if cmd == "transfer":
             return self._handle_transfer(command, session)
+        if cmd == "transfer_batch":
+            return self._handle_transfer_batch(command, session)
         return {"status": "error", "error": f"unknown ME command {cmd!r}"}
 
     def _handle_peer_auth(self, command: dict, session: dict) -> dict:
@@ -691,43 +908,88 @@ class MigrationEnclave(EnclaveBase):
             reply["epoch"] = self._epoch
         return reply
 
-    def _handle_transfer(self, command: dict, session: dict) -> dict:
-        if not session.get("authenticated"):
-            return {"status": "error", "error": "transfer before provider auth"}
-        target = command["target_mrenclave"]
-        txn = command.get("txn", "")
-        if txn and self._confirmed.get(target) == txn:
+    def _store_incoming(
+        self, target: bytes, txn: str, data: bytes, source_me: str, token: bytes
+    ) -> str:
+        """Store one inbound record; refuse re-arming a confirmed one (R3)."""
+        if txn and txn in self._confirmed.get(target, set()):
             # The local enclave already fetched and confirmed this exact
             # transaction; storing it again would arm the same state for a
             # second instance (R3).  Tell the source it is finished.
-            return {"status": "already_delivered"}
-        self._incoming[target] = {
-            "data": command["data"],
-            "source_me": command["source_me"],
-            "token": command["token"],
+            return "already_delivered"
+        self._incoming.setdefault(target, {})[txn] = {
+            "data": data,
+            "source_me": source_me,
+            "token": token,
             "txn": txn,
         }
-        return {"status": "stored"}
+        return "stored"
+
+    def _handle_transfer(self, command: dict, session: dict) -> dict:
+        if not session.get("authenticated"):
+            return {"status": "error", "error": "transfer before provider auth"}
+        status = self._store_incoming(
+            command["target_mrenclave"],
+            command.get("txn", ""),
+            command["data"],
+            command["source_me"],
+            command["token"],
+        )
+        return {"status": status}
+
+    def _handle_transfer_batch(self, command: dict, session: dict) -> dict:
+        """Store a whole wave in one exchange; per-record statuses let the
+        source settle each transaction's ledger exactly as if the records
+        had arrived one by one."""
+        if not session.get("authenticated"):
+            return {"status": "error", "error": "transfer before provider auth"}
+        try:
+            rows = wire.unpack_records(command["records"])
+        except wire.WireError as exc:
+            return {"status": "error", "error": f"malformed batch: {exc}"}
+        source_me = command.get("source_me", "")
+        results = []
+        for row in rows:
+            results.append(
+                self._store_incoming(
+                    row["target"],
+                    row.get("txn", ""),
+                    row["data"],
+                    source_me,
+                    row["token"],
+                )
+            )
+        return {"status": "ok", "results": results}
 
     # ------------------------------------- delivery to the local destination
-    def _handle_fetch(self, session: dict) -> dict:
+    def _handle_fetch(self, command: dict, session: dict) -> dict:
         """Release stored migration data — only to an enclave whose
         attested MRENCLAVE matches the source enclave's."""
         target = session["peer_identity"].mrenclave
-        entry = self._incoming.get(target)
+        entry, ambiguous = self._resolve_record(
+            self._incoming.get(target), command.get("txn", "")
+        )
+        if ambiguous:
+            return {"status": "error", "error": ambiguous}
         if entry is None:
             return {"status": "none"}
         return {"status": "ok", "data": entry["data"]}
 
-    def _handle_done(self, session: dict) -> dict:
+    def _handle_done(self, command: dict, session: dict) -> dict:
         target = session["peer_identity"].mrenclave
-        entry = self._incoming.pop(target, None)
+        records = self._incoming.get(target)
+        entry, ambiguous = self._resolve_record(records, command.get("txn", ""))
+        if ambiguous:
+            return {"status": "error", "error": ambiguous}
         if entry is None:
             return {"status": "error", "error": "no migration to confirm"}
+        del records[entry["txn"]]
+        if not records:
+            del self._incoming[target]
         # Remember the confirmed transaction so a source-side re-transfer of
         # the same transaction is answered "already_delivered" instead of
         # re-arming the data for a second instance.
-        self._confirmed[target] = entry.get("txn", "")
+        self._confirmed.setdefault(target, set()).add(entry["txn"])
         if entry["source_me"]:
             try:
                 self._net_send(
@@ -748,14 +1010,20 @@ class MigrationEnclave(EnclaveBase):
 
     def _on_done_notice(self, message: dict) -> bytes:
         target = message["target_mrenclave"]
-        pending = self._pending_outgoing.get(target)
-        if pending is None:
+        records = self._pending_outgoing.get(target)
+        if not records:
             return wire.encode({"status": "ok"})  # idempotent
-        if pending["token"] != message["token"]:
+        # The (unauthenticated) notice is matched by its per-transfer random
+        # token, which only the destination ME that stored the data learned;
+        # the token also selects WHICH of a wave's records is confirmed.
+        entry = next(
+            (e for e in records.values() if e["token"] == message["token"]), None
+        )
+        if entry is None:
             return wire.encode({"status": "error", "error": "bad confirmation token"})
         # The destination confirmed: safe to delete the migration data.  The
         # completion record makes a duplicate retry of this transaction
         # short-circuit rather than re-ship.
-        self._completed[target] = pending.get("txn", "")
-        del self._pending_outgoing[target]
+        self._completed.setdefault(target, set()).add(entry["txn"])
+        self._drop_pending(target, entry["txn"])
         return wire.encode({"status": "ok"})

@@ -85,6 +85,11 @@ class MigrationLibrary:
         self._channel = None
         self._me_address: str | None = None
         self._session_id: str | None = None
+        # The migration transaction this instance was started under (MIGRATE
+        # init).  Wave migrations park several same-MRENCLAVE records at the
+        # ME, so fetch/confirm must name which one; an empty id keeps the
+        # classic one-record protocol (and its message bytes) unchanged.
+        self._txn_id: str = ""
 
     # ------------------------------------------------------------ utilities
     @property
@@ -204,6 +209,7 @@ class MigrationLibrary:
         data_buffer: bytes | None,
         init_state: InitState,
         me_address: str,
+        txn_id: str = "",
     ) -> bytes:
         """Initialize the library (must be called every time the enclave is
         loaded).  Returns the sealed Table II buffer to store untrusted.
@@ -213,10 +219,13 @@ class MigrationLibrary:
           machine; refuses to operate if the freeze flag is set.
         * ``MIGRATE`` — fetch this enclave's migration data from the local
           Migration Enclave and install it (fresh counters, new offsets).
+          ``txn_id`` (optional) names the migration transaction to fetch,
+          needed when a wave parked several records for this MRENCLAVE.
         """
         if self._state is not None:
             raise InvalidStateError("Migration Library already initialized")
         self._me_address = me_address
+        self._txn_id = txn_id
 
         if init_state is InitState.NEW:
             self._charge("lib_init_new", "lib_counter_read_wrap")
@@ -275,7 +284,10 @@ class MigrationLibrary:
         retry after transport failures.
         """
         self._require_operational()
-        ack = self._me_command({"cmd": "done"})
+        command: dict = {"cmd": "done"}
+        if self._txn_id:
+            command["txn"] = self._txn_id
+        ack = self._me_command(command)
         if ack.get("status") == "ok":
             return
         if "no migration to confirm" in str(ack.get("error", "")):
@@ -283,7 +295,12 @@ class MigrationLibrary:
         raise MigrationError(f"Migration Enclave rejected DONE: {ack}")
 
     def _fetch_incoming(self) -> MigrationData:
-        response = self._me_command({"cmd": "fetch"})
+        command: dict = {"cmd": "fetch"}
+        if self._txn_id:
+            # Only named transactions send the field: the sequential path
+            # stays byte-identical and the ME resolves the sole record.
+            command["txn"] = self._txn_id
+        response = self._me_command(command)
         if response.get("status") != "ok":
             raise MigrationError(
                 "no incoming migration data for this enclave at the "
@@ -291,7 +308,13 @@ class MigrationLibrary:
             )
         return MigrationData.from_bytes(response["data"])
 
-    def migration_start(self, destination_address: str, txn_id: str = "") -> None:
+    def migration_start(
+        self,
+        destination_address: str,
+        txn_id: str = "",
+        *,
+        defer_transfer: bool = False,
+    ) -> None:
         """Begin migrating this enclave to ``destination_address``.
 
         Order matters for fork prevention: effective counter values are
@@ -304,9 +327,13 @@ class MigrationLibrary:
         ``destination_address`` — possibly a different machine.
 
         ``txn_id`` names the migration transaction; the ME uses it to make
-        retried deliveries idempotent.  Failures that are safe to retry
-        raise :class:`MigrationPendingError`; other failures raise plain
-        :class:`MigrationError`.
+        retried deliveries idempotent.  ``defer_transfer=True`` stages the
+        data at the local ME without shipping it (wave phase 1): the ME
+        parks the record exactly as it would a transiently failed transfer,
+        and a later ``flush_staged`` batches every staged record for the
+        same destination into one ME<->ME exchange.  Failures that are safe
+        to retry raise :class:`MigrationPendingError`; other failures raise
+        plain :class:`MigrationError`.
         """
         if self._state is None:
             raise InvalidStateError("Migration Library not initialized")
@@ -317,7 +344,7 @@ class MigrationLibrary:
                 f"enclave policy forbids migration to {destination_address!r}"
             )
         if self._state.frozen:
-            self._retry_pending_migration(destination_address, txn_id)
+            self._retry_pending_migration(destination_address, txn_id, defer_transfer)
             return
         state = self._state
         assert state is not None
@@ -354,14 +381,20 @@ class MigrationLibrary:
 
         state.frozen = True
         self._persist()
-        self._ship(destination_address, data, txn_id)
+        self._ship(destination_address, data, txn_id, defer_transfer)
 
-    def _ship(self, destination_address: str, data: MigrationData, txn_id: str) -> None:
+    def _ship(
+        self,
+        destination_address: str,
+        data: MigrationData,
+        txn_id: str,
+        defer: bool = False,
+    ) -> None:
         """Hand frozen migration data to the local ME; classify the outcome."""
         try:
             response = self._me_command(
                 {
-                    "cmd": "migrate_out",
+                    "cmd": "stage_out" if defer else "migrate_out",
                     "dest": destination_address,
                     "data": data.to_bytes(),
                     "txn": txn_id,
@@ -384,12 +417,21 @@ class MigrationLibrary:
                 f"{response.get('error', response.get('status'))}"
             )
 
-    def _retry_pending_migration(self, destination_address: str, txn_id: str) -> None:
-        """Drive an already-frozen migration forward (Section V-D retry)."""
+    def _retry_pending_migration(
+        self, destination_address: str, txn_id: str, defer: bool = False
+    ) -> None:
+        """Drive an already-frozen migration forward (Section V-D retry).
+
+        With ``defer=True`` (wave staging retried after a transient failure)
+        the ME keeps an already-parked record staged — re-routing it to the
+        new destination — instead of shipping it individually, so the batch
+        flush still covers it.
+        """
+        command: dict = {"cmd": "retry", "dest": destination_address, "txn": txn_id}
+        if defer:
+            command["staged"] = True
         try:
-            response = self._me_command(
-                {"cmd": "retry", "dest": destination_address, "txn": txn_id}
-            )
+            response = self._me_command(command)
         except TransientError as exc:
             raise MigrationPendingError(
                 f"could not reach the Migration Enclave for retry: {exc}"
@@ -402,7 +444,9 @@ class MigrationLibrary:
             # lost it in a pre-checkpoint crash).  Nothing was delivered
             # anywhere, so rebuilding the data from the frozen state and
             # shipping it afresh cannot fork the enclave.
-            self._ship(destination_address, self._rebuild_migration_data(), txn_id)
+            self._ship(
+                destination_address, self._rebuild_migration_data(), txn_id, defer
+            )
             return
         if response.get("retryable"):
             raise MigrationPendingError(

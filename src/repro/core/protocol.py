@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import wire
 from repro.cloud.datacenter import DataCenter
 from repro.cloud.machine import PhysicalMachine
 from repro.cloud.network import Endpoint
@@ -37,7 +38,12 @@ from repro.core.migration_library import InitState, MigrationLibrary
 from repro.core.policy import PolicySet, SameProviderPolicy
 from repro.core.result import CostSnapshot, MigrationOutcome, MigrationResult
 from repro.core.retry import RetryPolicy, call_with_retries
-from repro.errors import InvalidStateError, MigrationError, TransientError
+from repro.errors import (
+    InvalidStateError,
+    MigrationError,
+    ServiceUnavailableError,
+    TransientError,
+)
 from repro.sgx.enclave import Enclave, EnclaveBase, ecall
 from repro.sgx.identity import SigningKey
 from repro.sgx.measurement import measure_source
@@ -78,15 +84,27 @@ class MigratableEnclave(EnclaveBase):
     # ------------------------------------------------ Listing 1 interface
     @ecall
     def migration_init(
-        self, data_buffer: bytes | None, init_state: str, me_address: str
+        self,
+        data_buffer: bytes | None,
+        init_state: str,
+        me_address: str,
+        txn_id: str = "",
     ) -> bytes:
         """Initialize the Migration Library; must be called on every load."""
-        return self.miglib.migration_init(data_buffer, InitState[init_state], me_address)
+        return self.miglib.migration_init(
+            data_buffer, InitState[init_state], me_address, txn_id
+        )
 
     @ecall
     def migration_start(self, destination_address: str, txn_id: str = "") -> None:
         """Ask the library to migrate this enclave's persistent state."""
         self.miglib.migration_start(destination_address, txn_id)
+
+    @ecall
+    def migration_stage(self, destination_address: str, txn_id: str = "") -> None:
+        """Wave phase 1: freeze and park this enclave's state at the local
+        ME for a later batched ``flush_staged`` ship (no ME<->ME exchange)."""
+        self.miglib.migration_start(destination_address, txn_id, defer_transfer=True)
 
     @ecall
     def migration_confirm(self) -> None:
@@ -308,13 +326,20 @@ class MigratableApp:
 
     # ----------------------------------------------------------- lifecycle
     def launch(
-        self, init_state: InitState, *, retry_policy: RetryPolicy | None = None
+        self,
+        init_state: InitState,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        txn_id: str = "",
     ) -> Enclave:
         """Load the enclave and initialize its Migration Library.
 
         Transient failures (the local ME briefly unreachable) are retried
         under ``retry_policy``; ``migration_init`` is idempotent until it
         succeeds because the library only installs state on success.
+        ``txn_id`` names the migration transaction a MIGRATE init should
+        fetch — required when a wave parked several records for this
+        enclave's MRENCLAVE at the destination ME.
         """
         policy = retry_policy or self.retry_policy
         app = self.app
@@ -339,7 +364,7 @@ class MigratableApp:
             raise InvalidStateError("no stored library buffer to restore from")
         blob, _ = call_with_retries(
             lambda: enclave.ecall(
-                "migration_init", buffer, init_state.name, app.machine.address
+                "migration_init", buffer, init_state.name, app.machine.address, txn_id
             ),
             meter=self.dc.meter,
             policy=policy,
@@ -442,9 +467,17 @@ class MigratableApp:
         start_cost: CostSnapshot,
         retries: int,
         outcome: MigrationOutcome,
+        fetch_txn: str = "",
     ) -> MigrationResult:
         """Steps after the state reached the destination ME: move the VM,
-        restart the enclave there, confirm, clean up both journals."""
+        restart the enclave there, confirm, clean up both journals.
+
+        ``fetch_txn`` names the transaction the destination-side MIGRATE
+        init must fetch; wave and resume paths pass it because several
+        same-MRENCLAVE records may wait at the destination ME.  The plain
+        sequential path leaves it empty so its ME messages stay
+        byte-identical to the paper's protocol.
+        """
         source_storage = self.app.machine.storage
         source_address = self.app.machine.address
         # The destination-side record goes down BEFORE the VM moves: there
@@ -462,7 +495,7 @@ class MigratableApp:
             # app is recreated on the destination.
             self.vm.machine.release_vm(self.vm)
             destination.adopt_vm(self.vm)
-        enclave = self.launch(InitState.MIGRATE, retry_policy=policy)
+        enclave = self.launch(InitState.MIGRATE, retry_policy=policy, txn_id=fetch_txn)
         self._journal().clear()
         MigrationJournal(source_storage, self.app_name).clear()
         return MigrationResult(
@@ -472,6 +505,149 @@ class MigratableApp:
             cost=CostSnapshot.capture(self.dc).delta(start_cost),
             enclave=enclave,
         )
+
+    @classmethod
+    def migrate_group(
+        cls,
+        apps: list["MigratableApp"],
+        destination: PhysicalMachine,
+        *,
+        migrate_vm: bool = False,
+        retry_policy: RetryPolicy | None = None,
+    ) -> list[MigrationResult]:
+        """Migrate a wave of enclaves with batched ME<->ME exchanges — one
+        attested session and one ``transfer_batch`` per source machine —
+        instead of one full exchange per enclave.
+
+        Three phases per (source, destination) group:
+
+        1. **Stage** — each enclave journals the transaction and freezes
+           into its local ME (``migration_stage``); the record is parked,
+           not shipped, so a crash anywhere leaves every enclave
+           individually resumable through the PR-2 retry/resume machinery.
+        2. **Flush** — one ``flush_staged`` message per source ME ships all
+           staged records over ONE attested session in ONE
+           ``transfer_batch`` exchange: this is where the wave amortizes
+           the remote attestation + provider-auth handshake.
+        3. **Complete** — each enclave relocates and confirms individually
+           (destination journal, VM move, MIGRATE init, DONE): everything
+           R1-R4 depends on stays per-enclave and per-transaction.
+
+        Returns one :class:`MigrationResult` per app, in input order.  Apps
+        whose stage or flush failed transiently report ``PENDING_RETRY``
+        and are finished later by their own :meth:`resume`; fatal errors
+        raise, exactly as in sequential :meth:`migrate`.
+        """
+        results: dict[int, MigrationResult] = {}
+        groups: dict[str, list[int]] = {}
+        for index, app in enumerate(apps):
+            if app.enclave is None or not app.enclave.alive:
+                raise MigrationError("no running enclave to migrate")
+            if app.app.machine is destination:
+                raise MigrationError(
+                    f"{app.app_name} is already on {destination.address}"
+                )
+            groups.setdefault(app.app.machine.address, []).append(index)
+
+        for source_address, indices in groups.items():
+            # ---- phase 1: stage every member at the source ME
+            staged: list[tuple[int, str, int, CostSnapshot]] = []
+            for i in indices:
+                app = apps[i]
+                policy = retry_policy or app.retry_policy
+                txn = app._next_txn()
+                start_cost = CostSnapshot.capture(app.dc)
+                app._journal().write(
+                    MigrationRecord(
+                        txn, "source", PHASE_PREPARE, source_address,
+                        destination.address,
+                    )
+                )
+                try:
+                    _, retries = call_with_retries(
+                        lambda app=app, txn=txn: app.enclave.ecall(
+                            "migration_stage", destination.address, txn
+                        ),
+                        meter=app.dc.meter,
+                        policy=policy,
+                    )
+                except TransientError as exc:
+                    results[i] = MigrationResult(
+                        outcome=MigrationOutcome.PENDING_RETRY,
+                        txn_id=txn,
+                        retries_used=policy.max_attempts - 1,
+                        cost=CostSnapshot.capture(app.dc).delta(start_cost),
+                        error=exc,
+                    )
+                    continue
+                staged.append((i, txn, retries, start_cost))
+            if not staged:
+                continue
+
+            # ---- phase 2: one flush ships the whole group
+            flusher = apps[staged[0][0]]
+            flush_payload = wire.encode(
+                {"t": "flush_staged", "dest": destination.address}
+            )
+
+            def flush(flusher=flusher, payload=flush_payload, src=source_address):
+                reply = wire.decode(
+                    flusher.app.send(
+                        Endpoint.me(src), payload, timeout=ME_REQUEST_TIMEOUT
+                    )
+                )
+                if reply.get("status") != "ok":
+                    if reply.get("retryable"):
+                        raise ServiceUnavailableError(
+                            f"wave flush failed (retryable): {reply.get('error')}"
+                        )
+                    raise MigrationError(f"wave flush failed: {reply.get('error')}")
+                return reply
+
+            try:
+                call_with_retries(
+                    flush,
+                    meter=flusher.dc.meter,
+                    policy=retry_policy or flusher.retry_policy,
+                )
+            except TransientError as exc:
+                # The whole group stays parked (staged) at the source ME and
+                # every journal is at PREPARE: each app's resume() re-drives
+                # its own transaction individually.
+                for i, txn, retries, start_cost in staged:
+                    results[i] = MigrationResult(
+                        outcome=MigrationOutcome.PENDING_RETRY,
+                        txn_id=txn,
+                        retries_used=retries,
+                        cost=CostSnapshot.capture(apps[i].dc).delta(start_cost),
+                        error=exc,
+                    )
+                continue
+
+            # ---- phase 3: per-enclave relocation, confirmation, cleanup
+            for i, txn, retries, start_cost in staged:
+                app = apps[i]
+                policy = retry_policy or app.retry_policy
+                app._journal().write(
+                    MigrationRecord(
+                        txn, "source", PHASE_SHIPPED, source_address,
+                        destination.address, retries=retries,
+                    )
+                )
+                try:
+                    results[i] = app._complete_relocation(
+                        destination, migrate_vm, txn, policy, start_cost,
+                        retries, MigrationOutcome.COMPLETED, fetch_txn=txn,
+                    )
+                except TransientError as exc:
+                    results[i] = MigrationResult(
+                        outcome=MigrationOutcome.PENDING_RETRY,
+                        txn_id=txn,
+                        retries_used=retries,
+                        cost=CostSnapshot.capture(app.dc).delta(start_cost),
+                        error=exc,
+                    )
+        return [results[i] for i in range(len(apps))]
 
     def resume(
         self,
@@ -518,7 +694,7 @@ class MigratableApp:
             )
             return self._complete_relocation(
                 destination, migrate_vm, record.txn_id, policy, start_cost,
-                retries, MigrationOutcome.RESUMED,
+                retries, MigrationOutcome.RESUMED, fetch_txn=record.txn_id,
             )
 
         # role == "destination": the VM already moved here.
@@ -538,7 +714,9 @@ class MigratableApp:
             # torn down first — recovery restarts from persisted state.
             if self.app.running:
                 self.app.terminate()
-            enclave = self.launch(InitState.RESTORE, retry_policy=policy)
+            enclave = self.launch(
+                InitState.RESTORE, retry_policy=policy, txn_id=record.txn_id
+            )
             call_with_retries(
                 lambda: enclave.ecall("migration_confirm"),
                 meter=self.dc.meter,
@@ -549,7 +727,9 @@ class MigratableApp:
             # ME (or at the source ME, in which case the source resumes).
             if self.app.running:
                 self.app.terminate()
-            enclave = self.launch(InitState.MIGRATE, retry_policy=policy)
+            enclave = self.launch(
+                InitState.MIGRATE, retry_policy=policy, txn_id=record.txn_id
+            )
         self._journal().clear()
         MigrationJournal(
             self.dc.machine(record.source).storage, self.app_name

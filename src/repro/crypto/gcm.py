@@ -11,6 +11,8 @@ Known-answer tests against the NIST GCM vectors live in
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.crypto.aes import AES
 from repro.crypto.bytesutil import block_to_int, constant_time_equal, int_to_block, xor_bytes
 from repro.crypto.ctr import ctr_transform
@@ -97,6 +99,49 @@ class _GhashKey:
         return z
 
 
+# H -> _GhashKey, most-recently-used last.  Recurring keys (the sealing root
+# keys, long-lived channel keys) recur with the same H, so the 256-entry
+# Shoup table can be shared across AEAD instances; _GhashKey is never mutated
+# after construction, which makes sharing safe.  Mirrors the AES key-schedule
+# cache in :mod:`repro.crypto.aes`.
+_GHASH_TABLE_CACHE: OrderedDict[int, _GhashKey] = OrderedDict()
+_GHASH_TABLE_CACHE_MAX = 512
+_ghash_hits = 0
+_ghash_misses = 0
+
+
+def ghash_table_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters for the GHASH table cache (tests, tuning)."""
+    return {
+        "hits": _ghash_hits,
+        "misses": _ghash_misses,
+        "size": len(_GHASH_TABLE_CACHE),
+        "capacity": _GHASH_TABLE_CACHE_MAX,
+    }
+
+
+def clear_ghash_table_cache() -> None:
+    global _ghash_hits, _ghash_misses
+    _GHASH_TABLE_CACHE.clear()
+    _ghash_hits = 0
+    _ghash_misses = 0
+
+
+def _ghash_key_for(h: int) -> _GhashKey:
+    global _ghash_hits, _ghash_misses
+    cached = _GHASH_TABLE_CACHE.get(h)
+    if cached is not None:
+        _ghash_hits += 1
+        _GHASH_TABLE_CACHE.move_to_end(h)
+        return cached
+    _ghash_misses += 1
+    cached = _GhashKey(h)
+    _GHASH_TABLE_CACHE[h] = cached
+    while len(_GHASH_TABLE_CACHE) > _GHASH_TABLE_CACHE_MAX:
+        _GHASH_TABLE_CACHE.popitem(last=False)
+    return cached
+
+
 def _ghash(key: _GhashKey, aad: bytes, ciphertext: bytes) -> bytes:
     y = 0
     for data in (aad, ciphertext):
@@ -119,7 +164,7 @@ class AesGcm:
     def __init__(self, key: bytes):
         self._cipher = AES(key)
         h = block_to_int(self._cipher.encrypt_block(b"\x00" * 16))
-        self._ghash_key = _GhashKey(h)
+        self._ghash_key = _ghash_key_for(h)
 
     def _j0(self, iv: bytes) -> int:
         if len(iv) == self.IV_SIZE:

@@ -19,6 +19,14 @@ R3 and R4 through ECALLs alone.
 Run it as a module::
 
     PYTHONPATH=src python -m repro.faults.chaos
+    PYTHONPATH=src python -m repro.faults.chaos --batched
+
+``--batched`` sweeps the migration-wave path instead: two enclaves move as
+one ``migrate_group`` wave (stage, one ``flush_staged``/``transfer_batch``
+exchange, per-enclave completion), and every leg — including the batch
+transfer itself and mid-batch machine crashes — takes every fault kind.
+R3/R4 are then checked *per enclave*: each counter must be served by exactly
+one instance at exactly its pre-migration value.
 
 Exit status 1 means at least one swept scenario violated an invariant.
 """
@@ -37,7 +45,7 @@ from repro.core.protocol import (
 )
 from repro.core.result import MigrationOutcome
 from repro.core.retry import RetryPolicy
-from repro.errors import ReproError
+from repro.errors import MigrationError, ReproError
 from repro.faults.injector import FaultInjector, ObservedMessage
 from repro.faults.plan import FaultPlan
 from repro.sgx.identity import SigningKey
@@ -48,6 +56,10 @@ DESTINATION = "machine-b"
 #: The counter value the enclave reaches before migrating; R4 requires the
 #: surviving instance to read back exactly this value.
 COUNTER_TARGET = 3
+
+#: Counter values for the two wave members in ``--batched`` sweeps; distinct
+#: values so a cross-enclave state mix-up shows up as an R4 violation.
+BATCH_COUNTER_TARGETS = (3, 5)
 
 #: Small retry budget so scenarios where retries cannot help fail fast into
 #: the resume path instead of burning sweep wall-clock.
@@ -65,6 +77,17 @@ class ChaosWorld:
     dc: DataCenter
     app: MigratableApp
     counter_id: int
+    me_signer: SigningKey
+    session_resumption: bool = False
+
+
+@dataclass
+class BatchChaosWorld:
+    """Two machines, two migratable enclaves staged for one wave."""
+
+    dc: DataCenter
+    apps: list[MigratableApp]
+    counter_ids: list
     me_signer: SigningKey
     session_resumption: bool = False
 
@@ -270,18 +293,257 @@ def sweep(
     return reports
 
 
+# ------------------------------------------------------------------ batched
+def build_batched_world(
+    seed: int = 2018, session_resumption: bool = False
+) -> BatchChaosWorld:
+    """Two machines, durable MEs, two counter enclaves on the source with
+    distinct counter values (``BATCH_COUNTER_TARGETS``)."""
+    dc = DataCenter(name="chaos", seed=seed)
+    dc.add_machine(SOURCE)
+    dc.add_machine(DESTINATION)
+    me_signer = SigningKey.generate(dc.rng.child("chaos-me-signer"))
+    install_all_migration_enclaves(
+        dc, me_signer, durable=True, session_resumption=session_resumption
+    )
+    dev_key = SigningKey.generate(dc.rng.child("chaos-dev"))
+    apps: list[MigratableApp] = []
+    counter_ids = []
+    for index, target in enumerate(BATCH_COUNTER_TARGETS):
+        app = MigratableApp.deploy(
+            dc,
+            dc.machine(SOURCE),
+            MigratableBenchEnclave,
+            dev_key,
+            vm_name=f"chaos-vm-{index}",
+            app_name=f"chaos-app-{index}",
+        )
+        app.retry_policy = SWEEP_POLICY
+        enclave = app.start_new()
+        # Counter ids are sequential *per enclave*, so both apps would get
+        # id 0; padding app ``index`` with ``index`` extra counters makes its
+        # tracked counter id unique, letting the invariant check attribute a
+        # surviving instance to its app by the id set it serves.
+        for _ in range(index):
+            enclave.ecall("create_counter")
+        counter_id, _ = enclave.ecall("create_counter")
+        for _ in range(target):
+            enclave.ecall("increment_counter", counter_id)
+        apps.append(app)
+        counter_ids.append(counter_id)
+    return BatchChaosWorld(
+        dc=dc,
+        apps=apps,
+        counter_ids=counter_ids,
+        me_signer=me_signer,
+        session_resumption=session_resumption,
+    )
+
+
+def probe_batched_message_sequence(
+    seed: int = 2018, session_resumption: bool = False
+) -> list[ObservedMessage]:
+    """Record the full message trace of one fault-free migration wave."""
+    world = build_batched_world(seed, session_resumption)
+    injector = FaultInjector(
+        plan=FaultPlan(),
+        rng=world.dc.rng.child("chaos-faults"),
+        machines=dict(world.dc.machines),
+        meter=world.dc.meter,
+    )
+    world.dc.network.fault_injector = injector
+    results = MigratableApp.migrate_group(
+        world.apps, world.dc.machine(DESTINATION), migrate_vm=False
+    )
+    world.dc.network.fault_injector = None
+    for result in results:
+        if result.outcome is not MigrationOutcome.COMPLETED:
+            raise AssertionError(
+                f"probe wave did not complete: {result.outcome}"
+            )
+    return list(injector.trace)
+
+
+def check_batched_invariants(world: BatchChaosWorld) -> list[str]:
+    """R3/R4 per wave member: each app's counter must be served by exactly
+    one operational instance, at exactly its pre-migration value.
+
+    An instance belongs to app ``i`` when it serves app ``i``'s tracked
+    counter id but no *higher* tracked id (ids are padded to be strictly
+    increasing across apps, so the highest readable id identifies the app).
+    """
+    violations: list[str] = []
+    # Probe every alive enclave once for each tracked id.
+    readings: list[dict[int, int]] = []
+    for machine in world.dc.machines.values():
+        for enclave in machine.enclaves:
+            if enclave.enclave_class is not MigratableBenchEnclave:
+                continue
+            if not enclave.alive:
+                continue
+            served: dict[int, int] = {}
+            for counter_id in world.counter_ids:
+                try:
+                    served[counter_id] = enclave.ecall("read_counter", counter_id)
+                except ReproError:
+                    continue
+            if served:
+                readings.append(served)
+    for index, counter_id in enumerate(world.counter_ids):
+        target = BATCH_COUNTER_TARGETS[index]
+        higher = set(world.counter_ids[index + 1 :])
+        serving = [
+            served[counter_id]
+            for served in readings
+            if counter_id in served and not (higher & served.keys())
+        ]
+        label = f"enclave {index}"
+        if len(serving) > 1:
+            violations.append(
+                f"R3: {len(serving)} operational instances serve {label}"
+            )
+        if not serving:
+            violations.append(
+                f"liveness: no operational instance serves {label}"
+            )
+        else:
+            value = serving[0]
+            if value < target:
+                violations.append(
+                    f"R4: {label} counter regressed to {value} (expected {target})"
+                )
+            elif value > target:
+                violations.append(
+                    f"{label} counter advanced to {value} without increments "
+                    f"(expected {target})"
+                )
+    return violations
+
+
+def run_batched_scenario(
+    kind: str,
+    leg: ObservedMessage,
+    request_ordinal: int,
+    seed: int = 2018,
+    session_resumption: bool = False,
+) -> ScenarioReport:
+    """Fresh world, one fault somewhere in the wave, per-app recovery,
+    per-app invariant check."""
+    world = build_batched_world(seed, session_resumption)
+    dc = world.dc
+    plan, crashed = _plan_for(kind, leg, request_ordinal)
+    dc.network.fault_injector = FaultInjector(
+        plan=plan,
+        rng=dc.rng.child("chaos-faults"),
+        machines=dict(dc.machines),
+        meter=dc.meter,
+    )
+    try:
+        results = MigratableApp.migrate_group(
+            world.apps, dc.machine(DESTINATION), migrate_vm=False
+        )
+        outcomes = [r.outcome for r in results]
+        migrate_outcome = "+".join(o.value for o in outcomes)
+        completed = all(o is MigrationOutcome.COMPLETED for o in outcomes)
+    except ReproError as exc:
+        migrate_outcome = f"raised:{type(exc).__name__}"
+        completed = False
+
+    # Recovery mirrors the sequential sweep, but drives each wave member's
+    # journal individually — a crash mid-batch must leave every transaction
+    # independently resumable.
+    dc.network.fault_injector = None
+    recovery_outcome = "not-needed"
+    if not completed:
+        for name in crashed:
+            reinstall_migration_enclave(
+                dc,
+                dc.machine(name),
+                world.me_signer,
+                session_resumption=world.session_resumption,
+            )
+        per_app: list[str] = []
+        for app in world.apps:
+            try:
+                resumed = app.resume(migrate_vm=False)
+                per_app.append(resumed.outcome.value)
+            except MigrationError as exc:
+                # A member whose migration already finished (e.g. the fault
+                # hit a sibling's leg) has a cleared journal; that is success,
+                # not a recovery failure.  If the fault then killed its new
+                # host, the enclave died *after* the protocol ended — an
+                # ordinary enclave crash, recovered by a restart from sealed
+                # state, not by migration resume.
+                if "no migration in progress" in str(exc):
+                    if app.enclave is not None and app.enclave.alive:
+                        per_app.append("already-complete")
+                    else:
+                        try:
+                            app.restart()
+                            per_app.append("restarted")
+                        except ReproError as restart_exc:
+                            per_app.append(
+                                f"raised:{type(restart_exc).__name__}"
+                            )
+                else:
+                    per_app.append(f"raised:{type(exc).__name__}")
+            except ReproError as exc:
+                per_app.append(f"raised:{type(exc).__name__}")
+        recovery_outcome = "+".join(per_app)
+
+    report = ScenarioReport(
+        kind=kind,
+        seq=leg.seq,
+        msg_type=leg.msg_type,
+        direction=leg.direction,
+        migrate_outcome=migrate_outcome,
+        recovery_outcome=recovery_outcome,
+    )
+    if "raised:" in recovery_outcome:
+        report.violations.append(f"recovery failed: {recovery_outcome}")
+    report.violations.extend(check_batched_invariants(world))
+    return report
+
+
+def sweep_batched(
+    seed: int = 2018,
+    kinds: tuple[str, ...] = DEFAULT_KINDS,
+    session_resumption: bool = False,
+) -> list[ScenarioReport]:
+    """Every message of the wave sequence under every fault kind."""
+    trace = probe_batched_message_sequence(seed, session_resumption)
+    reports: list[ScenarioReport] = []
+    request_ordinal = 0
+    for leg in trace:
+        for kind in kinds:
+            if kind == "duplicate" and leg.direction != "request":
+                continue
+            reports.append(
+                run_batched_scenario(
+                    kind, leg, request_ordinal, seed, session_resumption
+                )
+            )
+        if leg.direction == "request":
+            request_ordinal += 1
+    return reports
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     session_resumption = "--session-resumption" in args
-    args = [a for a in args if a != "--session-resumption"]
+    batched = "--batched" in args
+    args = [a for a in args if a not in ("--session-resumption", "--batched")]
     seed = int(args[0]) if args else 2018
-    trace = probe_message_sequence(seed, session_resumption)
+    probe = probe_batched_message_sequence if batched else probe_message_sequence
+    trace = probe(seed, session_resumption)
     mode = "on" if session_resumption else "off"
+    shape = "wave (batched)" if batched else "migration"
     print(
-        f"migration message sequence: {len(trace)} legs "
+        f"{shape} message sequence: {len(trace)} legs "
         f"(seed {seed}, session resumption {mode})"
     )
-    reports = sweep(seed, session_resumption=session_resumption)
+    run_sweep = sweep_batched if batched else sweep
+    reports = run_sweep(seed, session_resumption=session_resumption)
     failures = [r for r in reports if not r.ok]
     for report in reports:
         marker = "FAIL" if report.violations else "ok"

@@ -104,6 +104,32 @@ def encode(message: dict[str, Value]) -> bytes:
     return b"".join(parts)
 
 
+def pack_records(rows: list[dict[str, Value]]) -> list[bytes]:
+    """Frame a batch of record dicts as a list of encoded sub-messages.
+
+    Used for batch exchanges (e.g. the Migration Enclaves' ``transfer_batch``
+    command): each record is one self-delimiting encoded message, so the
+    batch travels as a single wire list while every record stays individually
+    parseable and versionable.
+    """
+    return [encode(row) for row in rows]
+
+
+def unpack_records(items: list) -> list[dict[str, Value]]:
+    """Inverse of :func:`pack_records`.
+
+    Raises :class:`WireError` when an item is not an encoded sub-message, so
+    callers get the same failure mode for a malformed batch as for a
+    malformed top-level message.
+    """
+    rows: list[dict[str, Value]] = []
+    for item in items:
+        if not isinstance(item, (bytes, bytearray)):
+            raise WireError("batch record is not an encoded message")
+        rows.append(decode(bytes(item)))
+    return rows
+
+
 def decode(data: bytes) -> dict[str, Value]:
     """Parse bytes produced by :func:`encode`."""
     if len(data) < 6 or data[:4] != _MAGIC:

@@ -12,7 +12,9 @@ import pytest
 
 from repro.faults.chaos import (
     DEFAULT_KINDS,
+    probe_batched_message_sequence,
     probe_message_sequence,
+    run_batched_scenario,
     run_scenario,
     sweep,
 )
@@ -76,3 +78,50 @@ class TestInvariants:
         report = run_scenario("duplicate", first_request, 0, SEED)
         assert report.ok
         assert report.migrate_outcome == "completed"
+
+
+class TestBatchedSweep:
+    """Spot checks on the wave (migrate_group) trace; the exhaustive
+    batched sweep — every leg × every fault × both resumption modes — runs
+    as ``python -m repro.faults.chaos --batched`` in ``make ci``."""
+
+    @pytest.fixture(scope="class")
+    def batched_trace(self):
+        return probe_batched_message_sequence(SEED)
+
+    def test_probe_records_the_wave_protocol(self, batched_trace):
+        types = [m.msg_type for m in batched_trace if m.msg_type]
+        assert "flush_staged" in types
+        # One attested ME<->ME session for the whole wave, but one
+        # done_notice per member.
+        assert types.count("ra_msg1") == 1
+        assert types.count("done_notice") == 2
+
+    def test_faults_on_key_wave_legs_uphold_invariants(self, batched_trace):
+        flush = next(m for m in batched_trace if m.msg_type == "flush_staged")
+        # The transfer_batch exchange is the ra_rec request after the flush
+        # (the handshake's own legs come first).
+        batch_legs = [
+            m
+            for m in batched_trace
+            if m.msg_type == "ra_rec" and m.seq > flush.seq
+        ]
+        request_ordinals = {}
+        ordinal = 0
+        for leg in batched_trace:
+            if leg.direction == "request":
+                request_ordinals[leg.seq] = ordinal
+                ordinal += 1
+        scenarios = [
+            ("drop", flush),
+            ("drop", batch_legs[-1]),  # the transfer_batch exchange itself
+            ("crash-source", batch_legs[-1]),  # mid-batch machine crash
+            ("crash-dest", batch_legs[-1]),
+        ]
+        for kind, leg in scenarios:
+            report = run_batched_scenario(
+                kind, leg, request_ordinals.get(leg.seq, 0), SEED
+            )
+            assert report.ok, (
+                f"{kind} at seq {leg.seq} ({leg.msg_type}): {report.violations}"
+            )

@@ -1,0 +1,223 @@
+"""Migration waves: ``migrate_group`` batches N transfers into one session.
+
+The property at stake: a wave must be *observationally equivalent* to N
+sequential migrations — identical final counters, sealed data, and ME
+ledgers — while paying for the attested ME<->ME session once.  Faults that
+interrupt the wave must leave every member individually resumable (the
+PR-2 journal semantics are per transaction, never per wave).
+"""
+
+import pytest
+
+from repro.apps.counter_app import MigratableBenchEnclave
+from repro.cloud.datacenter import DataCenter
+from repro.core.protocol import MigratableApp, install_all_migration_enclaves
+from repro.core.result import MigrationOutcome
+from repro.core.retry import RetryPolicy
+from repro.errors import MigrationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.sgx.identity import SigningKey
+
+FAST_RETRY = RetryPolicy(max_attempts=2, base_delay=0.05)
+
+
+def build_world(seed=11, n_apps=3, counters=(2, 0, 5), session_resumption=False):
+    dc = DataCenter(name="waves", seed=seed)
+    for name in ("machine-a", "machine-b", "machine-c"):
+        dc.add_machine(name)
+    hosts = install_all_migration_enclaves(
+        dc, durable=True, session_resumption=session_resumption
+    )
+    key = SigningKey.generate(dc.rng.child("dev"))
+    apps, counter_ids = [], []
+    for i in range(n_apps):
+        app = MigratableApp.deploy(
+            dc,
+            dc.machine("machine-a"),
+            MigratableBenchEnclave,
+            key,
+            vm_name=f"wave-vm-{i}",
+            app_name=f"wave-app-{i}",
+        )
+        enclave = app.start_new()
+        if counters[i] is None:  # counter-free member (fleet-bench shape)
+            counter_id = None
+        else:
+            counter_id, _ = enclave.ecall("create_counter")
+            for _ in range(counters[i]):
+                enclave.ecall("increment_counter", counter_id)
+        apps.append(app)
+        counter_ids.append(counter_id)
+    return dc, hosts, apps, counter_ids
+
+
+def world_state(dc, hosts, apps, counter_ids, counters):
+    """Observable final state: locations, counter values, ledger emptiness."""
+    state = {}
+    for i, app in enumerate(apps):
+        state[f"machine-{i}"] = app.app.machine.address
+        state[f"counter-{i}"] = app.enclave.ecall("read_counter", counter_ids[i])
+        mrenclave = app.enclave.identity.mrenclave
+        for name, host in hosts.items():
+            state[f"pending-{i}-{name}"] = host.enclave.ecall(
+                "has_pending_outgoing", mrenclave
+            )
+            state[f"incoming-{i}-{name}"] = host.enclave.ecall(
+                "has_incoming", mrenclave
+            )
+    return state
+
+
+class TestWaveEquivalence:
+    def test_wave_equals_sequential_final_state(self):
+        counters = (2, 0, 5)
+        dc_a, hosts_a, apps_a, ids_a = build_world(counters=counters)
+        dc_b, hosts_b, apps_b, ids_b = build_world(counters=counters)
+
+        for app in apps_a:
+            result = app.migrate(dc_a.machine("machine-b"), migrate_vm=False)
+            assert result.outcome is MigrationOutcome.COMPLETED
+        results = MigratableApp.migrate_group(
+            apps_b, dc_b.machine("machine-b"), migrate_vm=False
+        )
+        assert [r.outcome for r in results] == [MigrationOutcome.COMPLETED] * 3
+
+        assert world_state(dc_a, hosts_a, apps_a, ids_a, counters) == world_state(
+            dc_b, hosts_b, apps_b, ids_b, counters
+        )
+
+    def test_wave_members_stay_operational(self):
+        dc, hosts, apps, counter_ids = build_world(counters=(1, 2, 3))
+        MigratableApp.migrate_group(apps, dc.machine("machine-c"), migrate_vm=False)
+        for i, app in enumerate(apps):
+            assert app.enclave.ecall("increment_counter", counter_ids[i]) == i + 2
+            sealed = app.enclave.ecall("seal", b"wave", b"aad")
+            assert app.enclave.ecall("unseal", sealed) == (b"wave", b"aad")
+
+    def test_wave_amortizes_session_cost(self):
+        """A wave of N pays the RA handshake once, so its virtual cost must
+        be well under N sequential migrations (the PR's perf claim).
+
+        Counter-free members (the fleet-bench shape): live PSE counters add
+        a large *per-enclave* destroy/recreate cost on both paths, which is
+        not what this test measures.
+        """
+        counters = (None, None, None, None)
+        dc_a, _, apps_a, _ = build_world(n_apps=4, counters=counters)
+        dc_b, _, apps_b, _ = build_world(n_apps=4, counters=counters)
+
+        start = dc_a.clock.now
+        for app in apps_a:
+            app.migrate(dc_a.machine("machine-b"), migrate_vm=False)
+        sequential = dc_a.clock.now - start
+
+        start = dc_b.clock.now
+        MigratableApp.migrate_group(
+            apps_b, dc_b.machine("machine-b"), migrate_vm=False
+        )
+        batched = dc_b.clock.now - start
+        assert batched * 2 < sequential
+
+    def test_multi_source_wave_groups_per_machine(self):
+        dc, hosts, apps, counter_ids = build_world(counters=(4, 1, 0))
+        # Scatter the fleet first so the wave spans two source machines.
+        apps[1].migrate(dc.machine("machine-b"), migrate_vm=False)
+        results = MigratableApp.migrate_group(
+            apps, dc.machine("machine-c"), migrate_vm=False
+        )
+        assert [r.outcome for r in results] == [MigrationOutcome.COMPLETED] * 3
+        for i, app in enumerate(apps):
+            assert app.app.machine is dc.machine("machine-c")
+            assert app.enclave.ecall("read_counter", counter_ids[i]) == (4, 1, 0)[i]
+
+    def test_wave_rejects_member_already_on_destination(self):
+        dc, hosts, apps, _ = build_world(counters=(0, 0, 0))
+        apps[0].migrate(dc.machine("machine-b"), migrate_vm=False)
+        with pytest.raises(MigrationError):
+            MigratableApp.migrate_group(
+                apps, dc.machine("machine-b"), migrate_vm=False
+            )
+
+    def test_wave_composes_with_session_resumption(self):
+        dc, hosts, apps, counter_ids = build_world(
+            counters=(3, 0, 1), session_resumption=True
+        )
+        for target in ("machine-b", "machine-c"):
+            results = MigratableApp.migrate_group(
+                apps, dc.machine(target), migrate_vm=False
+            )
+            assert [r.outcome for r in results] == [MigrationOutcome.COMPLETED] * 3
+        for i, app in enumerate(apps):
+            assert app.enclave.ecall("read_counter", counter_ids[i]) == (3, 0, 1)[i]
+
+
+class TestWaveFaults:
+    def _inject(self, dc, plan):
+        dc.network.fault_injector = FaultInjector(
+            plan=plan,
+            rng=dc.rng.child("wave-faults"),
+            machines=dict(dc.machines),
+            meter=dc.meter,
+        )
+
+    def test_lost_flush_leaves_members_pending_then_resumable(self):
+        counters = (2, 0, 5)
+        dc, hosts, apps, counter_ids = build_world(counters=counters)
+        # Drop every flush_staged request the retry budget allows: the wave
+        # stages all members but never ships, so each reports PENDING_RETRY.
+        self._inject(
+            dc, FaultPlan().drop(msg_type="flush_staged", max_triggers=4)
+        )
+        results = MigratableApp.migrate_group(
+            apps,
+            dc.machine("machine-b"),
+            migrate_vm=False,
+            retry_policy=FAST_RETRY,
+        )
+        assert [r.outcome for r in results] == [
+            MigrationOutcome.PENDING_RETRY
+        ] * 3
+
+        dc.network.fault_injector = None
+        for i, app in enumerate(apps):
+            resumed = app.resume(migrate_vm=False)
+            assert resumed.outcome is MigrationOutcome.RESUMED
+            assert app.app.machine is dc.machine("machine-b")
+            assert app.enclave.ecall("read_counter", counter_ids[i]) == counters[i]
+
+    def test_corrupted_batch_transfer_recovers_per_member(self):
+        counters = (1, 3, 0)
+        dc, hosts, apps, counter_ids = build_world(counters=counters)
+        # Corrupt the RA-channel exchange carrying transfer_batch; AEAD
+        # rejects it, the flush fails, and every member stays staged.
+        self._inject(dc, FaultPlan().corrupt(msg_type="ra_rec", max_triggers=6))
+        results = MigratableApp.migrate_group(
+            apps,
+            dc.machine("machine-b"),
+            migrate_vm=False,
+            retry_policy=FAST_RETRY,
+        )
+        dc.network.fault_injector = None
+        for i, (app, result) in enumerate(zip(apps, results)):
+            if result.outcome is not MigrationOutcome.COMPLETED:
+                resumed = app.resume(migrate_vm=False)
+                assert resumed.outcome is MigrationOutcome.RESUMED
+            assert app.enclave.ecall("read_counter", counter_ids[i]) == counters[i]
+
+    def test_duplicated_batch_transfer_is_idempotent(self):
+        counters = (2, 2, 2)
+        dc, hosts, apps, counter_ids = build_world(counters=counters)
+        self._inject(dc, FaultPlan().duplicate(msg_type="flush_staged"))
+        results = MigratableApp.migrate_group(
+            apps, dc.machine("machine-b"), migrate_vm=False
+        )
+        dc.network.fault_injector = None
+        assert [r.outcome for r in results] == [MigrationOutcome.COMPLETED] * 3
+        for i, app in enumerate(apps):
+            assert app.enclave.ecall("read_counter", counter_ids[i]) == counters[i]
+        # No stray state on either ME after the duplicate delivery.
+        mrenclave = apps[0].enclave.identity.mrenclave
+        for host in hosts.values():
+            assert not host.enclave.ecall("has_pending_outgoing", mrenclave)
+            assert not host.enclave.ecall("has_incoming", mrenclave)

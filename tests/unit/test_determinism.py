@@ -52,6 +52,38 @@ class TestSeedDeterminism:
             a["virtual_seconds_per_migration"] == b["virtual_seconds_per_migration"]
         )
 
+    def test_fleet_wave_bench_matches_golden_file(self):
+        """The batched (migrate_group) fleet path gets the same pin as the
+        sequential one: the wave protocol must not drift the virtual clock
+        between commits (floats compared exactly)."""
+        golden = json.loads((GOLDEN_DIR / "fleet_wave_seed0.json").read_text())
+        data = run_fleet_bench(
+            n_enclaves=4, n_machines=2, reps=2, seed=0, batch=True, plan="drain"
+        )
+        assert data["migrations"] == golden["migrations"]
+        assert (
+            data["virtual_seconds_per_migration"]
+            == golden["virtual_seconds_per_migration"]
+        )
+        assert data["virtual_seconds_total"] == golden["virtual_seconds_total"]
+
+    def test_fleet_shards_are_independent_seeded_worlds(self):
+        """Sharded runs must merge exactly the per-seed single runs: shard i
+        is the world seeded with ``seed + i``, byte-identical to running it
+        alone."""
+        merged = run_fleet_bench(
+            n_enclaves=2, n_machines=2, reps=1, seed=3, workers=1, shards=2
+        )
+        singles = [
+            run_fleet_bench(n_enclaves=2, n_machines=2, reps=1, seed=3 + i)
+            for i in range(2)
+        ]
+        assert merged["shard_seeds"] == [3, 4]
+        assert merged["migrations"] == sum(s["migrations"] for s in singles)
+        assert merged["virtual_seconds_total"] == sum(
+            s["virtual_seconds_total"] for s in singles
+        )
+
     def test_datacenter_key_material_deterministic(self):
         dc1 = DataCenter(name="same", seed=5)
         dc2 = DataCenter(name="same", seed=5)

@@ -29,7 +29,11 @@ class TestTables:
 class TestTcb:
     def test_loc_counts_positive_and_auditable(self):
         text, data = figures.tcb()
-        assert 0 < data["me_loc"] < 600
+        # The ME bound was 600 before the wave protocol (transfer_batch,
+        # per-transaction ledgers) landed; it stays within one kLoC — the
+        # same order as the paper's C implementation — so the Section VII-A
+        # "small enough to audit" claim still holds.
+        assert 0 < data["me_loc"] < 1000
         assert 0 < data["lib_loc"] < 600
         assert str(figures.PAPER_TCB_ME_LOC) in text
 

@@ -123,3 +123,46 @@ class TestGhash:
     def test_gf_mult_commutative(self):
         a, b = 0x0123456789ABCDEF << 32, 0xFEDCBA987654321 << 16
         assert gf_mult(a, b) == gf_mult(b, a)
+
+
+class TestGhashTableCache:
+    def test_hits_misses_and_sharing(self):
+        from repro.crypto import gcm
+
+        gcm.clear_ghash_table_cache()
+        a = AesGcm(b"k" * 16)
+        b = AesGcm(b"k" * 16)  # same key -> same H -> cache hit
+        c = AesGcm(b"x" * 16)
+        stats = gcm.ghash_table_cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["size"] == 2
+        assert stats["capacity"] == 512
+        assert a._ghash_key is b._ghash_key
+        assert a._ghash_key is not c._ghash_key
+        # Shared tables still authenticate correctly.
+        iv = bytes(12)
+        ciphertext, tag = a.encrypt(iv, b"payload", b"aad")
+        assert b.decrypt(iv, ciphertext, tag, b"aad") == b"payload"
+        gcm.clear_ghash_table_cache()
+        assert gcm.ghash_table_cache_stats() == {
+            "hits": 0, "misses": 0, "size": 0, "capacity": 512,
+        }
+
+    def test_lru_eviction_is_bounded(self, monkeypatch):
+        from repro.crypto import gcm
+
+        gcm.clear_ghash_table_cache()
+        monkeypatch.setattr(gcm, "_GHASH_TABLE_CACHE_MAX", 2)
+        keys = [bytes([i]) * 16 for i in range(3)]
+        aeads = [AesGcm(key) for key in keys]
+        stats = gcm.ghash_table_cache_stats()
+        assert stats["size"] == 2  # oldest H evicted
+        assert stats["misses"] == 3
+        # The evicted key's AEAD keeps its (now uncached) tables and still
+        # round-trips; re-instantiating it is a miss, not an error.
+        iv = bytes(12)
+        ciphertext, tag = aeads[0].encrypt(iv, b"data")
+        assert AesGcm(keys[0]).decrypt(iv, ciphertext, tag) == b"data"
+        assert gcm.ghash_table_cache_stats()["misses"] == 4
+        gcm.clear_ghash_table_cache()
