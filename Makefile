@@ -1,12 +1,15 @@
 # Developer / CI entry points.  `make ci` is what a PR must pass: tier-1
-# tests, the SEC001-SEC006 static-analysis gate (fails on any finding not
-# recorded in .analysis-baseline.json), and the chaos sweep (drop/duplicate/
-# crash faults over every migration message; R3/R4 must hold after recovery).
+# tests, the SEC001-SEC007 static-analysis gate (fails on any finding not
+# recorded in .analysis-baseline.json), the chaos sweep (drop/duplicate/
+# crash faults over every migration message; R3/R4 must hold after recovery),
+# and the disk-fault smoke slice (one torn/lost/rot/stale scenario per
+# persisted artifact; the full grid runs via `make chaos-disk`).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze analyze-json baseline chaos bench-fleet bench-fleet-smoke ci
+.PHONY: test analyze analyze-json baseline chaos chaos-disk chaos-disk-smoke \
+	bench-fleet bench-fleet-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -38,4 +41,14 @@ chaos:
 	$(PYTHON) -m repro.faults.chaos --batched
 	$(PYTHON) -m repro.faults.chaos --batched --session-resumption
 
-ci: test analyze chaos bench-fleet-smoke
+# Disk fault grid: every persisted artifact x every fault kind (torn_write,
+# lost_write, bit_rot, stale_read) x every protocol phase, asserting R3/R4
+# plus recoverability (resume/restart converges, never a wedged world).  The
+# smoke slice runs the first scenario of each (artifact, kind) cell.
+chaos-disk:
+	$(PYTHON) -m repro.faults.chaos --disk
+
+chaos-disk-smoke:
+	$(PYTHON) -m repro.faults.chaos --disk --smoke
+
+ci: test analyze chaos chaos-disk-smoke bench-fleet-smoke

@@ -25,7 +25,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-analyze",
         description=(
             "AST-based enclave-boundary and secret-flow analyzer for the "
-            "SGX-migration reproduction (rules SEC001-SEC006)"
+            "SGX-migration reproduction (rules SEC001-SEC007)"
         ),
     )
     parser.add_argument(

@@ -13,6 +13,7 @@ from repro.analysis.rules.sec003_nonce import NonceHygieneRule
 from repro.analysis.rules.sec004_consttime import ConstantTimeRule
 from repro.analysis.rules.sec005_counter import CounterDisciplineRule
 from repro.analysis.rules.sec006_protocol import ProtocolStateRule
+from repro.analysis.rules.sec007_durability import DurableWriteRule
 
 ALL_RULE_CLASSES = (
     SecretFlowRule,
@@ -21,6 +22,7 @@ ALL_RULE_CLASSES = (
     ConstantTimeRule,
     CounterDisciplineRule,
     ProtocolStateRule,
+    DurableWriteRule,
 )
 
 
@@ -38,4 +40,5 @@ __all__ = [
     "ConstantTimeRule",
     "CounterDisciplineRule",
     "ProtocolStateRule",
+    "DurableWriteRule",
 ]

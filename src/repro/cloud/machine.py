@@ -139,12 +139,14 @@ class PhysicalMachine:
 
         Platform Services counters *survive* (they live in ME flash), as do
         untrusted disk contents — exactly the asymmetry that forces enclaves
-        to keep persistent state.
+        to keep persistent state.  An orderly shutdown flushes the disk's
+        write-back buffer on the way down.
         """
         for vm in self.vms:
             for app in vm.applications:
                 app.crash()
         self.epc.power_cycle()
+        self.storage.sync()
 
     def crash(self) -> None:
         """Abrupt power failure, the fault injector's favourite weapon.
@@ -152,12 +154,16 @@ class PhysicalMachine:
         Like :meth:`hibernate` every enclave dies and the EPC key rolls, but
         additionally every network endpoint hosted here vanishes — peers see
         connection failures until services are reinstalled.  PSE counters
-        (ME flash) and untrusted disk survive, so recovery is possible.
+        (ME flash) survive; the untrusted disk keeps only what was synced —
+        unsynced writes are discarded and a torn-marked in-flight write
+        lands partially (see :meth:`UntrustedStorage.crash`).  Recovery
+        remains possible from the durable image.
         """
         for vm in self.vms:
             for app in vm.applications:
                 app.crash()
         self.epc.power_cycle()
+        self.storage.crash()
         self.network.unregister_machine(self.name)
 
     # -------------------------------------------------------------- helpers

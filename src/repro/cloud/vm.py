@@ -78,8 +78,25 @@ class Application:
 
     # ------------------------------------------------------- untrusted I/O
     def store(self, path: str, data: bytes) -> None:
-        """Persist a blob (e.g. a sealed buffer) on the machine's disk."""
-        self.machine.storage.write(f"{self.name}/{path}", data)
+        """Persist a blob (e.g. a sealed buffer) on the machine's disk,
+        durably: the write is fsynced before this returns, so a machine
+        crash never silently discards it (it can still be torn or dropped
+        by an injected disk fault — that is the fault model's job)."""
+        blob_path = f"{self.name}/{path}"
+        self.machine.storage.write(blob_path, data)
+        self.machine.storage.sync(blob_path)
+
+    def store_atomic(self, path: str, data: bytes) -> None:
+        """Durably *replace* a blob: write a temp, fsync it, rename over the
+        target.  At every crash point the target holds either the complete
+        old value or the complete new one — the discipline every
+        migration-critical single-file artifact (library state, journals)
+        must follow under the disk fault model."""
+        blob_path = f"{self.name}/{path}"
+        tmp_path = f"{blob_path}.tmp"
+        self.machine.storage.write(tmp_path, data)
+        self.machine.storage.sync(tmp_path)
+        self.machine.storage.rename(tmp_path, blob_path)
 
     def load(self, path: str) -> bytes:
         return self.machine.storage.read(f"{self.name}/{path}")
@@ -88,7 +105,9 @@ class Application:
         return self.machine.storage.exists(f"{self.name}/{path}")
 
     def delete_stored(self, path: str) -> None:
-        self.machine.storage.delete(f"{self.name}/{path}")
+        blob_path = f"{self.name}/{path}"
+        self.machine.storage.delete(blob_path)
+        self.machine.storage.sync(blob_path)
 
     def send(self, dst_address, payload: bytes, *, timeout: float | None = None) -> bytes:
         """Send over the (untrusted) data-center network."""

@@ -252,16 +252,53 @@ class MigrationEnclave(EnclaveBase):
 
     @ecall
     def import_sealed_state(self, checkpoint: bytes) -> None:
-        """Restore a checkpoint after a restart (same machine only)."""
-        plaintext, aad = self.sdk.unseal_data(checkpoint)
+        """Restore a checkpoint after a restart (same machine only).
+
+        A torn or rotted checkpoint blob must fail with a *typed*
+        :class:`~repro.errors.ReproError` and leave the enclave untouched:
+        recovery walks the A/B checkpoint generations newest-first and falls
+        back to the next candidate on any ReproError, so everything is
+        unsealed, parsed, and staged in locals before the first field is
+        committed.
+        """
+        try:
+            plaintext, aad = self.sdk.unseal_data(checkpoint)
+        except (KeyError, TypeError, ValueError) as exc:
+            # SealedData.from_bytes on garbage raises untyped lookup errors.
+            raise InvalidStateError(f"malformed sealed checkpoint: {exc}") from exc
         # v3: stores and ledgers hold one row per (mrenclave, transaction)
         # pair so wave records survive a restart individually.
         if aad != b"me-checkpoint-v3":
             raise InvalidStateError("not a Migration Enclave checkpoint")
-        fields = wire.decode(plaintext)
-        # The signing key must persist or the provisioned credential (which
-        # certifies the key) would no longer match.
-        restored_private = int.from_bytes(fields["signing_private"], "big")
+        try:
+            fields = wire.decode(plaintext)
+            restored_private = int.from_bytes(fields["signing_private"], "big")
+            staged_stores: dict[str, dict] = {}
+            for name in ("incoming", "pending"):
+                peer_key = "source_me" if name == "incoming" else "dest"
+                staged: dict[bytes, dict[str, dict]] = {}
+                for row in fields[name]:
+                    entry = wire.decode(row)
+                    txn = entry.get("txn", "")
+                    staged.setdefault(entry["target"], {})[txn] = {
+                        "data": entry["data"],
+                        peer_key: entry["peer"],
+                        "token": entry["token"],
+                        "txn": txn,
+                    }
+                staged_stores[name] = staged
+            staged_ledgers: dict[str, dict] = {}
+            for name in ("completed", "confirmed"):
+                ledger: dict[bytes, set[str]] = {}
+                for row in fields.get(name, []):
+                    entry = wire.decode(row)
+                    ledger.setdefault(entry["target"], set()).add(entry["txn"])
+                staged_ledgers[name] = ledger
+        except (wire.WireError, KeyError, TypeError, ValueError) as exc:
+            raise InvalidStateError(f"malformed Migration Enclave checkpoint: {exc}") from exc
+        # Parse succeeded — commit.  The signing key must persist or the
+        # provisioned credential (which certifies the key) would no longer
+        # match.
         self._keypair = schnorr.SchnorrKeyPair(
             private=restored_private,
             public=self._keypair.public
@@ -270,21 +307,10 @@ class MigrationEnclave(EnclaveBase):
         )
         for name, store in (("incoming", self._incoming), ("pending", self._pending_outgoing)):
             store.clear()
-            peer_key = "source_me" if name == "incoming" else "dest"
-            for row in fields[name]:
-                entry = wire.decode(row)
-                txn = entry.get("txn", "")
-                store.setdefault(entry["target"], {})[txn] = {
-                    "data": entry["data"],
-                    peer_key: entry["peer"],
-                    "token": entry["token"],
-                    "txn": txn,
-                }
+            store.update(staged_stores[name])
         for name, ledger in (("completed", self._completed), ("confirmed", self._confirmed)):
             ledger.clear()
-            for row in fields.get(name, []):
-                entry = wire.decode(row)
-                ledger.setdefault(entry["target"], set()).add(entry["txn"])
+            ledger.update(staged_ledgers[name])
 
     # ---------------------------------------------------- local attestation
     def _require_provisioned(self) -> None:

@@ -116,7 +116,15 @@ class MigrationLibrary:
     # ------------------------------------------------- persistent state blob
     def _persist(self) -> bytes:
         """Seal the Table II buffer with the *native* sealing key and hand it
-        to the untrusted application for storage."""
+        to the untrusted application for storage.
+
+        The new blob is sealed *before* the host is asked to store it, and
+        the host's ``save_library_state`` handler replaces the on-disk copy
+        atomically (write temp, fsync, rename — see
+        ``Application.store_atomic``).  Together those two rules guarantee
+        no crash point leaves zero decryptable copies: until the rename
+        commits, the previous sealed blob is still the durable one.
+        """
         assert self._state is not None
         blob = self._sdk.seal_data(self._state.to_bytes(), _STATE_AAD)
         try:
@@ -247,7 +255,14 @@ class MigrationLibrary:
                     "(freeze flag set in persistent state)"
                 )
             self._state = state
-            return self._persist()
+            # Restore is read-only on disk: the loaded buffer already *is*
+            # the persistent state, and re-sealing it here would overwrite
+            # the newest on-disk generation.  If the disk rolled back to a
+            # stale pre-freeze bundle (lost write), that overwrite would
+            # destroy the only copy recording the freeze — and staleness is
+            # not detectable until a counter read hits MC_NOT_FOUND
+            # (Section VI-B), which happens well after init.
+            return data_buffer
 
         if init_state is InitState.MIGRATE:
             migration = self._fetch_incoming()

@@ -39,8 +39,10 @@ from repro.core.policy import PolicySet, SameProviderPolicy
 from repro.core.result import CostSnapshot, MigrationOutcome, MigrationResult
 from repro.core.retry import RetryPolicy, call_with_retries
 from repro.errors import (
+    CounterNotFoundError,
     InvalidStateError,
     MigrationError,
+    ReproError,
     ServiceUnavailableError,
     TransientError,
 )
@@ -50,8 +52,17 @@ from repro.sgx.measurement import measure_source
 
 LIBRARY_STATE_PATH = "miglib_state"
 
-#: Where a durable ME's sealed checkpoint lives on the management app's disk.
+#: Legacy single-slot checkpoint path (pre-A/B layouts); still read as the
+#: last-resort recovery candidate so old disks keep booting.
 ME_CHECKPOINT_PATH = "me_checkpoint"
+
+#: A/B double-buffered checkpoint slots plus the tiny pointer record that
+#: names the authoritative one.  The writer alternates slots by generation
+#: (write the *other* slot, fsync, flip the pointer), so a torn or lost
+#: checkpoint write can only damage the newest generation — the previous
+#: one is always intact for recovery to fall back to.
+ME_CHECKPOINT_SLOTS = (f"{ME_CHECKPOINT_PATH}.a", f"{ME_CHECKPOINT_PATH}.b")
+ME_CHECKPOINT_POINTER = f"{ME_CHECKPOINT_PATH}.ptr"
 
 #: Deadline (simulated seconds) for one request/response exchange with an
 #: ME.  Exceeding it raises NetworkTimeoutError at the sender — the request
@@ -129,11 +140,64 @@ MigratableEnclave.MEASURED_LIBRARIES = (MigrationLibrary, MigratableEnclave)
 
 @dataclass
 class MigrationEnclaveHost:
-    """The running ME on one machine plus its service endpoint."""
+    """The running ME on one machine plus its service endpoint.
+
+    ``restored_generation`` is set by :func:`reinstall_migration_enclave`:
+    the A/B checkpoint generation the revived ME booted from (``None`` for a
+    fresh install or when no candidate survived AEAD validation).
+    """
 
     machine: PhysicalMachine
     enclave: Enclave
     address: str  # machine address; service endpoint is f"{address}/me"
+    restored_generation: int | None = None
+
+
+def _write_me_checkpoint(mgmt_app, sealed_state: bytes, generation: int) -> int:
+    """One A/B checkpoint update: next generation into the alternate slot
+    (durable store = write + fsync), then flip the pointer record."""
+    generation += 1
+    slot = ME_CHECKPOINT_SLOTS[generation % 2]
+    mgmt_app.store(slot, wire.encode({"gen": generation, "blob": sealed_state}))
+    mgmt_app.store(ME_CHECKPOINT_POINTER, wire.encode({"gen": generation}))
+    return generation
+
+
+def _me_checkpoint_candidates(mgmt_app) -> list[tuple[int, bytes]]:
+    """Parseable ``(generation, sealed blob)`` checkpoints in recovery
+    preference order: the pointer's generation first, then the rest by
+    descending generation, then any legacy single-slot blob (generation 0).
+
+    Parse failures (a torn slot, a rotted pointer) simply drop a candidate —
+    the AEAD check at import time is the real gate; this order only decides
+    what to try first.
+    """
+    slots: list[tuple[int, bytes]] = []
+    for path in ME_CHECKPOINT_SLOTS:
+        if not mgmt_app.has_stored(path):
+            continue
+        try:
+            record = wire.decode(mgmt_app.load(path))
+            slots.append((int(record["gen"]), bytes(record["blob"])))
+        except (wire.WireError, KeyError, TypeError, ValueError):
+            continue
+    preferred = -1
+    if mgmt_app.has_stored(ME_CHECKPOINT_POINTER):
+        try:
+            record = wire.decode(mgmt_app.load(ME_CHECKPOINT_POINTER))
+            preferred = int(record["gen"])
+        except (wire.WireError, KeyError, TypeError, ValueError):
+            pass
+    slots.sort(key=lambda item: (item[0] != preferred, -item[0]))
+    if mgmt_app.has_stored(ME_CHECKPOINT_PATH):
+        slots.append((0, mgmt_app.load(ME_CHECKPOINT_PATH)))
+    return slots
+
+
+def _me_checkpoint_generation(mgmt_app) -> int:
+    """Highest generation present on disk, so a reinstalled ME's writer
+    continues the sequence instead of overwriting the newest slot."""
+    return max((gen for gen, _ in _me_checkpoint_candidates(mgmt_app)), default=0)
 
 
 def _provision_and_register(
@@ -166,16 +230,23 @@ def _provision_and_register(
     )
 
     if durable:
+        checkpoint_state = {"gen": _me_checkpoint_generation(mgmt_app)}
+
+        def checkpoint():
+            checkpoint_state["gen"] = _write_me_checkpoint(
+                mgmt_app,
+                me_enclave.ecall("export_sealed_state"),
+                checkpoint_state["gen"],
+            )
+
         def handler(payload, src):
             response = me_enclave.ecall("handle_message", payload, src)
             # Checkpoint after every handled message so a crash never loses
             # the ME's "temporary store" of migration data (Section VI-A).
-            mgmt_app.store(
-                ME_CHECKPOINT_PATH, me_enclave.ecall("export_sealed_state")
-            )
+            checkpoint()
             return response
 
-        mgmt_app.store(ME_CHECKPOINT_PATH, me_enclave.ecall("export_sealed_state"))
+        checkpoint()
     else:
         def handler(payload, src):
             return me_enclave.ecall("handle_message", payload, src)
@@ -234,6 +305,13 @@ def reinstall_migration_enclave(
     certifies — peers that cached nothing keep working, and retained
     migration data (pending/incoming stores plus the idempotency records)
     is back in place before the endpoint reappears.
+
+    Recovery walks the A/B candidates in preference order and imports the
+    newest one whose seal passes AEAD validation; a torn or lost newest
+    checkpoint therefore falls back to the previous generation instead of
+    leaving the machine unbootable.  When every candidate fails, the ME
+    comes up fresh (losing parked migration data is an availability cost;
+    R3/R4 never depend on the checkpoint).
     """
     mgmt_app = next(
         (
@@ -252,12 +330,20 @@ def reinstall_migration_enclave(
         "net_send",
         lambda dst, payload: mgmt_app.send(dst, payload, timeout=ME_REQUEST_TIMEOUT),
     )
-    if mgmt_app.has_stored(ME_CHECKPOINT_PATH):
-        me_enclave.ecall("import_sealed_state", mgmt_app.load(ME_CHECKPOINT_PATH))
-    return _provision_and_register(
+    restored_generation: int | None = None
+    for generation, blob in _me_checkpoint_candidates(mgmt_app):
+        try:
+            me_enclave.ecall("import_sealed_state", blob)
+        except ReproError:
+            continue  # damaged or foreign checkpoint: fall back a generation
+        restored_generation = generation
+        break
+    host = _provision_and_register(
         dc, machine, mgmt_app, me_enclave, policies, durable, replace=True,
         session_resumption=session_resumption,
     )
+    host.restored_generation = restored_generation
+    return host
 
 
 def install_all_migration_enclaves(
@@ -352,8 +438,12 @@ class MigratableApp:
                 Endpoint.me(addr), payload, timeout=ME_REQUEST_TIMEOUT
             ),
         )
+        # Atomic replace: the library seals the *new* blob and only the
+        # rename releases the old one, so no crash point leaves zero
+        # decryptable copies of the Table II buffer on disk.
         enclave.register_ocall(
-            "save_library_state", lambda blob: app.store(LIBRARY_STATE_PATH, blob)
+            "save_library_state",
+            lambda blob: app.store_atomic(LIBRARY_STATE_PATH, blob),
         )
         # Expose the handle before init: a frozen RESTORE raises from the
         # init ECALL but leaves the (refusing-to-operate) enclave loaded,
@@ -362,14 +452,33 @@ class MigratableApp:
         buffer = app.load(LIBRARY_STATE_PATH) if app.has_stored(LIBRARY_STATE_PATH) else None
         if buffer is None and init_state is InitState.RESTORE:
             raise InvalidStateError("no stored library buffer to restore from")
-        blob, _ = call_with_retries(
-            lambda: enclave.ecall(
-                "migration_init", buffer, init_state.name, app.machine.address, txn_id
-            ),
-            meter=self.dc.meter,
-            policy=policy,
-        )
-        app.store(LIBRARY_STATE_PATH, blob)
+        try:
+            blob, _ = call_with_retries(
+                lambda: enclave.ecall(
+                    "migration_init", buffer, init_state.name, app.machine.address, txn_id
+                ),
+                meter=self.dc.meter,
+                policy=policy,
+            )
+        except InvalidStateError:
+            # Frozen RESTORE: the state IS loaded, and resume() drives the
+            # migration_start retry path through this handle — keep it.
+            raise
+        except ReproError:
+            # Nothing was installed (torn/rotted buffer, exhausted ME
+            # retries): a half-launched instance is useless and, worse,
+            # resume() would keep reusing it.  Drop it so a later attempt —
+            # possibly after the disk is healed — relaunches cleanly.
+            app.enclaves.remove(enclave)
+            app.machine.on_enclave_destroyed(enclave)
+            enclave.destroy()
+            self.enclave = None
+            raise
+        if init_state is not InitState.RESTORE:
+            # RESTORE returns the input buffer unchanged; rewriting it would
+            # push a redundant generation into the storage archive and, if
+            # the disk had served a stale bundle, bury the good one.
+            app.store_atomic(LIBRARY_STATE_PATH, blob)
         if init_state is InitState.MIGRATE:
             # The library state is persisted; only now may the source copy
             # be released.  Confirmation is idempotent, so retry blindly.
@@ -402,6 +511,18 @@ class MigratableApp:
     def _journal(self) -> MigrationJournal:
         """The migration-in-progress record on the app's *current* machine."""
         return MigrationJournal(self.app.machine.storage, self.app_name)
+
+    def _diagnostics(self) -> dict:
+        """Observability payload for ``MigrationResult.diagnostics``: the
+        data-center-wide tally of unparseable journal reads at this moment,
+        so a caller (or the disk chaos sweep) can tell whether recovery ran
+        through the corrupt-journal path."""
+        return {
+            "journal_corruption_count": sum(
+                machine.storage.journal_corruption_count
+                for machine in self.dc.machines.values()
+            )
+        }
 
     def migrate(
         self,
@@ -446,6 +567,7 @@ class MigratableApp:
                 retries_used=policy.max_attempts - 1,
                 cost=CostSnapshot.capture(self.dc).delta(start_cost),
                 error=exc,
+                diagnostics=self._diagnostics(),
             )
         self._journal().write(
             MigrationRecord(
@@ -504,6 +626,7 @@ class MigratableApp:
             retries_used=retries,
             cost=CostSnapshot.capture(self.dc).delta(start_cost),
             enclave=enclave,
+            diagnostics=self._diagnostics(),
         )
 
     @classmethod
@@ -578,6 +701,7 @@ class MigratableApp:
                         retries_used=policy.max_attempts - 1,
                         cost=CostSnapshot.capture(app.dc).delta(start_cost),
                         error=exc,
+                        diagnostics=app._diagnostics(),
                     )
                     continue
                 staged.append((i, txn, retries, start_cost))
@@ -621,6 +745,7 @@ class MigratableApp:
                         retries_used=retries,
                         cost=CostSnapshot.capture(apps[i].dc).delta(start_cost),
                         error=exc,
+                        diagnostics=apps[i]._diagnostics(),
                     )
                 continue
 
@@ -646,6 +771,7 @@ class MigratableApp:
                         retries_used=retries,
                         cost=CostSnapshot.capture(app.dc).delta(start_cost),
                         error=exc,
+                        diagnostics=app._diagnostics(),
                     )
         return [results[i] for i in range(len(apps))]
 
@@ -679,13 +805,23 @@ class MigratableApp:
                     # refused to operate.  The handle is still good for the
                     # migration_start retry path below.
                     pass
-            _, retries = call_with_retries(
-                lambda: self.enclave.ecall(
-                    "migration_start", record.destination, record.txn_id
-                ),
-                meter=self.dc.meter,
-                policy=policy,
-            )
+            try:
+                _, retries = call_with_retries(
+                    lambda: self.enclave.ecall(
+                        "migration_start", record.destination, record.txn_id
+                    ),
+                    meter=self.dc.meter,
+                    policy=policy,
+                )
+            except CounterNotFoundError:
+                # The Section VI-B defense tripped: the instance restored a
+                # stale pre-freeze bundle whose counters were destroyed at
+                # freeze time.  That state can never operate again — drop
+                # the instance so the next resume relaunches from the
+                # (possibly healed) persisted bundle instead of wedging.
+                self.app.terminate()
+                self.enclave = None
+                raise
             self._journal().write(
                 MigrationRecord(
                     record.txn_id, "source", PHASE_SHIPPED,
@@ -739,6 +875,7 @@ class MigratableApp:
             txn_id=record.txn_id,
             cost=CostSnapshot.capture(self.dc).delta(start_cost),
             enclave=enclave,
+            diagnostics=self._diagnostics(),
         )
 
     # -------------------------------------------------------------- helpers

@@ -13,7 +13,7 @@ keeps working unchanged.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:
@@ -72,6 +72,12 @@ class MigrationResult:
     cost: CostSnapshot | None = None
     enclave: "Enclave | None" = None
     error: Exception | None = None
+    #: Recovery-path observability (e.g. ``journal_corruption_count``: how
+    #: many unparseable journal reads the involved disks had accumulated
+    #: when this result was produced).  Purely informational — no protocol
+    #: decision keys off it — but it lets the disk chaos sweep assert that
+    #: a scenario really exercised the corrupt-journal recovery path.
+    diagnostics: dict = field(default_factory=dict)
 
     def __bool__(self) -> bool:
         return self.outcome in (

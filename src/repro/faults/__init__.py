@@ -5,17 +5,29 @@ dies right here?" into replayable experiments: declare a
 :class:`~repro.faults.plan.FaultPlan`, hand it to a
 :class:`~repro.faults.injector.FaultInjector` attached to the
 :class:`~repro.cloud.network.Network`, and every run with the same seed
-injects the identical fault at the identical protocol step.  The
+injects the identical fault at the identical protocol step.  The same
+injector also attaches to each machine's
+:class:`~repro.cloud.storage.UntrustedStorage` to drive the disk fault
+model (torn/lost writes, bit rot, stale reads).  The
 :mod:`repro.faults.chaos` harness builds on this to sweep drop and crash
-faults over every message of a full enclave migration and check the paper's
-R3/R4 invariants after recovery.
+faults over every message of a full enclave migration — and, with
+``--disk``, every storage fault over every persisted artifact — and check
+the paper's R3/R4 invariants after recovery.
 """
 
-from repro.faults.injector import FaultInjector, FiredFault, ObservedMessage
+from repro.faults.injector import (
+    DiskOp,
+    FaultInjector,
+    FiredDiskFault,
+    FiredFault,
+    ObservedMessage,
+)
 from repro.faults.plan import (
+    DISK_FAULT_KINDS,
     Corrupt,
     CrashMachine,
     Delay,
+    DiskFaultRule,
     Drop,
     Duplicate,
     FaultAction,
@@ -29,12 +41,16 @@ __all__ = [
     "Corrupt",
     "CrashMachine",
     "Delay",
+    "DISK_FAULT_KINDS",
+    "DiskFaultRule",
+    "DiskOp",
     "Drop",
     "Duplicate",
     "FaultAction",
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
+    "FiredDiskFault",
     "FiredFault",
     "Hook",
     "MessageMatch",

@@ -20,6 +20,17 @@ Run it as a module::
 
     PYTHONPATH=src python -m repro.faults.chaos
     PYTHONPATH=src python -m repro.faults.chaos --batched
+    PYTHONPATH=src python -m repro.faults.chaos --disk
+
+``--disk`` sweeps the *storage* fault model instead of the network one:
+every persisted artifact (source/destination migration journals, the ME's
+A/B checkpoint, the sealed counter bundle, the application's sealed state)
+crossed with every disk fault kind (torn write, lost write, bit rot, stale
+read) at every protocol phase a matching disk op was observed in.  Each
+scenario must end with R3/R4 intact AND a recoverable world: resume/restart
+— with bounded heal-from-archive retries — reaches a serving instance that
+reads back the newest sealed app state.  ``--smoke`` keeps one scenario per
+(artifact, kind) cell, the slice ``make ci`` runs.
 
 ``--batched`` sweeps the migration-wave path instead: two enclaves move as
 one ``migrate_group`` wave (stage, one ``flush_staged``/``transfer_batch``
@@ -35,6 +46,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
+from fnmatch import fnmatch
 
 from repro.apps.counter_app import MigratableBenchEnclave
 from repro.cloud.datacenter import DataCenter
@@ -47,7 +59,7 @@ from repro.core.result import MigrationOutcome
 from repro.core.retry import RetryPolicy
 from repro.errors import MigrationError, ReproError
 from repro.faults.injector import FaultInjector, ObservedMessage
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import DISK_FAULT_KINDS, FaultPlan
 from repro.sgx.identity import SigningKey
 
 SOURCE = "machine-a"
@@ -179,12 +191,10 @@ def _plan_for(
     raise ValueError(f"unknown fault kind {kind!r}")
 
 
-def check_invariants(world: ChaosWorld) -> list[str]:
-    """R3/R4 via ECALLs only: an *operational instance* is a loaded, alive
-    enclave of the application class that serves the counter read.  Frozen,
-    uninitialized, or crashed instances refuse the read and do not count."""
-    violations: list[str] = []
-    serving: list[int] = []
+def _serving_instances(world: ChaosWorld) -> list[tuple]:
+    """Every ``(enclave, counter value)`` currently serving the tracked
+    counter — the ECALL-only probe R3/R4 and the app-state check share."""
+    serving: list[tuple] = []
     for machine in world.dc.machines.values():
         for enclave in machine.enclaves:
             if enclave.enclave_class is not MigratableBenchEnclave:
@@ -195,7 +205,16 @@ def check_invariants(world: ChaosWorld) -> list[str]:
                 value = enclave.ecall("read_counter", world.counter_id)
             except ReproError:
                 continue
-            serving.append(value)
+            serving.append((enclave, value))
+    return serving
+
+
+def check_invariants(world: ChaosWorld) -> list[str]:
+    """R3/R4 via ECALLs only: an *operational instance* is a loaded, alive
+    enclave of the application class that serves the counter read.  Frozen,
+    uninitialized, or crashed instances refuse the read and do not count."""
+    violations: list[str] = []
+    serving = [value for _, value in _serving_instances(world)]
     if len(serving) > 1:
         violations.append(f"R3: {len(serving)} operational instances survive")
     if not serving:
@@ -528,12 +547,406 @@ def sweep_batched(
     return reports
 
 
+# --------------------------------------------------------------------- disk
+#: Every persisted artifact of one migration, as ``(name, machine, glob)``.
+#: The glob covers the blob itself plus its rename temps, A/B slots, and
+#: pointer record, so a fault can land on any piece of the write protocol.
+DISK_ARTIFACTS = (
+    ("journal-source", SOURCE, "app/migration_txn*"),
+    ("journal-dest", DESTINATION, "app/migration_txn*"),
+    ("me-checkpoint-source", SOURCE, "migration-service/me_checkpoint*"),
+    ("me-checkpoint-dest", DESTINATION, "migration-service/me_checkpoint*"),
+    ("counter-bundle-source", SOURCE, "app/miglib_state*"),
+    ("counter-bundle-dest", DESTINATION, "app/miglib_state*"),
+    ("app-state", SOURCE, "app/app_state*"),
+)
+
+#: Sealed application-state blob (the "persistent state" the paper migrates):
+#: v1 lands before the fault window opens, v2 inside it, and the sweep's
+#: final check demands that the surviving instance read back **v2** — a torn
+#: or rotted blob must be healable, and a stale read must not stick.
+APP_STATE_PATH = "app_state"
+APP_STATE_V1 = b"app-state-v1"
+APP_STATE_V2 = b"app-state-v2-durable"
+
+#: Bounded self-healing: how many restore-newest-archive-and-retry rounds
+#: recovery may take before the scenario counts as unrecoverable.
+HEAL_ATTEMPTS = 3
+
+
+@dataclass(frozen=True)
+class DiskScenario:
+    """One planned disk-fault experiment: arm ``kind`` on the ``nth``
+    matching storage op of ``pattern`` on ``machine``; for write-side kinds
+    (whose damage only materializes at power loss) also crash that machine
+    at message leg ``crash_at`` — or right after the protocol
+    (``post_crash``) when no leg follows the marked write."""
+
+    artifact: str
+    machine: str
+    pattern: str
+    kind: str
+    phase: str
+    nth: int
+    crash_at: int | None
+    post_crash: bool
+
+
+@dataclass
+class DiskScenarioReport:
+    """Outcome of one (artifact, fault kind, protocol phase) scenario."""
+
+    artifact: str
+    kind: str
+    phase: str
+    nth: int
+    fired: int
+    migrate_outcome: str
+    recovery_outcome: str
+    corrupt_reads: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _store_app_state(world: ChaosWorld, plaintext: bytes) -> None:
+    blob = world.app.enclave.ecall("seal", plaintext)
+    world.app.app.store(APP_STATE_PATH, blob)
+
+
+def _all_storages(world: ChaosWorld) -> list:
+    return [machine.storage for machine in world.dc.machines.values()]
+
+
+def _phase_of(msg_seq: int, trace: list[ObservedMessage]) -> str:
+    """Label a disk op by the protocol step it happened inside.
+
+    An op whose next leg is a bare reply ran *inside the handler* of the
+    preceding request (e.g. an ME checkpoint write), so it is labelled by
+    that request's message type rather than the anonymous reply."""
+    if msg_seq <= 0:
+        return "pre-protocol"
+    if msg_seq >= len(trace):
+        return "post-protocol"
+    leg = trace[msg_seq]
+    if leg.msg_type is None and leg.direction == "response" and msg_seq > 0:
+        prev = trace[msg_seq - 1]
+        return f"{prev.msg_type or 'reply'}/handling"
+    return f"{leg.msg_type or 'reply'}/{leg.direction}"
+
+
+def probe_disk_operations(seed: int = 2018) -> tuple[list[ObservedMessage], list]:
+    """Fault-free run of the disk scenario script: seal v1, open the fault
+    window, seal v2, migrate, read the app blob back.  Returns the message
+    trace and every disk op observed inside the window."""
+    world = build_world(seed)
+    _store_app_state(world, APP_STATE_V1)
+    injector = FaultInjector(
+        plan=FaultPlan(),
+        rng=world.dc.rng.child("chaos-faults"),
+        machines=dict(world.dc.machines),
+        meter=world.dc.meter,
+    )
+    world.dc.network.fault_injector = injector
+    injector.attach_disk(_all_storages(world))
+    _store_app_state(world, APP_STATE_V2)
+    result = world.app.migrate(world.dc.machine(DESTINATION), migrate_vm=False)
+    if result.outcome is not MigrationOutcome.COMPLETED:
+        raise AssertionError(f"disk probe migration did not complete: {result.outcome}")
+    # The verification read is part of the probed script, so read-kind
+    # scenarios can target it (phase "post-protocol").
+    world.dc.machine(SOURCE).storage.read(f"app/{APP_STATE_PATH}")
+    world.dc.network.fault_injector = None
+    injector.detach_disk(_all_storages(world))
+    return list(injector.trace), list(injector.disk_trace)
+
+
+def enumerate_disk_scenarios(seed: int = 2018) -> list[DiskScenario]:
+    """Cross every persisted artifact with every disk fault kind, one
+    scenario per distinct protocol phase the probe saw a matching op in.
+
+    Artifacts that are never *read* inside the protocol (the ME checkpoint,
+    the sealed counter bundle — both only read while recovering) get
+    recovery-forced read scenarios instead: arm the fault on the first
+    matching read and crash the artifact's machine at each distinct
+    protocol step, so recovery itself must read through the damage.
+    """
+    trace, disk_ops = probe_disk_operations(seed)
+    anchors: list[ObservedMessage] = []
+    seen_types: set[str] = set()
+    for leg in trace:
+        if leg.direction != "request" or leg.msg_type is None:
+            continue
+        if leg.msg_type in seen_types:
+            continue
+        seen_types.add(leg.msg_type)
+        anchors.append(leg)
+    scenarios: list[DiskScenario] = []
+    for artifact, machine, pattern in DISK_ARTIFACTS:
+        for kind, op_name in DISK_FAULT_KINDS.items():
+            ops = [
+                op
+                for op in disk_ops
+                if op.op == op_name
+                and op.machine == machine
+                and fnmatch(op.path, pattern)
+            ]
+            seen_phases: set[str] = set()
+            for ordinal, op in enumerate(ops):
+                phase = _phase_of(op.msg_seq, trace)
+                if phase in seen_phases:
+                    continue
+                seen_phases.add(phase)
+                needs_crash = kind in ("torn_write", "lost_write")
+                crash_at = (
+                    op.msg_seq if needs_crash and op.msg_seq < len(trace) else None
+                )
+                scenarios.append(
+                    DiskScenario(
+                        artifact=artifact,
+                        machine=machine,
+                        pattern=pattern,
+                        kind=kind,
+                        phase=phase,
+                        nth=ordinal,
+                        crash_at=crash_at,
+                        post_crash=needs_crash and crash_at is None,
+                    )
+                )
+            if not seen_phases and op_name == "read":
+                for leg in anchors:
+                    scenarios.append(
+                        DiskScenario(
+                            artifact=artifact,
+                            machine=machine,
+                            pattern=pattern,
+                            kind=kind,
+                            phase=f"recovery@{leg.msg_type}",
+                            nth=0,
+                            crash_at=leg.seq,
+                            post_crash=False,
+                        )
+                    )
+    return scenarios
+
+
+def _build_disk_plan(scenario: DiskScenario) -> FaultPlan:
+    plan = FaultPlan()
+    getattr(plan, scenario.kind)(
+        scenario.pattern, machine=scenario.machine, nth=scenario.nth
+    )
+    if scenario.crash_at is not None:
+        plan.crash_machine(scenario.machine, nth=scenario.crash_at)
+    return plan
+
+
+def _recover_world(
+    world: ChaosWorld, crashed: list[str], scenario: DiskScenario
+) -> list[str]:
+    """Reinstall MEs on crashed machines, then resume/restart with bounded
+    self-healing: when a step dies with a typed error, restore the faulted
+    artifact's newest archived version (the backup/scrub an operator would
+    reach for) and try again."""
+    dc, app = world.dc, world.app
+    steps: list[str] = []
+    for name in crashed:
+        reinstall_migration_enclave(
+            dc,
+            dc.machine(name),
+            world.me_signer,
+            session_resumption=world.session_resumption,
+        )
+    for attempt in range(HEAL_ATTEMPTS):
+        try:
+            steps.append(app.resume(migrate_vm=False).outcome.value)
+            return steps
+        except MigrationError as exc:
+            failure: ReproError = exc
+            if "no migration in progress" in str(exc):
+                if app.enclave is not None and app.enclave.alive:
+                    steps.append("already-complete")
+                    return steps
+                try:
+                    app.restart()
+                    steps.append("restarted")
+                    return steps
+                except ReproError as restart_exc:
+                    failure = restart_exc
+        except ReproError as exc:
+            failure = exc
+        storage = dc.machine(scenario.machine).storage
+        healed = storage.heal(scenario.pattern)
+        if healed and "me_checkpoint" in scenario.pattern:
+            # A healed checkpoint only helps a *freshly booted* ME.
+            reinstall_migration_enclave(
+                dc,
+                dc.machine(scenario.machine),
+                world.me_signer,
+                session_resumption=world.session_resumption,
+            )
+        label = f"raised:{type(failure).__name__}"
+        if healed:
+            label += f"->healed[{len(healed)}]"
+        steps.append(label)
+        if not healed and attempt > 0:
+            break  # nothing left to heal and retrying alone did not help
+    return steps
+
+
+def _check_app_state(world: ChaosWorld) -> list[str]:
+    """The sealed app blob must decrypt, on the one surviving instance, to
+    the *newest* write — healing the disk when the fault ate it.  Skipped
+    when R3/liveness already failed (those violations say it all)."""
+    serving = _serving_instances(world)
+    if len(serving) != 1:
+        return []
+    enclave = serving[0][0]
+    storage = world.dc.machine(SOURCE).storage
+    path = f"app/{APP_STATE_PATH}"
+    failure = "app state: never checked"
+    for _ in range(HEAL_ATTEMPTS):
+        try:
+            plaintext, _ = enclave.ecall("unseal", storage.read(path))
+            if plaintext == APP_STATE_V2:
+                return []
+            failure = "app state reads back an old version, not the newest write"
+        except ReproError as exc:
+            failure = f"app state unreadable: {type(exc).__name__}"
+        storage.heal(f"{path}*")
+    return [failure]
+
+
+def run_disk_scenario(scenario: DiskScenario, seed: int = 2018) -> DiskScenarioReport:
+    """Fresh world, one armed disk fault (plus its crash, for write-side
+    kinds), recovery with bounded healing, R3/R4 + recoverability checks."""
+    world = build_world(seed)
+    dc, app = world.dc, world.app
+    _store_app_state(world, APP_STATE_V1)
+    injector = FaultInjector(
+        plan=_build_disk_plan(scenario),
+        rng=dc.rng.child("chaos-faults"),
+        machines=dict(dc.machines),
+        meter=dc.meter,
+    )
+    dc.network.fault_injector = injector
+    injector.attach_disk(_all_storages(world))
+    _store_app_state(world, APP_STATE_V2)
+    crashed: list[str] = [scenario.machine] if scenario.crash_at is not None else []
+    try:
+        result = app.migrate(dc.machine(DESTINATION), migrate_vm=False)
+        migrate_outcome = result.outcome.value
+        completed = result.outcome is MigrationOutcome.COMPLETED
+    except ReproError as exc:
+        migrate_outcome = f"raised:{type(exc).__name__}"
+        completed = False
+    dc.network.fault_injector = None
+    if scenario.post_crash:
+        # The marked write had no later protocol step to crash at: pull the
+        # plug the instant the protocol finishes.
+        dc.machine(scenario.machine).crash()
+        crashed = [scenario.machine]
+        completed = False
+    if DISK_FAULT_KINDS[scenario.kind] != "read":
+        # Write-side damage is already recorded in the storage state; the
+        # disk hook stays attached only for read kinds, whose whole point is
+        # that *recovery* reads through the armed fault.
+        injector.detach_disk(_all_storages(world))
+    recovery_outcome = "not-needed"
+    if not completed:
+        recovery_outcome = "+".join(_recover_world(world, crashed, scenario))
+    report = DiskScenarioReport(
+        artifact=scenario.artifact,
+        kind=scenario.kind,
+        phase=scenario.phase,
+        nth=scenario.nth,
+        fired=len(injector.disk_fired),
+        migrate_outcome=migrate_outcome,
+        recovery_outcome=recovery_outcome,
+        corrupt_reads=sum(
+            machine.storage.journal_corruption_count
+            for machine in dc.machines.values()
+        ),
+    )
+    # Intermediate raises are fine — that is what the heal-and-retry loop is
+    # for; only a *final* raise means the world stayed unrecovered.
+    if recovery_outcome.split("+")[-1].startswith("raised:"):
+        report.violations.append(f"recovery failed: {recovery_outcome}")
+    report.violations.extend(check_invariants(world))
+    report.violations.extend(_check_app_state(world))
+    injector.detach_disk(_all_storages(world))
+    return report
+
+
+def sweep_disk(seed: int = 2018, smoke: bool = False) -> list[DiskScenarioReport]:
+    """Every persisted artifact x every disk fault kind x every protocol
+    phase the probe saw.  ``smoke`` keeps only the first scenario per
+    (artifact, kind) cell — the CI slice."""
+    scenarios = enumerate_disk_scenarios(seed)
+    covered = {(s.artifact, s.kind) for s in scenarios}
+    missing = [
+        (artifact, kind)
+        for artifact, _, _ in DISK_ARTIFACTS
+        for kind in DISK_FAULT_KINDS
+        if (artifact, kind) not in covered
+    ]
+    if missing:
+        raise AssertionError(f"disk sweep lost (artifact, kind) coverage: {missing}")
+    if smoke:
+        first: dict[tuple[str, str], DiskScenario] = {}
+        for scenario in scenarios:
+            first.setdefault((scenario.artifact, scenario.kind), scenario)
+        scenarios = list(first.values())
+    return [run_disk_scenario(scenario, seed) for scenario in scenarios]
+
+
+def _main_disk(seed: int, smoke: bool) -> int:
+    scenarios = enumerate_disk_scenarios(seed)
+    slice_note = " (smoke slice: first scenario per cell)" if smoke else ""
+    print(
+        f"disk fault sweep: {len(scenarios)} scenarios over "
+        f"{len(DISK_ARTIFACTS)} artifacts x {len(DISK_FAULT_KINDS)} fault kinds "
+        f"(seed {seed}){slice_note}"
+    )
+    reports = sweep_disk(seed, smoke=smoke)
+    failures = [r for r in reports if not r.ok]
+    unfired = sum(1 for r in reports if not r.fired)
+    for report in reports:
+        marker = "FAIL" if report.violations else "ok"
+        extras = f" corrupt-reads={report.corrupt_reads}" if report.corrupt_reads else ""
+        print(
+            f"  [{marker:>4}] {report.artifact:<20} {report.kind:<11} "
+            f"@ {report.phase:<24} fired={report.fired} "
+            f"migrate={report.migrate_outcome:<28} "
+            f"recovery={report.recovery_outcome}{extras}"
+        )
+        for violation in report.violations:
+            print(f"         !! {violation}")
+    print(
+        f"{len(reports)} scenarios, {len(failures)} invariant violations, "
+        f"{unfired} armed faults never reached "
+        f"(R3/R4 intact and world recoverable in every scenario)"
+        if not failures
+        else f"{len(reports)} scenarios, {len(failures)} invariant violations"
+    )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     session_resumption = "--session-resumption" in args
     batched = "--batched" in args
-    args = [a for a in args if a not in ("--session-resumption", "--batched")]
+    disk = "--disk" in args
+    smoke = "--smoke" in args
+    args = [
+        a
+        for a in args
+        if a not in ("--session-resumption", "--batched", "--disk", "--smoke")
+    ]
     seed = int(args[0]) if args else 2018
+    if disk:
+        return _main_disk(seed, smoke)
     probe = probe_batched_message_sequence if batched else probe_message_sequence
     trace = probe(seed, session_resumption)
     mode = "on" if session_resumption else "off"

@@ -26,6 +26,7 @@ from repro.faults.plan import (
     Corrupt,
     CrashMachine,
     Delay,
+    DiskFaultRule,
     Drop,
     Duplicate,
     FaultPlan,
@@ -85,6 +86,34 @@ class FiredFault:
 
 
 @dataclass
+class DiskOp:
+    """One storage operation observed on some machine's disk.
+
+    ``msg_seq`` is the number of message legs already observed when the op
+    happened — it anchors the op between two protocol steps, which is how
+    the disk chaos sweep labels a fault's *protocol phase*.
+    """
+
+    seq: int
+    msg_seq: int
+    op: str  # "write" | "sync" | "read"
+    machine: str
+    path: str
+    num_bytes: int
+
+
+@dataclass
+class FiredDiskFault:
+    """A disk fault that actually triggered."""
+
+    seq: int
+    rule: DiskFaultRule
+    machine: str
+    path: str
+    op: str
+
+
+@dataclass
 class FaultInjector:
     """Deterministic execution engine for one :class:`FaultPlan`.
 
@@ -99,10 +128,15 @@ class FaultInjector:
     meter: CostMeter | None = None
     trace: list[ObservedMessage] = field(default_factory=list)
     fired: list[FiredFault] = field(default_factory=list)
+    disk_trace: list[DiskOp] = field(default_factory=list)
+    disk_fired: list[FiredDiskFault] = field(default_factory=list)
     _seq: int = 0
     _occurrences: dict[int, int] = field(default_factory=dict)
     _triggers: dict[int, int] = field(default_factory=dict)
     _duplicate_next: bool = False
+    _disk_seq: int = 0
+    _disk_occurrences: dict[int, int] = field(default_factory=dict)
+    _disk_triggers: dict[int, int] = field(default_factory=dict)
 
     def on_message(self, src: str, dst: str, payload: bytes, direction: str) -> bytes | None:
         """Observe one message leg; return the payload to deliver or ``None``
@@ -129,6 +163,62 @@ class FaultInjector:
             if payload is None:
                 return None
         return payload
+
+    # ---------------------------------------------------------- disk hooks
+    # These implement :class:`repro.cloud.storage.DiskFaultHook`; the chaos
+    # harness points every machine's ``storage.fault_injector`` at this one
+    # injector so message and disk counting share a deterministic order.
+    def attach_disk(self, storages) -> None:
+        for storage in storages:
+            storage.fault_injector = self
+
+    def detach_disk(self, storages) -> None:
+        for storage in storages:
+            if storage.fault_injector is self:
+                storage.fault_injector = None
+
+    def _observe_disk(
+        self, op: str, machine: str, path: str, size: int
+    ) -> DiskFaultRule | None:
+        seq = self._disk_seq
+        self._disk_seq += 1
+        self.disk_trace.append(DiskOp(seq, self._seq, op, machine, path, size))
+        for index, rule in enumerate(self.plan.disk_rules):
+            if rule.op != op or not rule.matches(machine, path):
+                continue
+            occurrence = self._disk_occurrences.get(index, 0)
+            self._disk_occurrences[index] = occurrence + 1
+            if occurrence < rule.nth:
+                continue
+            if self._disk_triggers.get(index, 0) >= rule.max_triggers:
+                continue
+            self._disk_triggers[index] = self._disk_triggers.get(index, 0) + 1
+            self.disk_fired.append(FiredDiskFault(seq, rule, machine, path, op))
+            return rule
+        return None
+
+    def on_disk_write(self, machine: str, path: str, size: int) -> int | None:
+        rule = self._observe_disk("write", machine, path, size)
+        if rule is None:
+            return None
+        # Tear strictly inside the write so the torn blob is never the full
+        # intended content (offset == size would be a clean write).
+        return self.rng.randint_below(size) if size else 0
+
+    def on_disk_sync(self, machine: str, path: str) -> bool:
+        return self._observe_disk("sync", machine, path, 0) is not None
+
+    def on_disk_read(self, machine: str, path: str, size: int) -> tuple | None:
+        rule = self._observe_disk("read", machine, path, size)
+        if rule is None:
+            return None
+        if rule.kind == "bit_rot":
+            if not size:
+                return None
+            position = self.rng.randint_below(size)
+            flip = 1 + self.rng.randint_below(255)  # never a zero XOR (no-op)
+            return ("bit_rot", position, flip)
+        return ("stale_read",)
 
     def wants_duplicate(self, src: str, dst: str, direction: str) -> bool:
         """Consume the duplicate-delivery flag set by a ``Duplicate`` action

@@ -14,6 +14,7 @@ a seed replays the exact same fault in every run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fnmatch import fnmatch
 from typing import Callable
 
 from repro.cloud.network import Endpoint
@@ -111,6 +112,47 @@ class FaultRule:
     max_triggers: int = 1
 
 
+# ------------------------------------------------------------- disk faults
+#: The disk fault kinds and the storage operation each one intercepts.
+DISK_FAULT_KINDS = {
+    "torn_write": "write",  # the write will land torn at the next crash
+    "lost_write": "sync",  # fsync acks but the data never reaches the platter
+    "bit_rot": "read",  # one byte of the medium decays, persistently
+    "stale_read": "read",  # the read returns the previous version, once
+}
+
+
+@dataclass(frozen=True)
+class DiskFaultRule:
+    """One disk fault: fire ``kind`` on the ``nth``-th matching storage
+    operation, at most ``max_triggers`` times.
+
+    ``path`` is an ``fnmatch`` glob over blob paths (``"app/migration_txn*"``
+    covers the journal and its rename temp); ``machine`` of ``None`` matches
+    every machine's disk.  Which operation counts is implied by ``kind`` —
+    see :data:`DISK_FAULT_KINDS`.
+    """
+
+    kind: str
+    path: str = "*"
+    machine: str | None = None
+    nth: int = 0
+    max_triggers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in DISK_FAULT_KINDS:
+            raise ValueError(f"unknown disk fault kind {self.kind!r}")
+
+    @property
+    def op(self) -> str:
+        return DISK_FAULT_KINDS[self.kind]
+
+    def matches(self, machine: str, path: str) -> bool:
+        if self.machine is not None and machine != self.machine:
+            return False
+        return fnmatch(path, self.path)
+
+
 @dataclass
 class FaultPlan:
     """A composable, declarative list of faults.
@@ -123,13 +165,21 @@ class FaultPlan:
     """
 
     rules: list[FaultRule] = field(default_factory=list)
+    disk_rules: list[DiskFaultRule] = field(default_factory=list)
 
     def add(self, rule: FaultRule) -> "FaultPlan":
         self.rules.append(rule)
         return self
 
+    def add_disk(self, rule: DiskFaultRule) -> "FaultPlan":
+        self.disk_rules.append(rule)
+        return self
+
     def _rule(self, action: FaultAction, max_triggers: int, **match) -> "FaultPlan":
         return self.add(FaultRule(MessageMatch(**match), action, max_triggers))
+
+    def _disk_rule(self, kind: str, path: str, **spec) -> "FaultPlan":
+        return self.add_disk(DiskFaultRule(kind, path, **spec))
 
     def drop(self, *, max_triggers: int = 1, **match) -> "FaultPlan":
         return self._rule(Drop(), max_triggers, **match)
@@ -148,3 +198,24 @@ class FaultPlan:
 
     def hook(self, fn: HookFn, *, max_triggers: int = 1, **match) -> "FaultPlan":
         return self._rule(Hook(fn), max_triggers, **match)
+
+    # -------------------------------------------------- disk fault builders
+    def torn_write(self, path: str = "*", **spec) -> "FaultPlan":
+        """Mark the Nth matching write: at the next crash it lands torn at a
+        deterministic (seeded) byte offset instead of vanishing cleanly."""
+        return self._disk_rule("torn_write", path, **spec)
+
+    def lost_write(self, path: str = "*", **spec) -> "FaultPlan":
+        """The Nth matching fsync acks without persisting — the write is
+        silently dropped at the next crash."""
+        return self._disk_rule("lost_write", path, **spec)
+
+    def bit_rot(self, path: str = "*", **spec) -> "FaultPlan":
+        """Persistently flip one seeded byte of the blob at the Nth matching
+        read (media decay; AEAD-detectable, never self-announcing)."""
+        return self._disk_rule("bit_rot", path, **spec)
+
+    def stale_read(self, path: str = "*", **spec) -> "FaultPlan":
+        """The Nth matching read returns the blob's previous version
+        (firmware cache / misdirected read), once."""
+        return self._disk_rule("stale_read", path, **spec)

@@ -78,7 +78,10 @@ def _decode_value(data: bytes, offset: int) -> tuple[Value, int]:
         payload = data[offset : offset + length]
         offset += length
         if vtype == _T_STR:
-            return payload.decode("utf-8"), offset
+            try:
+                return payload.decode("utf-8"), offset
+            except UnicodeDecodeError as exc:
+                raise WireError(f"invalid utf-8 in string value: {exc}") from exc
         return payload, offset
     if vtype == _T_LIST:
         if offset + 4 > len(data):
@@ -142,7 +145,12 @@ def decode(data: bytes) -> dict[str, Value]:
             raise WireError("truncated key length")
         key_len = int.from_bytes(data[offset : offset + 2], "big")
         offset += 2
-        key = data[offset : offset + key_len].decode("utf-8")
+        if offset + key_len > len(data):
+            raise WireError("truncated key")
+        try:
+            key = data[offset : offset + key_len].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError(f"invalid utf-8 in key: {exc}") from exc
         offset += key_len
         value, offset = _decode_value(data, offset)
         message[key] = value

@@ -5,7 +5,13 @@ import pytest
 from repro.apps.counter_app import MigratableBenchEnclave
 from repro.cloud.datacenter import DataCenter
 from repro.core.migration_enclave import MigrationEnclave
-from repro.core.protocol import MigratableApp, install_all_migration_enclaves
+from repro.core.protocol import (
+    ME_CHECKPOINT_SLOTS,
+    MigratableApp,
+    _me_checkpoint_generation,
+    install_all_migration_enclaves,
+    reinstall_migration_enclave,
+)
 from repro.errors import InvalidStateError, MacMismatchError, MigrationError
 from repro.sgx.identity import SigningKey
 
@@ -102,3 +108,74 @@ class TestCheckpointRestore:
         assert new_me.ecall("signing_public_key") != public_before
         new_me.ecall("import_sealed_state", checkpoint)
         assert new_me.ecall("signing_public_key") == public_before
+
+
+class TestABCheckpointSlots:
+    """The durable install keeps A/B checkpoint slots plus a pointer; a
+    damaged newest slot must cost one generation, never bootability."""
+
+    @pytest.fixture
+    def durable_world(self):
+        dc = DataCenter(name="ab-slots", seed=48)
+        dc.add_machine("machine-a")
+        dc.add_machine("machine-b")
+        me_key = SigningKey.generate(dc.rng.child("me-signer"))
+        hosts = install_all_migration_enclaves(dc, me_key, durable=True)
+        key = SigningKey.generate(dc.rng.child("dev"))
+        app = MigratableApp.deploy(
+            dc, dc.machine("machine-a"), MigratableBenchEnclave, key
+        )
+        return dc, hosts, app, me_key
+
+    @staticmethod
+    def mgmt_app_of(machine):
+        return next(
+            a
+            for a in machine.management_vm.applications
+            if a.name == "migration-service"
+        )
+
+    def drive_checkpoints(self, dc, app):
+        """Run a migration's message flow so machine-b's ME handles several
+        messages and therefore writes several checkpoint generations."""
+        enclave = app.start_new()
+        enclave.ecall("create_counter")
+        enclave.ecall("migration_start", "machine-b")
+
+    def test_torn_newest_slot_falls_back_one_generation(self, durable_world):
+        dc, hosts, app, me_key = durable_world
+        self.drive_checkpoints(dc, app)
+        machine_b = dc.machine("machine-b")
+        mgmt_app = self.mgmt_app_of(machine_b)
+        latest = _me_checkpoint_generation(mgmt_app)
+        assert latest >= 2  # both slots populated by the message flow
+        machine_b.crash()
+        # The newest slot is AEAD-garbage after the power failure:
+        machine_b.storage.corrupt(
+            f"migration-service/{ME_CHECKPOINT_SLOTS[latest % 2]}"
+        )
+        host = reinstall_migration_enclave(dc, machine_b, me_key, durable=True)
+        assert host.restored_generation is not None
+        assert host.restored_generation < latest
+
+    def test_intact_slots_restore_the_newest_generation(self, durable_world):
+        dc, hosts, app, me_key = durable_world
+        self.drive_checkpoints(dc, app)
+        machine_b = dc.machine("machine-b")
+        latest = _me_checkpoint_generation(self.mgmt_app_of(machine_b))
+        machine_b.crash()
+        host = reinstall_migration_enclave(dc, machine_b, me_key, durable=True)
+        assert host.restored_generation == latest
+
+    def test_all_slots_destroyed_boots_fresh(self, durable_world):
+        dc, hosts, app, me_key = durable_world
+        self.drive_checkpoints(dc, app)
+        machine_b = dc.machine("machine-b")
+        machine_b.crash()
+        for path in list(machine_b.storage.paths()):
+            if path.startswith("migration-service/me_checkpoint"):
+                machine_b.storage.corrupt(path)
+        host = reinstall_migration_enclave(dc, machine_b, me_key, durable=True)
+        # Availability cost only: parked data is lost, the ME still boots.
+        assert host.restored_generation is None
+        assert host.enclave.alive

@@ -335,6 +335,68 @@ class TestProtocolState:
         ) == []
 
 
+# --------------------------------------------------------------- SEC007
+class TestDurableWrite:
+    def test_journal_write_without_sync_flags(self):
+        assert "SEC007" in rules_in(
+            """
+            def persist(self, record):
+                self.storage.write("app/migration_txn", record.to_bytes())
+            """
+        )
+
+    def test_checkpoint_write_without_sync_flags(self):
+        assert "SEC007" in rules_in(
+            """
+            def checkpoint(machine, blob):
+                machine.storage.write("migration-service/me_checkpoint.a", blob)
+            """
+        )
+
+    def test_constant_path_argument_flags(self):
+        assert "SEC007" in rules_in(
+            """
+            def persist(app, blob):
+                app.machine.storage.write(LIBRARY_STATE_PATH, blob)
+            """
+        )
+
+    def test_write_followed_by_sync_is_clean(self):
+        assert rules_in(
+            """
+            def persist(self, record):
+                self.storage.write("app/migration_txn.tmp", record.to_bytes())
+                self.storage.sync("app/migration_txn.tmp")
+                self.storage.rename("app/migration_txn.tmp", "app/migration_txn")
+            """
+        ) == []
+
+    def test_durable_wrapper_is_clean(self):
+        assert rules_in(
+            """
+            def persist(app, blob):
+                app.store_atomic("miglib_state", blob)
+            """
+        ) == []
+
+    def test_non_critical_path_is_clean(self):
+        assert rules_in(
+            """
+            def snapshot(machine, blob):
+                machine.storage.write("backups/kv", blob)
+            """
+        ) == []
+
+    def test_sync_before_the_write_does_not_count(self):
+        assert "SEC007" in rules_in(
+            """
+            def persist(self, record):
+                self.storage.sync()
+                self.storage.write("app/migration_txn", record.to_bytes())
+            """
+        )
+
+
 # ----------------------------------------------------------- suppression
 class TestPragmas:
     def test_same_line_pragma_suppresses(self):

@@ -84,6 +84,36 @@ class TestSeedDeterminism:
             s["virtual_seconds_total"] for s in singles
         )
 
+    def test_chaos_disk_enumeration_matches_golden_file(self):
+        """The disk sweep's scenario grid is part of the contract: silently
+        losing a (artifact x fault x phase) cell means silently losing
+        coverage.  The golden file pins the full seed-2018 enumeration."""
+        from dataclasses import asdict
+
+        from repro.faults.chaos import enumerate_disk_scenarios
+
+        golden = json.loads((GOLDEN_DIR / "chaos_disk_seed2018.json").read_text())
+        scenarios = [asdict(s) for s in enumerate_disk_scenarios(2018)]
+        assert len(scenarios) == golden["scenario_count"]
+        assert scenarios == golden["scenarios"]
+
+    def test_chaos_disk_scenario_report_identical_under_seed(self):
+        """One full fault scenario (injected tear + machine crash + healing
+        recovery) replayed twice from the same seed must produce the
+        identical report — the sweep's reproducibility in miniature."""
+        from dataclasses import asdict
+
+        from repro.faults.chaos import enumerate_disk_scenarios, run_disk_scenario
+
+        scenario = next(
+            s
+            for s in enumerate_disk_scenarios(2018)
+            if s.artifact == "journal-source" and s.kind == "torn_write"
+        )
+        a = run_disk_scenario(scenario, seed=2018)
+        b = run_disk_scenario(scenario, seed=2018)
+        assert asdict(a) == asdict(b)
+
     def test_datacenter_key_material_deterministic(self):
         dc1 = DataCenter(name="same", seed=5)
         dc2 = DataCenter(name="same", seed=5)
