@@ -1,15 +1,15 @@
 # Developer / CI entry points.  `make ci` is what a PR must pass: tier-1
-# tests, the SEC001-SEC007 static-analysis gate (fails on any finding not
-# recorded in .analysis-baseline.json), the chaos sweep (drop/duplicate/
-# crash faults over every migration message; R3/R4 must hold after recovery),
-# and the disk-fault smoke slice (one torn/lost/rot/stale scenario per
-# persisted artifact; the full grid runs via `make chaos-disk`).
+# tests, the SEC001-SEC010 interprocedural static-analysis gate (fails on
+# any finding not recorded in .analysis-baseline.json), the chaos sweep
+# (drop/duplicate/crash faults over every migration message; R3/R4 must hold
+# after recovery), and the disk-fault smoke slice (one torn/lost/rot/stale
+# scenario per persisted artifact; the full grid runs via `make chaos-disk`).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze analyze-json baseline chaos chaos-disk chaos-disk-smoke \
-	bench-fleet bench-fleet-smoke ci
+.PHONY: test analyze analyze-json analyze-sarif analyze-changed baseline \
+	chaos chaos-disk chaos-disk-smoke bench-fleet bench-fleet-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +28,15 @@ analyze:
 
 analyze-json:
 	$(PYTHON) -m repro.analysis --format json src/repro examples benchmarks
+
+# SARIF 2.1.0 for code-scanning UIs; findings carry stable path fingerprints
+# and multi-hop taint traces as codeFlows.
+analyze-sarif:
+	$(PYTHON) -m repro.analysis --format sarif src/repro examples benchmarks > analysis.sarif
+
+# Fast pre-commit loop: only files changed vs. the merge base.
+analyze-changed:
+	$(PYTHON) -m repro.analysis --changed-only src/repro examples benchmarks
 
 baseline:
 	$(PYTHON) -m repro.analysis --update-baseline src/repro examples benchmarks

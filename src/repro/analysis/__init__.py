@@ -9,7 +9,11 @@ them on every run:
 
 * :mod:`repro.analysis.engine` — file walking, pragma suppression, rule
   dispatch (stdlib ``ast``, zero dependencies);
-* :mod:`repro.analysis.rules` — the SEC001-SEC006 catalog;
+* :mod:`repro.analysis.callgraph` — project-wide symbol table and call
+  graph, including the ``Enclave.ecall("name", ...)`` dispatch edge;
+* :mod:`repro.analysis.summaries` / :mod:`repro.analysis.dataflow` —
+  per-function taint summaries and the interprocedural taint tracker;
+* :mod:`repro.analysis.rules` — the SEC001-SEC010 catalog;
 * :mod:`repro.analysis.baseline` — accepted legacy findings;
 * :mod:`repro.analysis.cli` — ``python -m repro.analysis`` / ``repro-analyze``.
 

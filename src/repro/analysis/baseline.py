@@ -4,8 +4,19 @@ The baseline lets the analyzer gate CI on **new** findings while a
 legacy finding is being worked off.  Entries are keyed on
 ``(rule, path, stripped source-line text)`` with a count, not on line
 numbers, so unrelated edits that shift code do not invalidate the file.
-``--update-baseline`` rewrites it from the current tree; an empty baseline
-(the goal state, and this repo's state) means every finding fails the run.
+Version 2 entries additionally carry the finding's *flow fingerprint*
+(:attr:`repro.analysis.findings.Finding.fingerprint`): two different taint
+paths landing on the same sink line stay distinguishable, and a baselined
+flow stops matching once the flow itself changes.  Version-1 files still
+load — their entries carry an empty fingerprint, which matches any flow
+(wildcard), preserving old suppressions.
+
+Entries whose file no longer exists are dead weight that would silently
+re-suppress findings if the path ever came back; :meth:`Baseline.
+prune_missing` drops them and the CLI reports the prune count.
+``--update-baseline`` rewrites the file from the current tree; an empty
+baseline (the goal state, and this repo's state) means every finding fails
+the run.
 """
 
 from __future__ import annotations
@@ -18,7 +29,11 @@ from pathlib import Path
 from repro.analysis.findings import Finding
 
 DEFAULT_BASELINE_NAME = ".analysis-baseline.json"
-_VERSION = 1
+_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
+
+#: Entry key: (rule, path, text, fingerprint); fingerprint "" = wildcard.
+Key = tuple
 
 
 @dataclass
@@ -37,30 +52,58 @@ class Baseline:
         if not path.exists():
             return cls()
         data = json.loads(path.read_text(encoding="utf-8"))
-        if data.get("version") != _VERSION:
+        if data.get("version") not in _READABLE_VERSIONS:
             raise ValueError(
                 f"unsupported baseline version {data.get('version')!r} in {path}"
             )
         entries: Counter = Counter()
         for item in data.get("entries", []):
-            key = (item["rule"], item["path"], item["text"])
+            key = (
+                item["rule"],
+                item["path"],
+                item["text"],
+                item.get("fingerprint", ""),
+            )
             entries[key] += int(item.get("count", 1))
         return cls(entries=entries)
 
     def write(self, path: str | Path) -> None:
         items = [
-            {"rule": rule, "path": file_path, "text": text, "count": count}
-            for (rule, file_path, text), count in sorted(self.entries.items())
+            {
+                "rule": rule,
+                "path": file_path,
+                "text": text,
+                "fingerprint": fingerprint,
+                "count": count,
+            }
+            for (rule, file_path, text, fingerprint), count in sorted(self.entries.items())
         ]
         payload = {"version": _VERSION, "entries": items}
         Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # ------------------------------------------------------------- pruning
+    def prune_missing(self, root: str | Path | None = None) -> int:
+        """Drop entries whose file no longer exists; returns entries pruned.
+
+        Paths are resolved relative to ``root`` (default: the current
+        working directory, which is how the analyzer records them).
+        """
+        base = Path(root) if root is not None else Path.cwd()
+        pruned = 0
+        for key in list(self.entries):
+            path = Path(key[1])
+            if not path.is_absolute():
+                path = base / path
+            if not path.exists():
+                pruned += self.entries.pop(key)
+        return pruned
 
     # ------------------------------------------------------------- matching
     @classmethod
     def from_findings(cls, findings: list[Finding]) -> "Baseline":
         entries: Counter = Counter()
         for finding in findings:
-            entries[finding.baseline_key] += 1
+            entries[finding.baseline_key + (finding.fingerprint,)] += 1
         return cls(entries=entries)
 
     def filter(self, findings: list[Finding]) -> tuple[list[Finding], int]:
@@ -69,9 +112,13 @@ class Baseline:
         new: list[Finding] = []
         suppressed = 0
         for finding in sorted(findings):
-            key = finding.baseline_key
-            if remaining.get(key, 0) > 0:
-                remaining[key] -= 1
+            exact = finding.baseline_key + (finding.fingerprint,)
+            wildcard = finding.baseline_key + ("",)
+            if remaining.get(exact, 0) > 0:
+                remaining[exact] -= 1
+                suppressed += 1
+            elif remaining.get(wildcard, 0) > 0:
+                remaining[wildcard] -= 1
                 suppressed += 1
             else:
                 new.append(finding)

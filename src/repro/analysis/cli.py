@@ -1,31 +1,40 @@
 """Command-line interface: ``python -m repro.analysis`` / ``repro-analyze``.
 
 Exit codes: 0 — clean (modulo baseline and pragmas); 1 — findings; 2 —
-usage or I/O error.  ``--format json`` emits a machine-readable report for
-CI; ``--update-baseline`` rewrites the baseline from the current tree and
-exits 0.
+usage or I/O error.  ``--format json`` emits a machine-readable report and
+``--format sarif`` a SARIF 2.1.0 log for code-scanning UIs;
+``--update-baseline`` rewrites the baseline from the current tree and exits
+0.  ``--rule`` restricts reporting to the named rules, ``--explain`` prints
+the def→use dataflow trace under each finding that has one, and
+``--changed-only`` reports only findings in files touched per ``git diff``
+(the whole project is still parsed, so cross-function flows into a changed
+file are not missed).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.analysis.engine import AnalysisEngine
+from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules import ALL_RULE_CLASSES
 
 DEFAULT_PATHS = ("src/repro",)
+
+_SARIF_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning"}
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
         description=(
-            "AST-based enclave-boundary and secret-flow analyzer for the "
-            "SGX-migration reproduction (rules SEC001-SEC007)"
+            "Interprocedural enclave-boundary and secret-flow analyzer for "
+            "the SGX-migration reproduction (rules SEC001-SEC010)"
         ),
     )
     parser.add_argument(
@@ -36,9 +45,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="SEC00x",
+        help="report only the named rule(s); repeatable",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the def->use dataflow trace under each finding",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "report only findings in files changed per git (diff vs HEAD "
+            "plus untracked); the full project is still analyzed"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -73,6 +102,98 @@ def _print_catalog(stream) -> None:
         )
 
 
+def _changed_files() -> set[str] | None:
+    """Repo-relative paths changed vs HEAD plus untracked; None on failure."""
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            capture_output=True, text=True, check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    changed = set()
+    for out in (diff.stdout, untracked.stdout):
+        changed.update(line.strip() for line in out.splitlines() if line.strip())
+    return changed
+
+
+def _sarif_report(findings: list[Finding]) -> dict:
+    """A minimal SARIF 2.1.0 log: one run, the full rule catalog, results
+    with location + flow fingerprint."""
+    rules = [
+        {
+            "id": cls.rule_id,
+            "name": cls.__name__,
+            "shortDescription": {"text": cls.title},
+            "help": {"text": cls.fix_hint},
+            "defaultConfiguration": {"level": _SARIF_LEVEL[cls.severity]},
+            "properties": {"requirement": cls.requirement},
+        }
+        for cls in ALL_RULE_CLASSES
+    ]
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVEL.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproFlow/v1": finding.fingerprint},
+        }
+        if finding.trace:
+            result["codeFlows"] = [
+                {
+                    "threadFlows": [
+                        {
+                            "locations": [
+                                {
+                                    "location": {
+                                        "physicalLocation": {
+                                            "artifactLocation": {"uri": step.path},
+                                            "region": {"startLine": step.line},
+                                        },
+                                        "message": {"text": step.note},
+                                    }
+                                }
+                                for step in finding.trace
+                            ]
+                        }
+                    ]
+                }
+            ]
+        results.append(result)
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": "https://example.invalid/repro-analysis",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -86,8 +207,34 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
 
+    known_rules = {cls.rule_id for cls in ALL_RULE_CLASSES} | {"PARSE"}
+    selected = None
+    if args.rule:
+        selected = {rule.upper() for rule in args.rule}
+        unknown = selected - known_rules
+        if unknown:
+            print(
+                f"error: unknown rule(s): {', '.join(sorted(unknown))} "
+                f"(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+
     engine = AnalysisEngine()
     findings = engine.analyze_paths(args.paths)
+
+    if selected is not None:
+        findings = [finding for finding in findings if finding.rule in selected]
+
+    if args.changed_only:
+        changed = _changed_files()
+        if changed is None:
+            print(
+                "warning: --changed-only needs git; reporting everything",
+                file=sys.stderr,
+            )
+        else:
+            findings = [f for f in findings if f.path in changed]
 
     if args.update_baseline:
         Baseline.from_findings(findings).write(args.baseline)
@@ -97,6 +244,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    pruned = 0 if args.no_baseline else baseline.prune_missing()
     new, suppressed = baseline.filter(findings)
 
     if args.format == "json":
@@ -104,16 +252,21 @@ def main(argv: list[str] | None = None) -> int:
             "findings": [finding.to_dict() for finding in new],
             "total": len(new),
             "baselined": suppressed,
+            "baseline_pruned": pruned,
             "rules": sorted({finding.rule for finding in new}),
         }
         print(json.dumps(report, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(_sarif_report(new), indent=2))
     else:
         for finding in new:
-            print(finding.format_text())
+            print(finding.format_text(explain=args.explain))
         summary = f"{len(new)} finding(s)"
         if suppressed:
             summary += f", {suppressed} baselined"
-        print(summary if new or suppressed else "clean: 0 findings")
+        if pruned:
+            summary += f", {pruned} stale baseline entr{'y' if pruned == 1 else 'ies'} pruned"
+        print(summary if new or suppressed or pruned else "clean: 0 findings")
     return 1 if new else 0
 
 

@@ -1,0 +1,524 @@
+"""Worklist-based intra+interprocedural taint engine.
+
+The engine abstractly executes one function at a time over a *taint
+environment* (variable → set of :class:`Taint` values, each carrying the
+def→use :class:`TraceStep` hops that justify it), and compresses every
+function into a :class:`~repro.analysis.summaries.FunctionSummary` so flows
+compose across calls without re-analysis:
+
+* a call to a **sanitizer** (``seal_data``, ``encrypt``, ``hmac`` …) returns
+  no taint — sealing is exactly how a secret legally leaves the enclave;
+* a call resolved through the :class:`~repro.analysis.callgraph.Project`
+  applies the callee's summary: parameter taint flows through
+  ``returns_params``, and a callee that reads a secret itself
+  (``returns_secret``) taints the caller's result with the callee's own
+  trace spliced in — this is what makes a multi-hop ``--explain`` path;
+* an **unresolved** call conservatively passes its arguments' taint through
+  (an unknown helper is never assumed to sanitize).
+
+Branches merge by union; loop bodies run twice so loop-carried taint
+reaches a fixpoint (the lattice is finite: taints dedup per label).
+Summaries themselves are computed by :func:`compute_summaries`, a bounded
+worklist fixpoint over the whole project in reverse call order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import CallSite, FunctionInfo, Project
+from repro.analysis.engine import is_constant_expr, terminal_name
+from repro.analysis.findings import TraceStep
+from repro.analysis.summaries import (
+    ENCRYPT_NAMES,
+    PARAM_LABEL,
+    FunctionSummary,
+    is_sanitizer_name,
+    is_secret_name,
+    param_index,
+)
+
+_MAX_TRACE_STEPS = 10
+_SUMMARY_FIXPOINT_ROUNDS = 5
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One tainted value: its origin label plus the hops that carried it."""
+
+    label: str
+    steps: tuple[TraceStep, ...] = ()
+
+    def extend(self, step: TraceStep) -> "Taint":
+        if len(self.steps) >= _MAX_TRACE_STEPS:
+            return self
+        return Taint(self.label, self.steps + (step,))
+
+
+Taints = frozenset  # frozenset[Taint]
+
+_EMPTY: frozenset = frozenset()
+
+
+def _merge(*sets: frozenset) -> frozenset:
+    """Union taint sets, keeping one taint (shortest trace) per label."""
+    best: dict[str, Taint] = {}
+    for taints in sets:
+        for taint in taints:
+            kept = best.get(taint.label)
+            if kept is None or len(taint.steps) < len(kept.steps):
+                best[taint.label] = taint
+    return frozenset(best.values())
+
+
+@dataclass
+class CallEvent:
+    """One observed call with the taint reaching each argument."""
+
+    node: ast.Call
+    name: str  # terminal callee name
+    site: CallSite | None
+    arg_taints: list  # list[frozenset[Taint]] positional (receiver NOT included)
+    kw_taints: dict  # dict[str, frozenset[Taint]]
+    receiver_taints: frozenset = _EMPTY
+
+    def iv_taints(self) -> frozenset:
+        """Taint of the IV argument, for ``encrypt``/``seal`` calls."""
+        for kw, taints in self.kw_taints.items():
+            if kw in {"iv", "nonce"}:
+                return taints
+        if self.arg_taints:
+            return self.arg_taints[0]
+        return _EMPTY
+
+
+@dataclass
+class ReturnEvent:
+    node: ast.Return
+    taints: frozenset
+    in_ecall: bool
+
+
+@dataclass
+class FunctionFlow:
+    """Everything the taint tracker observed while executing one function."""
+
+    fn: FunctionInfo
+    returns: list = field(default_factory=list)  # list[ReturnEvent]
+    calls: list = field(default_factory=list)  # list[CallEvent]
+    return_exprs: list = field(default_factory=list)  # list[ast.AST|None]
+
+
+class TaintTracker:
+    """Abstractly execute one function, producing a :class:`FunctionFlow`.
+
+    ``seed`` decides which bare reads are taint *sources*: it receives a
+    ``Name``/``Attribute`` node and returns an origin label or ``None``.
+    The default seed marks secret-named identifiers (R1 key material).
+    """
+
+    def __init__(
+        self,
+        project: Project,
+        fn: FunctionInfo,
+        summaries: dict | None = None,
+        seed=None,
+        seed_params: bool = False,
+        name_seed_params: bool = True,
+    ):
+        self.project = project
+        self.fn = fn
+        self.summaries = summaries or {}
+        self.seed = seed if seed is not None else self._default_seed
+        self.flow = FunctionFlow(fn=fn)
+        self.env: dict[str, frozenset] = {}
+        self._summary_mode = seed_params
+        self._name_seed_params = name_seed_params and not seed_params
+        self._param_names = frozenset(fn.params)
+        if seed_params:
+            for index, name in enumerate(fn.params):
+                self.env[name] = frozenset(
+                    {Taint(PARAM_LABEL.format(index=index))}
+                )
+        self._site_by_call = {
+            id(site.node): site
+            for site in project.calls_by_caller.get(fn.fid, ())
+        }
+
+    # ----------------------------------------------------------------- seeds
+    def _default_seed(self, node: ast.AST) -> str | None:
+        name = (
+            node.id if isinstance(node, ast.Name)
+            else node.attr if isinstance(node, ast.Attribute)
+            else ""
+        )
+        if isinstance(node, ast.Name):
+            # A parameter is the *caller's* value — in summary mode the
+            # param marker carries its flow, and rules that opt out of
+            # name-seeding params (SEC008) treat e.g. a `key`-named lookup
+            # parameter as the caller's problem, not a secret source.
+            if not self._name_seed_params and node.id in self._param_names:
+                return None
+            if self._summary_mode and node.id == "key":
+                return None
+        return name if is_secret_name(name) else None
+
+    def _step(self, node: ast.AST, note: str) -> TraceStep:
+        line = getattr(node, "lineno", 1)
+        return TraceStep(
+            path=self.fn.module.display_path,
+            line=line,
+            text=self.fn.module.line_text(line),
+            note=note,
+        )
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> FunctionFlow:
+        self._exec_block(self.fn.node.body)
+        return self.flow
+
+    def _exec_block(self, stmts: list) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taints = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, taints, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(stmt.target, self._eval(stmt.value), stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            merged = _merge(self._eval(stmt.target), self._eval(stmt.value))
+            self._assign(stmt.target, merged, stmt, augment=True)
+        elif isinstance(stmt, ast.Return):
+            taints = self._eval(stmt.value) if stmt.value is not None else _EMPTY
+            self.flow.returns.append(
+                ReturnEvent(node=stmt, taints=taints, in_ecall=self.fn.is_ecall)
+            )
+            self.flow.return_exprs.append(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._exec_branches([stmt.body, stmt.orelse])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._eval(stmt.iter)
+            self._assign(stmt.target, self._eval(stmt.iter), stmt)
+            # Two passes expose loop-carried taint; the env only grows.
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, taints, stmt)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested scopes are analyzed as their own functions
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+
+    def _exec_branches(self, branches: list) -> None:
+        """Execute each branch on a copy of the env; merge the results."""
+        base = dict(self.env)
+        merged: dict[str, frozenset] = dict(base)
+        for body in branches:
+            self.env = dict(base)
+            self._exec_block(body)
+            for key, taints in self.env.items():
+                merged[key] = _merge(merged.get(key, _EMPTY), taints)
+        self.env = merged
+
+    # ------------------------------------------------------------ assignment
+    def _key_for(self, target: ast.AST) -> str | None:
+        if isinstance(target, ast.Name):
+            return target.id
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return f"self.{target.attr}"
+        return None
+
+    def _assign(self, target: ast.AST, taints: frozenset, stmt: ast.stmt, augment: bool = False) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, taints, stmt, augment=augment)
+            return
+        if isinstance(target, ast.Starred):
+            self._assign(target.value, taints, stmt, augment=augment)
+            return
+        key = self._key_for(target)
+        if key is None:
+            # field store into a tracked object (data.msk = state.msk):
+            # the *container* becomes tainted.
+            if isinstance(target, ast.Attribute):
+                base_key = self._key_for(target.value)
+                if base_key is not None and taints:
+                    step = self._step(stmt, f"stored into field of {base_key!r}")
+                    stamped = frozenset(t.extend(step) for t in taints)
+                    self.env[base_key] = _merge(self.env.get(base_key, _EMPTY), stamped)
+            return
+        if taints:
+            step = self._step(stmt, f"assigned to {key!r}")
+            taints = frozenset(t.extend(step) for t in taints)
+        if augment:
+            self.env[key] = _merge(self.env.get(key, _EMPTY), taints)
+        else:
+            self.env[key] = taints
+
+    # ------------------------------------------------------------ evaluation
+    def _eval(self, expr: ast.AST | None) -> frozenset:
+        if expr is None or isinstance(expr, ast.Constant):
+            return _EMPTY
+        if isinstance(expr, ast.Name):
+            taints = self.env.get(expr.id, _EMPTY)
+            label = self.seed(expr)
+            if label is not None:
+                taints = _merge(
+                    taints,
+                    frozenset({Taint(label, (self._step(expr, f"secret {label!r} read"),))}),
+                )
+            return taints
+        if isinstance(expr, ast.Attribute):
+            # Field reads are *field-sensitive*: `obj.field` carries the
+            # taint of the tracked key (`self.field`) plus any secret-named
+            # link in the attribute chain — but NOT the base object's whole
+            # taint, or every `enclave.id` read off an object built *with* a
+            # key would count as a secret leaving the enclave.
+            taints = _EMPTY
+            key = self._key_for(expr)
+            if key is not None:
+                taints = self.env.get(key, _EMPTY)
+            node: ast.AST = expr
+            while isinstance(node, (ast.Attribute, ast.Name)):
+                label = self.seed(node)
+                if label is not None:
+                    taints = _merge(
+                        taints,
+                        frozenset({Taint(label, (self._step(node, f"secret {label!r} read"),))}),
+                    )
+                if not isinstance(node, ast.Attribute):
+                    break
+                node = node.value
+            return taints
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, (ast.BinOp,)):
+            return _merge(self._eval(expr.left), self._eval(expr.right))
+        if isinstance(expr, ast.BoolOp):
+            return _merge(*(self._eval(value) for value in expr.values))
+        if isinstance(expr, ast.Compare):
+            return _merge(self._eval(expr.left), *(self._eval(c) for c in expr.comparators))
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(expr.operand)
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test)
+            return _merge(self._eval(expr.body), self._eval(expr.orelse))
+        if isinstance(expr, ast.Subscript):
+            return _merge(self._eval(expr.value), self._eval(expr.slice))
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return _merge(*(self._eval(element) for element in expr.elts)) if expr.elts else _EMPTY
+        if isinstance(expr, ast.Dict):
+            parts = [self._eval(v) for v in expr.values] + [
+                self._eval(k) for k in expr.keys if k is not None
+            ]
+            return _merge(*parts) if parts else _EMPTY
+        if isinstance(expr, ast.JoinedStr):
+            return _merge(*(self._eval(value) for value in expr.values)) if expr.values else _EMPTY
+        if isinstance(expr, ast.FormattedValue):
+            return self._eval(expr.value)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for gen in expr.generators:
+                self._assign(gen.target, self._eval(gen.iter), expr)
+            return self._eval(expr.elt)
+        if isinstance(expr, ast.DictComp):
+            for gen in expr.generators:
+                self._assign(gen.target, self._eval(gen.iter), expr)
+            return _merge(self._eval(expr.key), self._eval(expr.value))
+        if isinstance(expr, (ast.Await, ast.YieldFrom)):
+            return self._eval(expr.value)
+        if isinstance(expr, ast.Yield):
+            return self._eval(expr.value) if expr.value else _EMPTY
+        if isinstance(expr, ast.Lambda):
+            return _EMPTY
+        if isinstance(expr, ast.NamedExpr):
+            taints = self._eval(expr.value)
+            self._assign(expr.target, taints, expr)
+            return taints
+        return _EMPTY
+
+    # ----------------------------------------------------------------- calls
+    def _eval_call(self, call: ast.Call) -> frozenset:
+        name = terminal_name(call.func)
+        arg_taints = [self._eval(arg) for arg in call.args]
+        kw_taints = {
+            kw.arg or "**": self._eval(kw.value) for kw in call.keywords
+        }
+        receiver_taints = _EMPTY
+        if isinstance(call.func, ast.Attribute):
+            receiver_taints = self._eval(call.func.value)
+        site = self._site_by_call.get(id(call))
+        self.flow.calls.append(
+            CallEvent(
+                node=call,
+                name=name,
+                site=site,
+                arg_taints=arg_taints,
+                kw_taints=kw_taints,
+                receiver_taints=receiver_taints,
+            )
+        )
+
+        if is_sanitizer_name(name):
+            return _EMPTY
+
+        summaries = [
+            self.summaries[callee]
+            for callee in (site.callees if site else ())
+            if callee in self.summaries
+        ]
+        if not summaries:
+            # Unknown callee: taint passes through the arguments and the
+            # receiver (never assume an unknown helper sanitizes —
+            # `msk.hex()` is still the msk).
+            parts = arg_taints + list(kw_taints.values()) + [receiver_taints]
+            if not parts:
+                return _EMPTY
+            merged = _merge(*parts)
+            if merged:
+                step = self._step(call, f"passed through {name or 'call'}()")
+                merged = frozenset(t.extend(step) for t in merged)
+            return merged
+
+        results: list[frozenset] = []
+        for summary in summaries:
+            if summary.sanitizes:
+                continue
+            callee_fn = self.project.function_at(summary.fid)
+            callee_params = callee_fn.params if callee_fn else []
+            is_method = bool(callee_fn and callee_fn.class_name) and (
+                site is not None and site.kind in {"method", "dispatch"}
+            )
+            offset = 1 if is_method else 0  # receiver occupies param 0 (self)
+            for index in summary.returns_params:
+                taints = _EMPTY
+                if is_method and index == 0:
+                    taints = receiver_taints
+                elif 0 <= index - offset < len(arg_taints):
+                    taints = arg_taints[index - offset]
+                elif callee_params and index < len(callee_params):
+                    taints = kw_taints.get(callee_params[index], _EMPTY)
+                if taints:
+                    step = self._step(call, f"returned by {name}()")
+                    results.append(frozenset(t.extend(step) for t in taints))
+            if summary.returns_secret:
+                step = self._step(call, f"returned by {name}() (reads {summary.secret_label!r})")
+                trace = tuple(summary.secret_trace)[: _MAX_TRACE_STEPS - 1] + (step,)
+                results.append(frozenset({Taint(summary.secret_label, trace)}))
+        return _merge(*results) if results else _EMPTY
+
+
+# --------------------------------------------------------------- summaries
+def summarize_function(
+    project: Project, fn: FunctionInfo, summaries: dict
+) -> FunctionSummary:
+    """Run the tracker over one function and compress the result."""
+    tracker = TaintTracker(project, fn, summaries=summaries, seed_params=True)
+    flow = tracker.run()
+
+    returns_params: set[int] = set()
+    returns_secret = False
+    secret_label = ""
+    secret_trace: tuple = ()
+    for event in flow.returns:
+        for taint in event.taints:
+            index = param_index(taint.label)
+            if index is not None:
+                returns_params.add(index)
+            elif not returns_secret or (
+                secret_trace and len(taint.steps) < len(secret_trace)
+            ):
+                returns_secret = True
+                secret_label = taint.label
+                secret_trace = taint.steps
+
+    returns_constant = bool(flow.return_exprs) and all(
+        expr is not None and is_constant_expr(expr) for expr in flow.return_exprs
+    )
+
+    iv_param_uses: dict[int, int] = {}
+    for event in flow.calls:
+        if event.name in ENCRYPT_NAMES:
+            for taint in event.iv_taints():
+                index = param_index(taint.label)
+                if index is not None:
+                    iv_param_uses[index] = iv_param_uses.get(index, 0) + 1
+        elif event.site is not None:
+            for callee in event.site.callees:
+                callee_summary = summaries.get(callee)
+                if not callee_summary or not callee_summary.iv_param_uses:
+                    continue
+                callee_fn = project.function_at(callee)
+                offset = 1 if (callee_fn and callee_fn.class_name) else 0
+                for pos, arg in enumerate(event.arg_taints):
+                    count = callee_summary.iv_param_uses.get(pos + offset, 0)
+                    if not count:
+                        continue
+                    for taint in arg:
+                        index = param_index(taint.label)
+                        if index is not None:
+                            iv_param_uses[index] = iv_param_uses.get(index, 0) + count
+
+    return FunctionSummary(
+        fid=fn.fid,
+        returns_params=frozenset(returns_params),
+        returns_secret=returns_secret,
+        secret_label=secret_label,
+        secret_trace=secret_trace,
+        sanitizes=is_sanitizer_name(fn.name),
+        returns_constant=returns_constant,
+        iv_param_uses=iv_param_uses,
+    )
+
+
+def compute_summaries(project: Project) -> dict:
+    """Bounded worklist fixpoint over every function in the project."""
+    summaries: dict[str, FunctionSummary] = {}
+    order = list(project.functions)
+    for _ in range(_SUMMARY_FIXPOINT_ROUNDS):
+        changed = False
+        for fid in order:
+            fn = project.functions[fid]
+            updated = summarize_function(project, fn, summaries)
+            if not updated.same_facts(summaries.get(fid)):
+                summaries[fid] = updated
+                changed = True
+            else:
+                summaries[fid] = updated
+        if not changed:
+            break
+    return summaries

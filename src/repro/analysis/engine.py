@@ -99,6 +99,23 @@ class Rule:
         }
 
 
+class ProjectRule(Rule):
+    """A rule that needs the whole-program view (call graph, summaries).
+
+    Project rules run once per analysis over the
+    :class:`~repro.analysis.callgraph.Project` instead of once per module;
+    they may report findings in any *analyzed* module (never in context
+    modules).  The engine attaches the shared taint summaries to the project
+    as ``project.summaries`` before any project rule runs.
+    """
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        return iter(())
+
+
 # --------------------------------------------------------------- AST helpers
 def terminal_name(node: ast.AST) -> str:
     """The rightmost identifier of an expression, or ``""``.
@@ -177,15 +194,34 @@ def _is_suppressed(finding: Finding, pragmas: dict[int, set[str]]) -> bool:
 
 
 # -------------------------------------------------------------------- engine
-class AnalysisEngine:
-    """Walks files, runs every rule, filters pragma-suppressed findings."""
+#: Directories (relative to cwd) whose files are parsed into the project as
+#: *context* — their call and dispatch edges count (many ECALL handlers are
+#: driven only from tests), but findings are never reported in them.
+DEFAULT_CONTEXT_PATHS = ("tests",)
 
-    def __init__(self, rules: Iterable[Rule] | None = None):
+
+class AnalysisEngine:
+    """Walks files, builds the project, runs every rule, filters pragmas.
+
+    ``apply_pragmas=False`` disables ``# repro: ignore[...]`` suppression —
+    the golden-pin test uses it so suppressed findings still count.
+    ``context_paths=None`` auto-discovers :data:`DEFAULT_CONTEXT_PATHS`;
+    pass an explicit (possibly empty) list to override.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] | None = None,
+        apply_pragmas: bool = True,
+        context_paths: Iterable[str | Path] | None = None,
+    ):
         if rules is None:
             from repro.analysis.rules import default_rules
 
             rules = default_rules()
         self.rules: list[Rule] = list(rules)
+        self.apply_pragmas = apply_pragmas
+        self.context_paths = context_paths
 
     # ------------------------------------------------------------- file walk
     def collect_files(self, paths: Iterable[str | Path]) -> list[Path]:
@@ -202,49 +238,132 @@ class AnalysisEngine:
                 files.append(path)
         return files
 
-    def analyze_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
-        findings: list[Finding] = []
-        for path in self.collect_files(paths):
-            findings.extend(self.analyze_file(path))
-        return sorted(findings)
-
-    def analyze_file(self, path: Path) -> list[Finding]:
+    @staticmethod
+    def _display(path: Path) -> str:
         try:
-            display = str(path.resolve().relative_to(Path.cwd()))
+            return str(path.resolve().relative_to(Path.cwd()))
         except ValueError:
-            display = str(path)
-        return self.analyze_source(path.read_text(encoding="utf-8"), display)
+            return str(path)
 
-    # ---------------------------------------------------------- single file
-    def analyze_source(self, source: str, display_path: str) -> list[Finding]:
-        """Analyze one source text (the unit-test entry point)."""
+    def _load_module(self, path: Path) -> "SourceModule | Finding":
+        source = path.read_text(encoding="utf-8")
+        return self._parse(source, self._display(path))
+
+    @staticmethod
+    def _parse(source: str, display_path: str) -> "SourceModule | Finding":
         lines = source.splitlines()
         try:
             tree = ast.parse(source, filename=display_path)
         except SyntaxError as exc:
-            return [
-                Finding(
-                    path=display_path,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
-                    rule="PARSE",
-                    severity=Severity.ERROR,
-                    message=f"file does not parse: {exc.msg}",
-                    text=lines[exc.lineno - 1].strip() if exc.lineno and exc.lineno <= len(lines) else "",
-                )
-            ]
-        module = SourceModule(
+            return Finding(
+                path=display_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="PARSE",
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+                text=lines[exc.lineno - 1].strip() if exc.lineno and exc.lineno <= len(lines) else "",
+            )
+        return SourceModule(
             display_path=display_path,
             source=source,
             lines=lines,
             tree=tree,
             zone=zone_for(display_path),
         )
-        pragmas = pragma_lines(lines)
-        findings = {
-            finding
-            for rule in self.rules
-            for finding in rule.check(module)
-            if not _is_suppressed(finding, pragmas)
-        }
+
+    def _context_files(self, analyzed: set[Path]) -> list[Path]:
+        roots = self.context_paths
+        if roots is None:
+            roots = [p for p in DEFAULT_CONTEXT_PATHS if Path(p).is_dir()]
+        files = self.collect_files(roots)
+        return [path for path in files if path.resolve() not in analyzed]
+
+    # -------------------------------------------------------------- analysis
+    def analyze_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        files = self.collect_files(paths)
+        analyzed_resolved = {path.resolve() for path in files}
+        modules: list[SourceModule] = []
+        findings: list[Finding] = []
+        for path in files:
+            loaded = self._load_module(path)
+            if isinstance(loaded, Finding):
+                findings.append(loaded)
+            else:
+                modules.append(loaded)
+        context: list[SourceModule] = []
+        for path in self._context_files(analyzed_resolved):
+            try:
+                loaded = self._load_module(path)
+            except OSError:
+                continue
+            if isinstance(loaded, SourceModule):
+                context.append(loaded)
+        findings.extend(self._run(modules, context))
         return sorted(findings)
+
+    def analyze_file(self, path: Path) -> list[Finding]:
+        return self.analyze_source(path.read_text(encoding="utf-8"), self._display(path))
+
+    # ---------------------------------------------------------- single file
+    def analyze_source(self, source: str, display_path: str) -> list[Finding]:
+        """Analyze one source text (the unit-test entry point).
+
+        The single module becomes a one-file project, so interprocedural
+        rules see flows between functions defined in the same fixture.
+        """
+        loaded = self._parse(source, display_path)
+        if isinstance(loaded, Finding):
+            return [loaded]
+        return self._run([loaded], [])
+
+    # ------------------------------------------------------------- rule runs
+    def build_project(self, paths: Iterable[str | Path]):
+        """The whole-program :class:`~repro.analysis.callgraph.Project` the
+        engine would analyze for ``paths`` — public entry for tests and
+        tools that need the call graph itself (no rules are run)."""
+        from repro.analysis.callgraph import Project
+
+        files = self.collect_files(paths)
+        analyzed_resolved = {path.resolve() for path in files}
+        modules = [
+            loaded
+            for loaded in (self._load_module(path) for path in files)
+            if isinstance(loaded, SourceModule)
+        ]
+        context = [
+            loaded
+            for loaded in (
+                self._load_module(path)
+                for path in self._context_files(analyzed_resolved)
+            )
+            if isinstance(loaded, SourceModule)
+        ]
+        return Project(modules, context=context)
+
+    def _run(self, modules: list[SourceModule], context: list[SourceModule]) -> list[Finding]:
+        from repro.analysis.callgraph import Project
+        from repro.analysis.dataflow import compute_summaries
+
+        project = Project(modules, context=context)
+        project.summaries = compute_summaries(project)
+
+        raw: list[Finding] = []
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                raw.extend(rule.check_project(project))
+            else:
+                for module in modules:
+                    raw.extend(rule.check(module))
+
+        if not self.apply_pragmas:
+            return sorted(set(raw))
+        pragmas_by_path = {
+            module.display_path: pragma_lines(module.lines) for module in modules
+        }
+        kept = {
+            finding
+            for finding in raw
+            if not _is_suppressed(finding, pragmas_by_path.get(finding.path, {}))
+        }
+        return sorted(kept)

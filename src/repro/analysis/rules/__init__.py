@@ -3,6 +3,9 @@
 Each rule lives in its own module; :func:`default_rules` instantiates the
 catalog in rule-id order.  Adding a rule = adding a module here and listing
 it below — the engine, CLI, baseline, and tests pick it up automatically.
+SEC001, SEC003, and SEC008-SEC010 are :class:`~repro.analysis.engine.
+ProjectRule` subclasses running on the whole-program call graph and taint
+summaries; the rest are per-module pattern rules.
 """
 
 from __future__ import annotations
@@ -14,6 +17,9 @@ from repro.analysis.rules.sec004_consttime import ConstantTimeRule
 from repro.analysis.rules.sec005_counter import CounterDisciplineRule
 from repro.analysis.rules.sec006_protocol import ProtocolStateRule
 from repro.analysis.rules.sec007_durability import DurableWriteRule
+from repro.analysis.rules.sec008_taint_return import TaintedReturnRule
+from repro.analysis.rules.sec009_lifecycle import CrossFunctionLifecycleRule
+from repro.analysis.rules.sec010_reachability import ReachabilityAuditRule
 
 ALL_RULE_CLASSES = (
     SecretFlowRule,
@@ -23,6 +29,9 @@ ALL_RULE_CLASSES = (
     CounterDisciplineRule,
     ProtocolStateRule,
     DurableWriteRule,
+    TaintedReturnRule,
+    CrossFunctionLifecycleRule,
+    ReachabilityAuditRule,
 )
 
 
@@ -41,4 +50,7 @@ __all__ = [
     "CounterDisciplineRule",
     "ProtocolStateRule",
     "DurableWriteRule",
+    "TaintedReturnRule",
+    "CrossFunctionLifecycleRule",
+    "ReachabilityAuditRule",
 ]

@@ -3,8 +3,8 @@
 Requirement R1 (Section IV): migrated and persisted state — above all the
 Migration Sealing Key — must never be disclosed.  The type system cannot see
 an MSK ride out of the enclave inside a ``print`` or an OCALL argument, so
-this rule flags any expression mentioning a secret-named identifier that
-reaches one of the sinks:
+this rule flags any value carrying secret taint that reaches one of the
+sinks:
 
 * ``print(...)`` / ``repr(...)``,
 * a ``logging``-style call (``log.info``, ``logger.error``, …),
@@ -13,80 +13,30 @@ reaches one of the sinks:
 
 Secret names are ``msk``, anything containing ``secret`` or ``fuse``,
 ``private``-suffixed names, and ``*_key`` names that are not explicitly
-public (``public_key`` and friends are fine to show).  A secret wrapped in a
-sealing/encryption call (``seal_data(msk)``, ``encrypt(..., key=...)``) is
-protected and not flagged.
+public (``public_key`` and friends are fine to show); the predicates live in
+:mod:`repro.analysis.summaries` and are shared with SEC008.
+
+Since PR-6 the rule runs on the shared taint engine
+(:mod:`repro.analysis.dataflow`) instead of a local pattern walk: a secret
+assigned through locals or *returned by a helper function* still reaches
+the sink tainted (with the def→use trace attached for ``--explain``), while
+a value that passed a sealing/AEAD/KDF sanitizer — directly or inside a
+summarized helper — is clean.
 """
 
 from __future__ import annotations
 
 import ast
-import re
 from typing import Iterator
 
-from repro.analysis.engine import Rule, SourceModule, terminal_name
-from repro.analysis.findings import Finding
-
-_SECRET_RE = re.compile(
-    r"""
-    (^|_)msk($|_)          # the Migration Sealing Key itself
-    | secret               # member_secret, fuse secrets, ...
-    | fuse                 # CPU fuse material
-    | (^|_)private($|_)    # schnorr/DH private halves
-    | (^|_)priv($|_)
-    """,
-    re.VERBOSE | re.IGNORECASE,
-)
-
-# ``*_key`` is secret unless the name marks it public.
-_KEY_RE = re.compile(r"(^|_)key$", re.IGNORECASE)
-_PUBLIC_RE = re.compile(r"public|pub($|_)|verify", re.IGNORECASE)
+from repro.analysis.engine import ProjectRule, terminal_name
+from repro.analysis.findings import Finding, TraceStep
+from repro.analysis.summaries import is_secret_name, param_index
 
 _LOG_METHODS = frozenset(
     {"debug", "info", "warning", "warn", "error", "critical", "exception", "log"}
 )
 _PLAIN_SINKS = frozenset({"print", "repr"})
-
-#: Callees that transform a secret into something safe to release.
-_PROTECTIVE_RE = re.compile(
-    r"seal|encrypt|mac|hash|digest|derive|hkdf|kdf|pseudonym|len", re.IGNORECASE
-)
-
-
-def is_secret_name(name: str) -> bool:
-    if not name:
-        return False
-    if _PUBLIC_RE.search(name):
-        return False
-    return bool(_SECRET_RE.search(name) or _KEY_RE.search(name))
-
-
-def _secret_mentions(node: ast.AST) -> Iterator[tuple[ast.AST, str]]:
-    """Yield (node, name) for secret identifiers reachable in ``node``.
-
-    Descends through the expression but stops at protective calls — a sealed
-    or hashed secret no longer leaks — and never inspects a call's *callee*
-    (``kdc.request_key(...)`` names an operation, not a value).
-    """
-    if isinstance(node, ast.Call):
-        if _PROTECTIVE_RE.search(terminal_name(node.func) or ""):
-            return
-        for arg in node.args:
-            yield from _secret_mentions(arg)
-        for kw in node.keywords:
-            yield from _secret_mentions(kw.value)
-        return
-    if isinstance(node, ast.Name):
-        if is_secret_name(node.id):
-            yield node, node.id
-        return
-    if isinstance(node, ast.Attribute):
-        if is_secret_name(node.attr):
-            yield node, node.attr
-        yield from _secret_mentions(node.value)
-        return
-    for child in ast.iter_child_nodes(node):
-        yield from _secret_mentions(child)
 
 
 def _is_log_call(func: ast.AST) -> bool:
@@ -96,7 +46,7 @@ def _is_log_call(func: ast.AST) -> bool:
     return False
 
 
-class SecretFlowRule(Rule):
+class SecretFlowRule(ProjectRule):
     rule_id = "SEC001"
     title = "Key material must not reach logging, repr, or OCALL arguments"
     requirement = "R1"
@@ -106,27 +56,56 @@ class SecretFlowRule(Rule):
         "the log statement"
     )
 
-    def check(self, module: SourceModule) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
+    def check_project(self, project) -> Iterator[Finding]:
+        from repro.analysis.dataflow import TaintTracker
+
+        summaries = getattr(project, "summaries", {})
+        for fn in project.functions.values():
+            if fn.is_context or fn.module.display_path in project.context_paths:
                 continue
-            func = node.func
-            sink_args: list[ast.AST] = []
-            kind = ""
-            if isinstance(func, ast.Name) and func.id in _PLAIN_SINKS:
-                kind, sink_args = func.id, list(node.args) + [k.value for k in node.keywords]
-            elif _is_log_call(func):
-                kind, sink_args = "logging", list(node.args) + [k.value for k in node.keywords]
-            elif isinstance(func, ast.Attribute) and func.attr == "ocall":
-                # args[0] is the OCALL name; the payload positions follow.
-                kind, sink_args = "OCALL", list(node.args[1:]) + [k.value for k in node.keywords]
-            if not kind:
-                continue
-            for arg in sink_args:
-                for _, name in _secret_mentions(arg):
-                    yield module.finding(
-                        self,
-                        node,
-                        f"secret {name!r} reaches {kind} unencrypted "
-                        f"(key material must never leave the enclave unsealed)",
-                    )
+            flow = TaintTracker(project, fn, summaries=summaries).run()
+            for event in flow.calls:
+                kind, sink_taints = self._sink_taints(event)
+                if not kind:
+                    continue
+                for taints in sink_taints:
+                    for taint in sorted(taints, key=lambda t: t.label):
+                        if param_index(taint.label) is not None:
+                            continue
+                        yield self._finding(fn, event.node, taint, kind)
+
+    # ------------------------------------------------------------------ sinks
+    def _sink_taints(self, event):
+        func = event.node.func
+        if isinstance(func, ast.Name) and func.id in _PLAIN_SINKS:
+            return func.id, list(event.arg_taints) + list(event.kw_taints.values())
+        if _is_log_call(func):
+            return "logging", list(event.arg_taints) + list(event.kw_taints.values())
+        if isinstance(func, ast.Attribute) and func.attr == "ocall":
+            # args[0] is the OCALL name; the payload positions follow.
+            return "OCALL", list(event.arg_taints[1:]) + list(event.kw_taints.values())
+        return "", []
+
+    def _finding(self, fn, node: ast.Call, taint, kind: str) -> Finding:
+        module = fn.module
+        line = getattr(node, "lineno", 1)
+        sink = TraceStep(
+            path=module.display_path,
+            line=line,
+            text=module.line_text(line),
+            note=f"reaches {kind} here",
+        )
+        return Finding(
+            path=module.display_path,
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            severity=self.severity,
+            message=(
+                f"secret {taint.label!r} reaches {kind} unencrypted "
+                f"(key material must never leave the enclave unsealed)"
+            ),
+            hint=self.fix_hint,
+            text=module.line_text(line),
+            trace=tuple(taint.steps) + (sink,),
+        )

@@ -9,10 +9,14 @@ every isolation claim the simulation makes.
 
 This rule fires in **untrusted** modules (``cloud/``, ``attacks/``,
 ``examples/``, ``benchmarks/`` — the trust-zone map in the engine) on any
-access to a ``.trusted`` attribute, read or write.  The two legitimate
-exceptions in the tree — the EINIT-analogue loader that *creates* the
-trusted instance, and a test observer documented as such — carry
-``# repro: ignore[SEC002]`` pragmas with their justification.
+access to a ``.trusted`` attribute, read or write — including through a
+one-step local alias (``e = enclave; e.trusted...``: the attribute match is
+receiver-agnostic, so aliasing does not launder the access) — and on the
+reflective spellings ``getattr(x, "trusted")`` / ``setattr(x, "trusted",
+...)`` / ``delattr(x, "trusted")`` that dodge attribute syntax entirely.
+The two legitimate exceptions in the tree — the EINIT-analogue loader that
+*creates* the trusted instance, and a test observer documented as such —
+carry ``# repro: ignore[SEC002]`` pragmas with their justification.
 """
 
 from __future__ import annotations
@@ -22,6 +26,18 @@ from typing import Iterator
 
 from repro.analysis.engine import Rule, SourceModule
 from repro.analysis.findings import Finding
+
+_REFLECTIVE = frozenset({"getattr", "setattr", "delattr"})
+
+
+def _reflective_trusted_access(node: ast.Call) -> bool:
+    return (
+        isinstance(node.func, ast.Name)
+        and node.func.id in _REFLECTIVE
+        and len(node.args) >= 2
+        and isinstance(node.args[1], ast.Constant)
+        and node.args[1].value == "trusted"
+    )
 
 
 class EnclaveBoundaryRule(Rule):
@@ -44,4 +60,12 @@ class EnclaveBoundaryRule(Rule):
                     node,
                     "untrusted code touches enclave-protected memory via "
                     "'.trusted' instead of entering through an ECALL",
+                )
+            elif isinstance(node, ast.Call) and _reflective_trusted_access(node):
+                yield module.finding(
+                    self,
+                    node,
+                    f"untrusted code touches enclave-protected memory via "
+                    f"{node.func.id}(..., 'trusted') instead of entering "
+                    "through an ECALL",
                 )

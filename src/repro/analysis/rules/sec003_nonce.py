@@ -16,6 +16,18 @@ Flagged, for calls to ``encrypt``/``seal`` (first positional argument or
 * the same IV variable used by two encrypt calls in one function without a
   reassignment in between (reuse under the same key).
 
+Since PR-6 the rule also follows the call graph (function summaries from
+:mod:`repro.analysis.dataflow`), so laundering the violation through a
+helper no longer hides it:
+
+* an IV produced by a helper whose every return is a compile-time constant
+  (``make_iv()`` → ``b"\\x00" * 12``) is a constant IV,
+* a helper that passes its parameter to an encrypt call as the IV counts as
+  an *IV use* of the caller's variable — one variable reaching two such
+  uses (two helper calls, helper + direct encrypt, or one helper that
+  encrypts twice with the same nonce parameter) without reassignment is
+  nonce reuse, exactly as if the encrypts were inline.
+
 Decryption calls are exempt: verifying with a fixed IV is the protocol
 replaying what the encryptor chose.
 """
@@ -26,7 +38,7 @@ import ast
 from typing import Iterator
 
 from repro.analysis.engine import (
-    Rule,
+    ProjectRule,
     SourceModule,
     calls_in,
     functions_of,
@@ -34,8 +46,9 @@ from repro.analysis.engine import (
     terminal_name,
 )
 from repro.analysis.findings import Finding
+from repro.analysis.summaries import ENCRYPT_NAMES
 
-_ENCRYPT_NAMES = frozenset({"encrypt", "seal"})
+_ENCRYPT_NAMES = ENCRYPT_NAMES
 
 
 def _iv_argument(call: ast.Call) -> ast.AST | None:
@@ -67,7 +80,7 @@ def _assignments_of(scope: ast.AST) -> dict[str, list[tuple[int, ast.AST]]]:
     return table
 
 
-class NonceHygieneRule(Rule):
+class NonceHygieneRule(ProjectRule):
     rule_id = "SEC003"
     title = "No constant or reused IVs in GCM/CTR encryption"
     requirement = "R1"
@@ -76,7 +89,71 @@ class NonceHygieneRule(Rule):
         "strictly increasing sequence number bound to this key"
     )
 
-    def check(self, module: SourceModule) -> Iterator[Finding]:
+    def check_project(self, project) -> Iterator[Finding]:
+        self._project = project
+        self._summaries = getattr(project, "summaries", {})
+        self._site_cache = None
+        for module in project.analyzed_modules():
+            yield from self._check_module(module)
+
+    # ----------------------------------------------------- summary helpers
+    def _call_summaries(self, module: SourceModule, call: ast.Call) -> list:
+        """Summaries of the project functions this call resolves to."""
+        site = self._sites_by_module(module).get(id(call))
+        if site is None:
+            return []
+        return [
+            self._summaries[callee]
+            for callee in site.callees
+            if callee in self._summaries
+        ]
+
+    def _sites_by_module(self, module: SourceModule) -> dict:
+        cache = getattr(self, "_site_cache", None)
+        if cache is None:
+            cache = {}
+            for site in self._project.call_sites:
+                cache.setdefault(site.module.display_path, {})[id(site.node)] = site
+            self._site_cache = cache
+        return cache.get(module.display_path, {})
+
+    def _returns_constant(self, module: SourceModule, expr: ast.AST) -> bool:
+        """Is ``expr`` a call to a helper whose every return is constant?"""
+        if not isinstance(expr, ast.Call):
+            return False
+        summaries = self._call_summaries(module, expr)
+        return bool(summaries) and all(s.returns_constant for s in summaries)
+
+    def _helper_iv_uses(self, module: SourceModule, call: ast.Call) -> dict[str, int]:
+        """variable name → number of encrypt calls it reaches as the IV
+        *inside* the called helper (via the helper's summary)."""
+        summaries = self._call_summaries(module, call)
+        if not summaries:
+            return {}
+        uses: dict[str, int] = {}
+        for summary in summaries:
+            callee_fn = self._project.function_at(summary.fid)
+            if callee_fn is None or not summary.iv_param_uses:
+                continue
+            offset = 1 if callee_fn.class_name else 0
+            for pos, arg in enumerate(call.args):
+                if not isinstance(arg, ast.Name):
+                    continue
+                count = summary.iv_param_uses.get(pos + offset, 0)
+                if count:
+                    uses[arg.id] = uses.get(arg.id, 0) + count
+            params = callee_fn.params
+            for kw in call.keywords:
+                if kw.arg is None or not isinstance(kw.value, ast.Name):
+                    continue
+                if kw.arg in params:
+                    count = summary.iv_param_uses.get(params.index(kw.arg), 0)
+                    if count:
+                        uses[kw.value.id] = uses.get(kw.value.id, 0) + count
+        return uses
+
+    # ------------------------------------------------------------- checking
+    def _check_module(self, module: SourceModule) -> Iterator[Finding]:
         scopes: list[ast.AST] = [module.tree, *functions_of(module.tree)]
         seen_bodies: set[int] = set()
         for scope in scopes:
@@ -84,49 +161,103 @@ class NonceHygieneRule(Rule):
                 continue
             seen_bodies.add(id(scope))
             assignments = _assignments_of(scope)
-            # last encrypt call line per IV variable name, for reuse detection
+            # cumulative IV-use count per variable name, for reuse detection
+            use_count: dict[str, int] = {}
             last_use: dict[str, int] = {}
             for call in calls_in(scope):
                 if isinstance(scope, ast.Module) and self._inside_function(module, call):
                     continue  # handled in the function's own scope pass
                 name = terminal_name(call.func)
-                if name not in _ENCRYPT_NAMES:
-                    continue
-                iv = _iv_argument(call)
-                if iv is None:
-                    continue
-                if is_constant_expr(iv):
-                    yield module.finding(
-                        self,
-                        call,
-                        f"constant IV passed to {name}() — GCM/CTR security "
-                        "requires a unique IV per encryption under one key",
+                if name in _ENCRYPT_NAMES:
+                    yield from self._check_encrypt(
+                        module, call, name, assignments, use_count, last_use
                     )
                     continue
-                if not isinstance(iv, ast.Name):
-                    continue
-                history = assignments.get(iv.id, [])
-                before = [entry for entry in history if entry[0] <= call.lineno]
-                if before and is_constant_expr(before[-1][1]):
-                    yield module.finding(
-                        self,
-                        call,
-                        f"IV variable {iv.id!r} holds a compile-time constant "
-                        f"at this {name}() call",
+                # A call to a helper that encrypts with a parameter as the
+                # IV is an IV *use* of the variables passed to it.
+                for var, count in self._helper_iv_uses(module, call).items():
+                    yield from self._account_uses(
+                        module, call, f"{name} (helper)", var, count,
+                        assignments, use_count, last_use,
                     )
-                    continue
-                previous = last_use.get(iv.id)
-                if previous is not None:
-                    reassigned = any(previous < line <= call.lineno for line, _ in history)
-                    if not reassigned:
-                        yield module.finding(
-                            self,
-                            call,
-                            f"IV variable {iv.id!r} reused by a second "
-                            f"{name}() call without reassignment (nonce reuse)",
-                        )
-                last_use[iv.id] = call.lineno
         return
+
+    def _check_encrypt(
+        self, module, call, name, assignments, use_count, last_use
+    ) -> Iterator[Finding]:
+        iv = _iv_argument(call)
+        if iv is None:
+            return
+        if is_constant_expr(iv):
+            yield module.finding(
+                self,
+                call,
+                f"constant IV passed to {name}() — GCM/CTR security "
+                "requires a unique IV per encryption under one key",
+            )
+            return
+        if self._returns_constant(module, iv):
+            yield module.finding(
+                self,
+                call,
+                f"IV passed to {name}() comes from "
+                f"{terminal_name(iv.func)}(), whose every return is a "
+                "compile-time constant — a constant IV by one hop",
+            )
+            return
+        if not isinstance(iv, ast.Name):
+            return
+        history = assignments.get(iv.id, [])
+        before = [entry for entry in history if entry[0] <= call.lineno]
+        if before and is_constant_expr(before[-1][1]):
+            yield module.finding(
+                self,
+                call,
+                f"IV variable {iv.id!r} holds a compile-time constant "
+                f"at this {name}() call",
+            )
+            return
+        if before and self._returns_constant(module, before[-1][1]):
+            yield module.finding(
+                self,
+                call,
+                f"IV variable {iv.id!r} holds the result of "
+                f"{terminal_name(before[-1][1].func)}(), whose every return "
+                "is a compile-time constant — a constant IV by one hop",
+            )
+            return
+        yield from self._account_uses(
+            module, call, name, iv.id, 1, assignments, use_count, last_use
+        )
+
+    def _account_uses(
+        self, module, call, name, var, count, assignments, use_count, last_use
+    ) -> Iterator[Finding]:
+        history = assignments.get(var, [])
+        previous = last_use.get(var)
+        if previous is not None:
+            reassigned = any(previous < line <= call.lineno for line, _ in history)
+            if reassigned:
+                use_count[var] = 0
+        total = use_count.get(var, 0) + count
+        if total >= 2 and use_count.get(var, 0) < 2:
+            if count >= 2:
+                yield module.finding(
+                    self,
+                    call,
+                    f"IV variable {var!r} reaches {count} encrypt calls "
+                    f"inside {name}() with no reassignment possible "
+                    "(nonce reuse through a helper)",
+                )
+            else:
+                yield module.finding(
+                    self,
+                    call,
+                    f"IV variable {var!r} reused by a second "
+                    f"{name}() call without reassignment (nonce reuse)",
+                )
+        use_count[var] = total
+        last_use[var] = call.lineno
 
     @staticmethod
     def _inside_function(module: SourceModule, call: ast.Call) -> bool:

@@ -1,0 +1,455 @@
+"""SEC009 — the migration lifecycle must hold across function boundaries.
+
+SEC006 checks the Migration Library state machine *inside one function*;
+the cloning-attack literature shows real protocol bugs hide exactly one
+call deeper — a helper that calls ``migration_start`` on a library the
+caller never initialized, or a snapshot helper that seals state before the
+caller's counter increment.  This rule abstract-interprets the same machine
+over *inlined call paths*: every analyzed function's lifecycle events are
+collected together with the events of the project functions it calls
+(depth-limited, cycle-guarded), with receivers unified across the call —
+``helper(lib)`` operating on its parameter is understood to operate on the
+caller's ``lib``, and ``app.do_start()`` touching ``self.miglib`` is
+understood to touch ``app.miglib``.  ``Enclave.ecall("migration_start")``
+string dispatch follows the call-graph's dispatch edge into the ``@ecall``
+method.  (The ME-side ``stage_out``/``flush_staged``/DONE commands are
+driven by ``migration_start(defer_transfer=...)`` / ``confirm_migration``
+and are covered through those edges.)
+
+The machine (states per receiver)::
+
+    UNINIT --migration_init--> READY --migration_start--> FROZEN
+    READY  --op/confirm------> READY
+    FROZEN --migration_start-> FROZEN            (Section V-D retry)
+
+Flagged — only for *definitely known* states, and only when the offending
+path spans at least two functions (single-function cases are SEC006's and
+SEC005's, so nothing is reported twice):
+
+* an operation or ``migration_start`` on a receiver that is still UNINIT
+  (constructed but never initialized on this path),
+* a second ``migration_init``, or any operation after the freeze,
+* sealed state *released* by one function before the counter *increment*
+  that happens later in another (the cross-function Section III rollback
+  window SEC005 cannot see).
+
+Unknown states stay silent: a receiver that merely arrives as a parameter
+has an unknown history, and the library's own runtime checks guard it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.engine import ProjectRule, terminal_name
+from repro.analysis.findings import Finding, TraceStep
+
+_INLINE_DEPTH = 3
+
+_INITS = frozenset({"migration_init"})
+_STARTS = frozenset({"migration_start"})
+_CONFIRMS = frozenset({"confirm_migration"})
+_OPS = frozenset(
+    {
+        "seal_migratable_data",
+        "unseal_migratable_data",
+        "create_migratable_counter",
+        "destroy_migratable_counter",
+        "increment_migratable_counter",
+        "read_migratable_counter",
+    }
+)
+_RELEASES = frozenset({"seal_data", "seal_migratable_data"})
+_INCREMENTS = frozenset({"increment_migratable_counter", "increment_monotonic_counter"})
+
+_EDGES = {
+    ("UNINIT", "init"): "READY",
+    ("READY", "op"): "READY",
+    ("READY", "confirm"): "READY",
+    ("READY", "start"): "FROZEN",
+    ("FROZEN", "start"): "FROZEN",
+}
+
+#: What an event does to an UNKNOWN-state receiver (no violation, but the
+#: *result* state is known afterwards).
+_FROM_UNKNOWN = {"init": "READY", "start": "FROZEN"}
+
+
+def _event_kind(method: str) -> str | None:
+    if method in _INITS:
+        return "init"
+    if method in _STARTS:
+        return "start"
+    if method in _CONFIRMS:
+        return "confirm"
+    if method in _OPS:
+        return "op"
+    return None
+
+
+@dataclass
+class Event:
+    kind: str  # new | kill | init | start | confirm | op | release | increment
+    key: str | None  # receiver key ("" for key-less release/increment events)
+    node: ast.AST  # the event's own AST node (in fid's module)
+    fid: str  # function the event physically occurs in
+    site_node: ast.AST | None = None  # caller-level call that inlined it
+    site_fid: str = ""
+    maybe: bool = False  # inside a try body: may not have happened
+
+
+def _key_of(expr: ast.AST) -> str | None:
+    """A stable receiver key: ``lib`` → ``"lib"``, ``self.miglib`` →
+    ``"self.miglib"``, ``app.lib`` → ``"app.lib"``; anything else → None."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = _key_of(expr.value)
+        return f"{base}.{expr.attr}" if base is not None else None
+    return None
+
+
+class CrossFunctionLifecycleRule(ProjectRule):
+    rule_id = "SEC009"
+    title = "Migration lifecycle order must hold across all call paths"
+    requirement = "R3"
+    fix_hint = (
+        "drive the library as migration_init -> operations -> "
+        "migration_start on every call path, and increment the counter "
+        "before any helper releases sealed state"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        self._project = project
+        for fn in project.functions.values():
+            if fn.is_context:
+                continue
+            if fn.module.display_path in project.context_paths:
+                continue
+            events = self._events_for(fn, depth=0, visited=frozenset())
+            if not events:
+                continue
+            yield from self._simulate(fn, events)
+            yield from self._check_release_order(fn, events)
+
+    # ------------------------------------------------------- event extraction
+    def _events_for(self, fn, depth: int, visited: frozenset) -> list[Event]:
+        if fn.fid in visited:
+            return []
+        visited = visited | {fn.fid}
+        project = self._project
+        events: list[Event] = []
+        items: list[tuple[int, int, ast.AST]] = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.Assign, ast.Call)):
+                items.append((node.lineno, getattr(node, "col_offset", 0), node))
+        items.sort(key=lambda item: (item[0], item[1]))
+        try_lines = self._try_body_lines(fn)
+        seen_calls: set[int] = set()
+        for _, _, node in items:
+            if isinstance(node, ast.Assign):
+                # `x = f(x)`: f's events happen *before* the rebinding of x,
+                # so drain the RHS calls first, then emit the kill/new.
+                for inner in ast.walk(node.value):
+                    if isinstance(inner, ast.Call) and id(inner) not in seen_calls:
+                        seen_calls.add(id(inner))
+                        events.extend(
+                            self._call_events(fn, inner, depth, visited, try_lines)
+                        )
+                events.extend(self._assign_events(fn, node))
+                continue
+            if id(node) in seen_calls:
+                continue
+            seen_calls.add(id(node))
+            events.extend(self._call_events(fn, node, depth, visited, try_lines))
+        return events
+
+    @staticmethod
+    def _try_body_lines(fn) -> list[tuple[int, int]]:
+        """Line ranges of ``try`` bodies: a lifecycle call there *may* have
+        raised, so the state it would establish is not definite."""
+        ranges = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Try) and node.body:
+                last = node.body[-1]
+                ranges.append((node.body[0].lineno, last.end_lineno or last.lineno))
+        return ranges
+
+    def _assign_events(self, fn, node: ast.Assign) -> list[Event]:
+        is_construction = (
+            isinstance(node.value, ast.Call)
+            and terminal_name(node.value.func) == "MigrationLibrary"
+        )
+        events = []
+        for target in node.targets:
+            key = _key_of(target)
+            if key is None:
+                continue
+            events.append(
+                Event(kind="new" if is_construction else "kill", key=key, node=node, fid=fn.fid)
+            )
+        return events
+
+    def _call_events(
+        self, fn, call: ast.Call, depth: int, visited: frozenset, try_lines=()
+    ) -> list[Event]:
+        project = self._project
+        events: list[Event] = []
+        method = None
+        receiver_key = None
+        dispatch = False
+        if isinstance(call.func, ast.Attribute):
+            if (
+                call.func.attr == "ecall"
+                and call.args
+                and isinstance(call.args[0], ast.Constant)
+                and isinstance(call.args[0].value, str)
+            ):
+                method = call.args[0].value
+                receiver_key = _key_of(call.func.value)
+                dispatch = True
+            else:
+                method = call.func.attr
+                receiver_key = _key_of(call.func.value)
+        elif isinstance(call.func, ast.Name):
+            method = call.func.id
+
+        maybe = any(lo <= call.lineno <= hi for lo, hi in try_lines)
+        is_api_call = False
+        if method is not None and receiver_key is not None:
+            kind = _event_kind(method)
+            if kind is not None:
+                is_api_call = True
+                events.append(
+                    Event(kind=kind, key=receiver_key, node=call, fid=fn.fid, maybe=maybe)
+                )
+            if method in _RELEASES:
+                is_api_call = True
+                events.append(Event(kind="release", key="", node=call, fid=fn.fid))
+            if method in _INCREMENTS:
+                is_api_call = True
+                events.append(Event(kind="increment", key="", node=call, fid=fn.fid))
+
+        # Inline the callee's events with receivers mapped into our frame.
+        # A direct library-API call is atomic — its event above *is* its
+        # model; inlining MigrationLibrary's implementation would re-count
+        # the library's internal `_persist` against every caller.  The
+        # ECALL dispatch edge still inlines: the event there is on the
+        # *enclave* key and the wrapper's `self.miglib.*` is the real op.
+        if is_api_call and not dispatch:
+            return events
+        if depth >= _INLINE_DEPTH:
+            return events
+        sites = [
+            site
+            for site in project.calls_by_caller.get(fn.fid, ())
+            if site.node is call and site.callees
+        ]
+        for site in sites:
+            callee = project.function_at(site.callees[0])
+            if callee is None or callee.fid in visited:
+                continue
+            sub = self._events_for(callee, depth + 1, visited)
+            if not sub:
+                continue
+            mapping = self._frame_mapping(fn, call, callee, dispatch)
+            for event in sub:
+                mapped = self._map_key(event.key, mapping, callee)
+                if mapped is _DROP:
+                    continue
+                events.append(
+                    Event(
+                        kind=event.kind,
+                        key=mapped,
+                        node=event.node,
+                        fid=event.fid,
+                        # Always re-anchor to *this* frame's call: after the
+                        # last mapping the site is a node in the root
+                        # function's own module, so path and line agree.
+                        site_node=call,
+                        site_fid=fn.fid,
+                        maybe=event.maybe or maybe,
+                    )
+                )
+        return events
+
+    def _frame_mapping(self, fn, call: ast.Call, callee, dispatch: bool) -> dict:
+        """callee-frame key prefix → caller-frame key prefix."""
+        mapping: dict[str, str | None] = {}
+        params = callee.params
+        if callee.class_name is not None and params and params[0] == "self":
+            receiver = None
+            if isinstance(call.func, ast.Attribute):
+                receiver = _key_of(call.func.value)
+            mapping["self"] = receiver  # None → unmapped, kept opaque
+            params = params[1:]
+        args = list(call.args)
+        if dispatch:
+            args = args[1:]  # args[0] is the ECALL name
+        for index, param in enumerate(params):
+            if index < len(args):
+                mapping[param] = _key_of(args[index])
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in callee.params:
+                mapping[kw.arg] = _key_of(kw.value)
+        return mapping
+
+    def _map_key(self, key: str | None, mapping: dict, callee):
+        if key is None:
+            return None
+        if key == "":
+            return ""  # key-less release/increment events pass through
+        head, _, rest = key.partition(".")
+        if head in mapping:
+            target = mapping[head]
+            if target is None:
+                return _DROP  # receiver not expressible in the caller's frame
+            return f"{target}.{rest}" if rest else target
+        # Callee-local receiver: its whole lifecycle is judged when the
+        # callee is analyzed as a root; re-simulating it here (possibly from
+        # several call sites of the same callee) only double-reports.
+        return _DROP
+
+    # ------------------------------------------------------------ simulation
+    def _simulate(self, fn, events: list[Event]) -> Iterator[Finding]:
+        project = self._project
+        state: dict[str, str] = {}
+        fids_per_key: dict[str, set] = {}
+        for event in events:
+            if event.key in (None, ""):
+                continue
+            key = event.key
+            fids_per_key.setdefault(key, set()).add(event.fid)
+            if event.kind == "new":
+                state[key] = "UNINIT"
+                continue
+            if event.kind == "kill":
+                # Rebinding `enclave` invalidates `enclave.miglib` too.
+                state[key] = "UNKNOWN"
+                prefix = key + "."
+                for other in list(state):
+                    if other.startswith(prefix):
+                        state[other] = "UNKNOWN"
+                continue
+            current = state.get(key, "UNKNOWN")
+            if event.maybe:
+                # Inside a try body the call may have raised; whatever state
+                # it would establish is not definite.
+                state[key] = "UNKNOWN"
+                continue
+            if current == "UNKNOWN":
+                state[key] = _FROM_UNKNOWN.get(event.kind, "UNKNOWN")
+                continue
+            next_state = _EDGES.get((current, event.kind))
+            if next_state is not None:
+                state[key] = next_state
+                continue
+            # Definite violation; only ours if the path is cross-function.
+            if len(fids_per_key[key]) < 2:
+                continue
+            yield self._violation_finding(fn, event, current)
+            # Leave the state unchanged; later events are re-judged.
+
+    def _violation_finding(self, fn, event: Event, current: str) -> Finding:
+        project = self._project
+        inner = project.function_at(event.fid)
+        site_node = event.site_node if event.site_node is not None else event.node
+        line = getattr(site_node, "lineno", 1)
+        trace = []
+        if event.site_node is not None and inner is not None:
+            inner_line = getattr(event.node, "lineno", 1)
+            trace.append(
+                TraceStep(
+                    path=inner.module.display_path,
+                    line=inner_line,
+                    text=inner.module.line_text(inner_line),
+                    note=f"lifecycle event {event.kind!r} inside {inner.qualname}()",
+                )
+            )
+        trace.append(
+            TraceStep(
+                path=fn.module.display_path,
+                line=line,
+                text=fn.module.line_text(line),
+                note=f"reached from here with {event.key!r} in state {current}",
+            )
+        )
+        pretty = {"init": "migration_init", "start": "migration_start",
+                  "confirm": "confirm_migration", "op": "library operation"}
+        return Finding(
+            path=fn.module.display_path,
+            line=line,
+            col=getattr(site_node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            severity=self.severity,
+            message=(
+                f"illegal {pretty.get(event.kind, event.kind)} on {event.key!r} "
+                f"in state {current} on a cross-function path (legal: "
+                "UNINIT-init->READY, READY-op->READY, READY-start->FROZEN, "
+                "FROZEN-start->FROZEN)"
+            ),
+            hint=self.fix_hint,
+            text=fn.module.line_text(line),
+            trace=tuple(trace),
+        )
+
+    # ----------------------------------------------- cross-function rollback
+    def _check_release_order(self, fn, events: list[Event]) -> Iterator[Finding]:
+        # Only the root's *own* increment is judged — a release buried in a
+        # helper before it is the cross-function window.  Increments inlined
+        # from callees are those callees' transactions, judged there.
+        releases = [e for e in events if e.kind == "release"]
+        increments = [e for e in events if e.kind == "increment" and e.fid == fn.fid]
+        if not releases or not increments:
+            return
+        first_release = releases[0]
+        position = events.index(first_release)
+        if any(events.index(e) < position for e in increments):
+            return  # an increment precedes the first release: discipline held
+        late = increments[0]
+        if first_release.fid == late.fid:
+            return  # same function: SEC005's finding, not ours
+        project = self._project
+        release_fn = project.function_at(first_release.fid)
+        line = getattr(late.site_node or late.node, "lineno", 1)
+        release_line = getattr(first_release.node, "lineno", 1)
+        trace = []
+        if release_fn is not None:
+            trace.append(
+                TraceStep(
+                    path=release_fn.module.display_path,
+                    line=release_line,
+                    text=release_fn.module.line_text(release_line),
+                    note=f"sealed state released in {release_fn.qualname}()",
+                )
+            )
+        trace.append(
+            TraceStep(
+                path=fn.module.display_path,
+                line=line,
+                text=fn.module.line_text(line),
+                note="counter incremented only here, after the release",
+            )
+        )
+        yield Finding(
+            path=fn.module.display_path,
+            line=line,
+            col=getattr(late.site_node or late.node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            severity=self.severity,
+            message=(
+                "sealed state is released (via "
+                f"{release_fn.qualname if release_fn else 'helper'}) before "
+                "this counter increment — a crash between them leaves a "
+                "replayable stale blob (cross-function Section III rollback)"
+            ),
+            hint=self.fix_hint,
+            text=fn.module.line_text(line),
+            trace=tuple(trace),
+        )
+
+
+#: Sentinel for receiver keys that cannot be expressed in the caller frame.
+_DROP = object()

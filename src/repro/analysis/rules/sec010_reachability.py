@@ -1,0 +1,175 @@
+"""SEC010 — audit the attack surface the call graph actually exposes.
+
+The enclave programming model promises that execution enters trusted code
+*only* through declared ``@ecall`` entry points (``sgx/enclave.py`` enforces
+it at runtime).  The static mirror of that promise is a reachability
+question over the project call graph, and its two failure modes are both
+audit findings rather than outright bugs — hence WARNING severity:
+
+* **Unreachable trusted code**: a trusted-zone function that no ``@ecall``
+  entry, constructor, lifecycle hook, or untrusted/context caller can reach.
+  Dead trusted code still gets measured into MRENCLAVE and still gets
+  reviewed as if it ran; unreachable protocol handlers are how stale
+  state-machine arms rot unnoticed.
+* **Dead protocol handler**: an ``@ecall``-decorated method whose name never
+  appears in any ``Enclave.ecall("name", ...)`` dispatch site anywhere in
+  the project (tests and examples included).  An entry point nobody
+  dispatches is attack surface with zero legitimate users — exactly what a
+  reviewer should be asked about.
+
+Roots for the reachability sweep: every ``@ecall`` method, ``__init__`` /
+``on_load`` (run by the loader), every function defined in untrusted or
+context modules (the adversary can call whatever it wants on its own side),
+every module-level call, and Python's implicit entry points (dunders,
+properties — the interpreter calls those without a visible edge).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ProjectRule
+from repro.analysis.findings import Finding, Severity
+
+#: Methods the runtime/loader calls implicitly — always roots.
+_IMPLICIT_ENTRIES = frozenset({"__init__", "on_load"})
+
+#: Decorators that make a method an implicit entry point for the runtime.
+_ENTRY_DECORATORS = frozenset({"property", "cached_property", "staticmethod", "classmethod"})
+
+
+def _decorator_names(node) -> set[str]:
+    names = set()
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Name):
+            names.add(decorator.id)
+        elif isinstance(decorator, ast.Attribute):
+            names.add(decorator.attr)
+        elif isinstance(decorator, ast.Call):
+            names.update(_decorator_names_of(decorator.func))
+    return names
+
+
+def _decorator_names_of(node) -> set[str]:
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, ast.Attribute):
+        return {node.attr}
+    return set()
+
+
+class ReachabilityAuditRule(ProjectRule):
+    rule_id = "SEC010"
+    severity = Severity.WARNING
+    title = "Trusted code must be reachable from an ECALL entry; every ECALL must have a dispatcher"
+    requirement = "R2"
+    fix_hint = (
+        "delete the dead code, or wire it to a declared entry point; if it "
+        "is a planned handler, say so in a pragma justification"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        enclave_fids = {
+            fid
+            for info in project.enclave_classes()
+            for fid in info.methods.values()
+        }
+        if not enclave_fids:
+            return  # no ECALL surface in scope: the audit is meaningless
+        roots = self._roots(project)
+        reachable = project.reachable_from(roots)
+        yield from self._unreachable_trusted(project, reachable, enclave_fids)
+        yield from self._dead_handlers(project)
+
+    # ----------------------------------------------------------------- roots
+    def _roots(self, project) -> set[str]:
+        roots: set[str] = set()
+        for fid, fn in project.functions.items():
+            if fn.is_ecall or fn.name in _IMPLICIT_ENTRIES:
+                roots.add(fid)
+            elif fn.is_context or fn.module.zone == "untrusted":
+                roots.add(fid)
+            elif fn.name.startswith("__") and fn.name.endswith("__"):
+                roots.add(fid)  # dunders: the interpreter is the caller
+            elif _ENTRY_DECORATORS & _decorator_names(fn.node):
+                roots.add(fid)  # properties etc. have no visible call edge
+        # Module-level call sites run at import time.
+        for site in project.calls_by_caller.get("", ()):
+            roots.update(site.callees)
+        return roots
+
+    # ---------------------------------------------------- unreachable trusted
+    def _unreachable_trusted(
+        self, project, reachable: set[str], enclave_fids: set[str]
+    ) -> Iterator[Finding]:
+        """Audit the in-enclave surface: methods of classes that declare at
+        least one ``@ecall`` (that is what gets measured and runs inside)."""
+        for fid in sorted(enclave_fids):
+            fn = project.function_at(fid)
+            if fn is None or fid in reachable or fn.is_context:
+                continue
+            if fn.module.zone != "trusted":
+                continue
+            if fn.module.display_path in project.context_paths:
+                continue
+            if self._overrides_reachable(project, fn, reachable):
+                continue  # virtual dispatch: the base hook is what is called
+            module = fn.module
+            line = fn.node.lineno
+            yield Finding(
+                path=module.display_path,
+                line=line,
+                col=fn.node.col_offset + 1,
+                rule=self.rule_id,
+                severity=self.severity,
+                message=(
+                    f"trusted method {fn.qualname!r} is unreachable from "
+                    "every ECALL entry, constructor, hook, and untrusted "
+                    "caller — dead trusted code is unaudited attack surface"
+                ),
+                hint=self.fix_hint,
+                text=module.line_text(line),
+            )
+
+    @staticmethod
+    def _overrides_reachable(project, fn, reachable: set[str]) -> bool:
+        """An override of a reachable base-class method is itself reachable:
+        ``self.get_memory_image()`` in the Gu base class dispatches to
+        whichever subclass the enclave actually is."""
+        if fn.class_name is None:
+            return False
+        for info in project.mro(fn.class_name):
+            other = info.methods.get(fn.name)
+            if other is not None and other != fn.fid and other in reachable:
+                return True
+        return False
+
+    # --------------------------------------------------------- dead handlers
+    def _dead_handlers(self, project) -> Iterator[Finding]:
+        for name, fids in sorted(project.ecall_methods.items()):
+            if name in project.dispatch_sites:
+                continue
+            for fid in fids:
+                fn = project.function_at(fid)
+                if fn is None or fn.is_context:
+                    continue
+                if fn.module.display_path in project.context_paths:
+                    continue
+                module = fn.module
+                line = fn.node.lineno
+                yield Finding(
+                    path=module.display_path,
+                    line=line,
+                    col=fn.node.col_offset + 1,
+                    rule=self.rule_id,
+                    severity=self.severity,
+                    message=(
+                        f"ECALL handler {fn.qualname!r} is never dispatched: "
+                        f'no Enclave.ecall("{name}", ...) site exists anywhere '
+                        "in the project — entry points without users are "
+                        "unreviewed attack surface"
+                    ),
+                    hint=self.fix_hint,
+                    text=module.line_text(line),
+                )

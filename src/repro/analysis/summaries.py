@@ -1,0 +1,112 @@
+"""Function summaries: the interprocedural compression of the taint engine.
+
+A :class:`FunctionSummary` is everything a *caller* needs to know about a
+callee without re-analyzing its body at every call site:
+
+* ``returns_params`` — which parameter positions' taint flows to the return
+  value (``def ident(x): return x`` → ``{0}``);
+* ``returns_secret`` / ``secret_label`` / ``secret_trace`` — the function
+  returns a value derived from a secret it read itself (``return self.msk``),
+  with the def→use steps that prove it;
+* ``sanitizes`` — the function is a *sanitizer*: its output is safe to
+  release even if its inputs were secret (sealing, AEAD encryption, MACs,
+  hashes, key derivation, constant-time comparison);
+* ``returns_constant`` — every return statement yields a compile-time
+  constant (a constant-IV factory, from SEC003's point of view);
+* ``iv_param_uses`` — parameter position → number of ``encrypt``/``seal``
+  calls that parameter transitively reaches *as the IV argument* (so a
+  helper that encrypts twice with one nonce parameter is visible to its
+  caller as a nonce reuse of count 2).
+
+Summaries are computed to a bounded fixpoint over the call graph by
+:func:`repro.analysis.dataflow.compute_summaries` — recursion and unresolved
+calls degrade to the conservative "taint passes through arguments" default,
+never to "safe".
+
+The **sanitizer set** is name-based and deliberately small (see DESIGN.md
+§13): ``seal`` / AEAD ``encrypt`` / ``mac`` / ``hash`` / ``digest`` /
+``derive``-``hkdf``-``kdf`` / ``pseudonym`` / ``constant_time`` compare /
+``len``, plus ``public``/``verify``-named accessors (a public half is not a
+secret).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: Callees whose *result* is safe to release even when arguments are secret.
+SANITIZER_RE = re.compile(
+    r"seal|encrypt|mac$|hmac|mac_|hash|digest|derive|hkdf|kdf|pseudonym"
+    r"|constant_time|len$|public|verify|(^|_)sign($|_)",
+    re.IGNORECASE,
+)
+
+#: AEAD entry points whose first positional / ``iv=``/``nonce=`` argument is
+#: the nonce SEC003 polices.
+ENCRYPT_NAMES = frozenset({"encrypt", "seal"})
+
+# --------------------------------------------------------------- secret names
+_SECRET_RE = re.compile(
+    r"""
+    (^|_)msk($|_)          # the Migration Sealing Key itself
+    | secret               # member_secret, fuse secrets, ...
+    | fuse                 # CPU fuse material
+    | (^|_)private($|_)    # schnorr/DH private halves
+    | (^|_)priv($|_)
+    """,
+    re.VERBOSE | re.IGNORECASE,
+)
+
+# ``*_key`` is secret unless the name marks it public.
+_KEY_RE = re.compile(r"(^|_)key$", re.IGNORECASE)
+_PUBLIC_RE = re.compile(r"public|pub($|_)|verify", re.IGNORECASE)
+
+
+def is_secret_name(name: str) -> bool:
+    """Does this identifier name key material (R1's protected class)?"""
+    if not name:
+        return False
+    if _PUBLIC_RE.search(name):
+        return False
+    return bool(_SECRET_RE.search(name) or _KEY_RE.search(name))
+
+
+def is_sanitizer_name(name: str) -> bool:
+    return bool(name) and bool(SANITIZER_RE.search(name))
+
+
+#: Label prefix for parameter-marker taints used during summary computation.
+PARAM_LABEL = "<param:{index}>"
+_PARAM_RE = re.compile(r"^<param:(\d+)>$")
+
+
+def param_index(label: str) -> int | None:
+    """``"<param:2>"`` → ``2``; ``None`` for non-marker labels."""
+    match = _PARAM_RE.match(label)
+    return int(match.group(1)) if match else None
+
+
+@dataclass
+class FunctionSummary:
+    """Caller-visible dataflow facts about one function."""
+
+    fid: str
+    returns_params: frozenset[int] = frozenset()
+    returns_secret: bool = False
+    secret_label: str = ""
+    secret_trace: tuple = ()  # tuple[TraceStep, ...]
+    sanitizes: bool = False
+    returns_constant: bool = False
+    iv_param_uses: dict[int, int] = field(default_factory=dict)
+
+    def same_facts(self, other: "FunctionSummary | None") -> bool:
+        """Fixpoint comparison (traces excluded: they stabilize with facts)."""
+        return (
+            other is not None
+            and self.returns_params == other.returns_params
+            and self.returns_secret == other.returns_secret
+            and self.sanitizes == other.sanitizes
+            and self.returns_constant == other.returns_constant
+            and self.iv_param_uses == other.iv_param_uses
+        )

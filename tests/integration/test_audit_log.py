@@ -28,9 +28,12 @@ class TestAuditLog:
         enclave.ecall("log_init")
         enclave.ecall("append", b"login alice")
         sealed = enclave.ecall("append", b"delete record 7")
+        head_before = enclave.ecall("head")
         enclave = app.restart()
         assert enclave.ecall("load", sealed) == 2
         assert enclave.ecall("entries") == [b"login alice", b"delete record 7"]
+        # the hash chain is part of the persisted state: same head after reload
+        assert enclave.ecall("head") == head_before
 
     def test_truncation_rejected(self, world):
         dc, (machine_a, *_), key = world

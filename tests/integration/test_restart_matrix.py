@@ -42,6 +42,22 @@ class TestTeechanLifecycle:
         # the unpersisted payment is gone: balances back to the snapshot
         assert enclave.ecall("balances") == (100, 0)
 
+    def test_bidirectional_channel_between_enclaves(self, world):
+        """Two enclave endpoints: payments flow through ECALL dispatch on
+        both sides (pay on one, receive on the other)."""
+        dc, machine_a, machine_b = world
+        key = SigningKey.generate(dc.rng.child("dev"))
+        alice = MigratableApp.deploy(dc, machine_a, TeechanSecure, key).start_new()
+        bob = MigratableApp.deploy(dc, machine_b, TeechanSecure, key).start_new()
+        alice.ecall("open_channel", KEY, 100, 0)
+        bob.ecall("open_channel", KEY, 0, 100)
+        assert bob.ecall("receive", alice.ecall("pay", 30)) == 30
+        assert alice.ecall("balances") == (70, 30)
+        assert bob.ecall("balances") == (30, 70)
+        # and back the other way
+        assert alice.ecall("receive", bob.ecall("pay", 5)) == 5
+        assert alice.ecall("balances") == (75, 25)
+
     def test_persist_restart_cycles(self, world):
         dc, machine_a, _ = world
         key = SigningKey.generate(dc.rng.child("dev"))
