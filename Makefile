@@ -9,7 +9,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test analyze analyze-json analyze-sarif analyze-changed baseline \
-	chaos chaos-disk chaos-disk-smoke bench-fleet bench-fleet-smoke ci
+	chaos chaos-disk chaos-disk-smoke chaos-fleet chaos-fleet-smoke \
+	bench-fleet bench-fleet-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -60,4 +61,14 @@ chaos-disk:
 chaos-disk-smoke:
 	$(PYTHON) -m repro.faults.chaos --disk --smoke
 
-ci: test analyze chaos chaos-disk-smoke bench-fleet-smoke
+# Control-plane kill sweep: the fleet planner dies at every wave/journal
+# boundary of a multi-wave drain (including on top of a blackholed, parked
+# wave); a fresh planner must resume from the durable fleet journal with
+# R3/R4 intact, the planned placement reached, and the journal cleared.
+chaos-fleet:
+	$(PYTHON) -m repro.faults.chaos --fleet
+
+chaos-fleet-smoke:
+	$(PYTHON) -m repro.faults.chaos --fleet --smoke
+
+ci: test analyze chaos chaos-disk-smoke chaos-fleet-smoke bench-fleet-smoke

@@ -5,7 +5,7 @@ end-to-end migrations per *wall-clock* second the simulator sustains — the
 gauge for simulator-throughput work, where the seeded virtual-time output
 must stay byte-identical while the wall cost drops.
 
-Five sweeps are recorded:
+Seven sweeps are recorded:
 
 - ``baseline``            ring plan, one ``migrate`` per app, full RA per
                           migration (the paper's protocol).
@@ -14,6 +14,10 @@ Five sweeps are recorded:
                           its ring successor), still one migrate per app.
 - ``wave_batched``        drain plan, one ``migrate_group`` wave per round —
                           N records over ONE attested ME<->ME session.
+- ``orchestrated``        the same drain rounds routed through the fleet
+                          control plane (planner + pre-flight + journaled
+                          waves), so the control plane's overhead is priced
+                          against ``wave_batched``.
 - ``workers_1`` / ``workers_N``  the same set of independent seeded shard
                           worlds run on 1 process vs ``--workers`` processes;
                           wall migrations/sec is the multiprocess gauge.
@@ -35,7 +39,7 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro.bench.harness import run_fleet_bench
+from repro.bench.harness import FleetBenchConfig, run_fleet_bench
 
 
 def _git_commit() -> str:
@@ -50,7 +54,7 @@ def _git_commit() -> str:
             check=True,
         )
         return out.stdout.strip()
-    except Exception:
+    except (OSError, subprocess.SubprocessError):
         return "unknown"
 
 
@@ -85,31 +89,22 @@ def main(argv: list[str] | None = None) -> int:
         "processor": platform.processor() or platform.machine(),
         "cpu_count": os.cpu_count(),
         "git_commit": _git_commit(),
-        "config": {
-            "n_enclaves": args.enclaves,
-            "n_machines": args.machines,
-            "reps": args.reps,
-            "seed": args.seed,
-            "workers": args.workers,
-        },
+        # The base knob set, verbatim from FleetBenchConfig; each run below
+        # additionally records its own full config dict (result["config"]).
+        "config": FleetBenchConfig.from_args(args).as_dict(),
         "runs": {},
     }
-    common = dict(
-        n_enclaves=args.enclaves,
-        n_machines=args.machines,
-        reps=args.reps,
-        seed=args.seed,
-    )
     sweeps = (
         ("baseline", dict(session_resumption=False)),
         ("session_resumption", dict(session_resumption=True)),
-        ("wave_sequential", dict(session_resumption=False, plan="drain")),
-        ("wave_batched", dict(session_resumption=False, plan="drain", batch=True)),
-        ("workers_1", dict(session_resumption=False, workers=1, shards=args.workers)),
-        ("workers_%d" % args.workers, dict(session_resumption=False, workers=args.workers, shards=args.workers)),
+        ("wave_sequential", dict(plan="drain")),
+        ("wave_batched", dict(plan="drain", batch=True)),
+        ("orchestrated", dict(plan="drain", orchestrated=True)),
+        ("workers_1", dict(workers=1, shards=args.workers)),
+        ("workers_%d" % args.workers, dict(workers=args.workers, shards=args.workers)),
     )
     for label, extra in sweeps:
-        result = run_fleet_bench(**common, **extra)
+        result = run_fleet_bench(FleetBenchConfig.from_args(args, **extra))
         report["runs"][label] = result
         print(
             f"{label:>18}: {result['migrations']} migrations, "
@@ -138,6 +133,15 @@ def main(argv: list[str] | None = None) -> int:
             f"batched wave virtual speedup: {report['batch_virtual_speedup']:.2f}x "
             f"vs wave_sequential, {report['batch_vs_baseline_virtual_speedup']:.2f}x "
             f"vs baseline"
+        )
+    if runs["orchestrated"]["virtual_seconds_mean"] > 0 and runs["wave_batched"]["virtual_seconds_mean"] > 0:
+        report["orchestration_virtual_overhead"] = (
+            runs["orchestrated"]["virtual_seconds_mean"]
+            / runs["wave_batched"]["virtual_seconds_mean"]
+        )
+        print(
+            f"control-plane virtual overhead vs wave_batched: "
+            f"{report['orchestration_virtual_overhead']:.2f}x"
         )
     workers_label = "workers_%d" % args.workers
     if runs["workers_1"]["wall_migrations_per_sec"] > 0:

@@ -9,6 +9,9 @@ Subcommands:
 * ``analyze``   — alias for ``python -m repro.analysis`` (SEC001-SEC010)
 * ``bench``     — run the migration benchmark; ``--profile`` wraps it in
   cProfile and dumps the top functions by cumulative time
+* ``fleet``     — fleet control plane: ``plan`` prints a seeded drain plan
+  as JSON, ``apply`` executes it end to end (4 machines, 16 enclaves),
+  ``status`` shows placements and the plan journal
 """
 
 from __future__ import annotations
@@ -54,6 +57,60 @@ def _run_bench(argv: list[str]) -> int:
     return 0
 
 
+def _run_fleet(argv: list[str]) -> int:
+    """``python -m repro fleet plan|apply|status [--seed N] [--intent I]``.
+
+    Builds the seeded demo fleet (4 machines, 16 enclaves, durable MEs)
+    and runs the control plane against it: ``plan`` prints the
+    :class:`~repro.fleet.model.MigrationPlan` as JSON, ``apply`` executes
+    it wave by wave through the batched migration path and verifies every
+    enclave's state survived, ``status`` prints placements + journal.
+    """
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(prog="repro fleet")
+    parser.add_argument("action", choices=["plan", "apply", "status"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--intent", default="drain:fleet-0",
+        help="drain:<machine>, rebalance, or evacuate:<tenant> "
+        "(default drain:fleet-0)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.fleet.demo import build_demo_fleet, counter_values
+
+    demo = build_demo_fleet(seed=args.seed)
+    service = demo.service
+    if args.action == "status":
+        print(service.status())
+        return 0
+
+    intent, _, operand = args.intent.partition(":")
+    if intent == "drain":
+        plan = service.plan_drain(operand or "fleet-0")
+    elif intent == "rebalance":
+        plan = service.plan_rebalance()
+    elif intent == "evacuate":
+        plan = service.plan_evacuate(operand or "tenant-a")
+    else:
+        parser.error(f"unknown intent {args.intent!r}")
+    if args.action == "plan":
+        print(json.dumps(plan.to_dict(), indent=2))
+        return 0
+
+    before = counter_values(demo)
+    result = service.apply(plan)
+    after = counter_values(demo)
+    print(result.summary())
+    if after != before:
+        print("STATE DIVERGED after migration")
+        return 1
+    print(f"state intact: {len(after)} enclaves re-served their counters")
+    return 0 if result.completed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     command = argv[0] if argv else "tables"
@@ -77,6 +134,8 @@ def main(argv: list[str] | None = None) -> int:
         return analyze_main(argv[1:])
     if command == "bench":
         return _run_bench(argv[1:])
+    if command == "fleet":
+        return _run_fleet(argv[1:])
     if command == "tables":
         from repro.bench.figures import table1, table2, tcb
 

@@ -11,7 +11,7 @@ ECALLs", repeated 1000 times.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.apps.counter_app import BaselineBenchEnclave, MigratableBenchEnclave
 from repro.cloud.datacenter import DataCenter
@@ -207,18 +207,73 @@ def run_migration_bench(
 
 
 # --------------------------------------------------------------------- fleet
+@dataclass(frozen=True)
+class FleetBenchConfig:
+    """Every knob of :func:`run_fleet_bench`, as one serializable value.
+
+    The config travels verbatim into the bench result (``result["config"]``)
+    and the checked-in ``BENCH_fleet.json`` metadata, so a recorded run can
+    be replayed exactly from its own report.
+
+    ``orchestrated=True`` routes drain rounds through the fleet control
+    plane (:class:`repro.fleet.service.FleetService` — plan, pre-flight,
+    journaled waves) instead of hand-rolled ``migrate_group`` calls,
+    benchmarking the control plane's overhead on the same workload.
+    """
+
+    n_enclaves: int = 8
+    n_machines: int = 4
+    reps: int = 3
+    seed: int = 0
+    session_resumption: bool = False
+    batch: bool = False
+    plan: str = "ring"
+    workers: int = 1
+    shards: int | None = None
+    orchestrated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.plan not in ("ring", "drain"):
+            raise ValueError(f"unknown fleet plan: {self.plan!r}")
+        if self.orchestrated and self.plan != "drain":
+            raise ValueError("orchestrated fleet bench requires plan='drain'")
+
+    @classmethod
+    def from_args(cls, args, **overrides) -> "FleetBenchConfig":
+        """Build from an argparse namespace using the bench CLI's flag
+        names (``--enclaves``, ``--machines``, ...), then apply sweep
+        overrides."""
+        base = dict(
+            n_enclaves=args.enclaves,
+            n_machines=args.machines,
+            reps=args.reps,
+            seed=args.seed,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @property
+    def effective_shards(self) -> int:
+        if self.shards is not None:
+            return self.shards
+        return self.workers if self.workers > 1 else 1
+
+
 def _require_completed(results) -> None:
     for result in results:
         if result.outcome.name != "COMPLETED":
             raise RuntimeError(f"fleet migration failed: {result.outcome}")
 
 
-def _fleet_shard_worker(kwargs: dict) -> dict:
+def _fleet_shard_worker(config: "FleetBenchConfig") -> dict:
     """Run one independent seeded fleet world; module-level so it pickles."""
-    return run_fleet_bench(**kwargs)
+    return run_fleet_bench(config)
 
 
-def _run_fleet_shards(base_kwargs: dict, workers: int, shards: int) -> dict:
+def _run_fleet_shards(config: "FleetBenchConfig") -> dict:
     """Run ``shards`` independent fleet worlds, optionally across processes.
 
     Shard ``i`` runs with ``seed + i`` so every shard is a byte-deterministic
@@ -226,34 +281,33 @@ def _run_fleet_shards(base_kwargs: dict, workers: int, shards: int) -> dict:
     scales with cores) and sums virtual time (each shard has its own virtual
     clock — virtual totals are additive work, not elapsed time).
     """
-    shard_kwargs = []
-    for index in range(shards):
-        kw = dict(base_kwargs)
-        kw["seed"] = base_kwargs["seed"] + index
-        kw["workers"] = 1
-        kw["shards"] = 1
-        shard_kwargs.append(kw)
+    workers, shards = config.workers, config.effective_shards
+    shard_configs = [
+        replace(config, seed=config.seed + index, workers=1, shards=1)
+        for index in range(shards)
+    ]
     wall_start = time.perf_counter()
     if workers <= 1:
-        shard_results = [_fleet_shard_worker(kw) for kw in shard_kwargs]
+        shard_results = [_fleet_shard_worker(sc) for sc in shard_configs]
     else:
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            shard_results = list(pool.map(_fleet_shard_worker, shard_kwargs))
+            shard_results = list(pool.map(_fleet_shard_worker, shard_configs))
     wall_seconds = time.perf_counter() - wall_start
     migrations = sum(r["migrations"] for r in shard_results)
     return {
-        "n_enclaves": base_kwargs["n_enclaves"],
-        "n_machines": base_kwargs["n_machines"],
-        "reps": base_kwargs["reps"],
-        "seed": base_kwargs["seed"],
-        "session_resumption": base_kwargs["session_resumption"],
-        "batch": base_kwargs["batch"],
-        "plan": base_kwargs["plan"],
+        "n_enclaves": config.n_enclaves,
+        "n_machines": config.n_machines,
+        "reps": config.reps,
+        "seed": config.seed,
+        "session_resumption": config.session_resumption,
+        "batch": config.batch,
+        "plan": config.plan,
         "workers": workers,
         "shards": shards,
-        "shard_seeds": [kw["seed"] for kw in shard_kwargs],
+        "config": config.as_dict(),
+        "shard_seeds": [sc.seed for sc in shard_configs],
         "migrations": migrations,
         "wall_seconds": wall_seconds,
         "wall_migrations_per_sec": migrations / wall_seconds if wall_seconds else 0.0,
@@ -268,18 +322,12 @@ def _run_fleet_shards(base_kwargs: dict, workers: int, shards: int) -> dict:
     }
 
 
-def run_fleet_bench(
-    n_enclaves: int = 8,
-    n_machines: int = 4,
-    reps: int = 3,
-    seed: int = 0,
-    session_resumption: bool = False,
-    batch: bool = False,
-    plan: str = "ring",
-    workers: int = 1,
-    shards: int | None = None,
-) -> dict:
+def run_fleet_bench(config: "FleetBenchConfig | None" = None, **kwargs) -> dict:
     """Fleet-scale migration throughput (wall clock AND virtual clock).
+
+    Takes one :class:`FleetBenchConfig` (keyword arguments are accepted as a
+    back-compat shorthand and collected into one — the knobs below are the
+    config's fields).
 
     Builds an ``n_machines`` data center, deploys ``n_enclaves`` migratable
     apps round-robin across it, then migrates them for ``reps`` rounds
@@ -310,26 +358,30 @@ def run_fleet_bench(
     ``session_resumption=True`` provisions the MEs with the attested-session
     cache (an explicit ablation; it shortens repeat ME<->ME handshakes on
     both clocks, so it is never folded into reproduced figures).
+
+    ``orchestrated=True`` (drain only) hands each round to the fleet
+    control plane: a :class:`~repro.fleet.service.FleetService` plans the
+    drain, pre-flights it, and executes journaled waves through the same
+    batched path — so the number reported *includes* planner + journal
+    overhead, against the same enclave workload.
     """
-    if plan not in ("ring", "drain"):
-        raise ValueError(f"unknown fleet plan: {plan!r}")
-    if shards is None:
-        shards = workers if workers > 1 else 1
-    if shards > 1:
-        base_kwargs = dict(
-            n_enclaves=n_enclaves,
-            n_machines=n_machines,
-            reps=reps,
-            seed=seed,
-            session_resumption=session_resumption,
-            batch=batch,
-            plan=plan,
-        )
-        return _run_fleet_shards(base_kwargs, workers, shards)
+    if config is None:
+        config = FleetBenchConfig(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a FleetBenchConfig or knobs, not both")
+    if config.effective_shards > 1:
+        return _run_fleet_shards(config)
+    n_enclaves, n_machines = config.n_enclaves, config.n_machines
+    reps, seed = config.reps, config.seed
+    session_resumption, batch, plan = (
+        config.session_resumption, config.batch, config.plan,
+    )
 
     dc = DataCenter(name="fleet", seed=seed)
     machines = [dc.add_machine(f"fleet-{i}") for i in range(n_machines)]
-    install_all_migration_enclaves(dc, session_resumption=session_resumption)
+    hosts = install_all_migration_enclaves(
+        dc, session_resumption=session_resumption
+    )
     signing_key = SigningKey.generate(dc.rng.child("fleet-dev"))
     apps = []
     for i in range(n_enclaves):
@@ -351,43 +403,79 @@ def run_fleet_bench(
     per_migration_virtual: list[float] = []
     virtual_start = dc.clock.now
     wall_start = time.perf_counter()
-    for round_index in range(reps):
-        if plan == "ring":
-            moves = [(idx, positions[idx]) for idx in range(n_enclaves)]
-        else:  # drain: evacuate one machine per round
-            src_pos = round_index % n_machines
-            moves = [
-                (idx, src_pos)
-                for idx in range(n_enclaves)
-                if positions[idx] == src_pos
-            ]
-        if not batch:
-            for idx, pos in moves:
-                target = machines[(pos + 1) % n_machines]
-                before = dc.clock.now
-                result = apps[idx].migrate(target, migrate_vm=False)
-                _require_completed([result])
-                per_migration_virtual.append(dc.clock.now - before)
-                positions[idx] = (pos + 1) % n_machines
-        else:
-            # One wave per (source, destination) pair; ring rounds produce one
-            # wave per occupied machine, drain rounds a single big wave.
-            groups: dict[int, list[int]] = {}
-            for idx, pos in moves:
-                groups.setdefault(pos, []).append(idx)
-            for pos in sorted(groups):
-                members = groups[pos]
-                target = machines[(pos + 1) % n_machines]
-                wave = [apps[idx] for idx in members]
-                before = dc.clock.now
-                results = MigratableApp.migrate_group(
-                    wave, target, migrate_vm=False
-                )
-                _require_completed(results)
-                share = (dc.clock.now - before) / len(wave)
-                per_migration_virtual.extend([share] * len(wave))
-                for idx in members:
+    if config.orchestrated:
+        # Drain rounds through the control plane: plan + pre-flight +
+        # journaled waves.  The wave's virtual cost (planner overhead
+        # included) is split evenly across its moves, keeping per-migration
+        # numbers comparable with the hand-rolled paths.
+        from repro.fleet import FleetConstraints, FleetService
+
+        service = FleetService(
+            dc=dc,
+            hosts=hosts,
+            constraints=FleetConstraints(
+                machine_capacity=n_enclaves,
+                max_moves_per_machine=n_enclaves,
+                tenant_wave_quota=n_enclaves,
+            ),
+            session_resumption=session_resumption,
+        )
+        for app in apps:
+            service.register(app)
+        for round_index in range(reps):
+            drain_plan = service.plan_drain(f"fleet-{round_index % n_machines}")
+            if not drain_plan.moves:
+                continue
+            before = dc.clock.now
+            outcome = service.apply(drain_plan)
+            _require_completed(
+                [
+                    result
+                    for wave in outcome.waves
+                    for result in wave.results.values()
+                ]
+            )
+            share = (dc.clock.now - before) / len(drain_plan.moves)
+            per_migration_virtual.extend([share] * len(drain_plan.moves))
+    else:
+        for round_index in range(reps):
+            if plan == "ring":
+                moves = [(idx, positions[idx]) for idx in range(n_enclaves)]
+            else:  # drain: evacuate one machine per round
+                src_pos = round_index % n_machines
+                moves = [
+                    (idx, src_pos)
+                    for idx in range(n_enclaves)
+                    if positions[idx] == src_pos
+                ]
+            if not batch:
+                for idx, pos in moves:
+                    target = machines[(pos + 1) % n_machines]
+                    before = dc.clock.now
+                    result = apps[idx].migrate(target, migrate_vm=False)
+                    _require_completed([result])
+                    per_migration_virtual.append(dc.clock.now - before)
                     positions[idx] = (pos + 1) % n_machines
+            else:
+                # One wave per (source, destination) pair; ring rounds produce
+                # one wave per occupied machine, drain rounds a single big
+                # wave.
+                groups: dict[int, list[int]] = {}
+                for idx, pos in moves:
+                    groups.setdefault(pos, []).append(idx)
+                for pos in sorted(groups):
+                    members = groups[pos]
+                    target = machines[(pos + 1) % n_machines]
+                    wave = [apps[idx] for idx in members]
+                    before = dc.clock.now
+                    results = MigratableApp.migrate_group(
+                        wave, target, migrate_vm=False
+                    )
+                    _require_completed(results)
+                    share = (dc.clock.now - before) / len(wave)
+                    per_migration_virtual.extend([share] * len(wave))
+                    for idx in members:
+                        positions[idx] = (pos + 1) % n_machines
     wall_seconds = time.perf_counter() - wall_start
     migrations = len(per_migration_virtual)
     return {
@@ -400,6 +488,7 @@ def run_fleet_bench(
         "plan": plan,
         "workers": 1,
         "shards": 1,
+        "config": config.as_dict(),
         "migrations": migrations,
         "wall_seconds": wall_seconds,
         "wall_migrations_per_sec": migrations / wall_seconds if wall_seconds else 0.0,

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from repro.errors import NetworkError, NetworkTimeoutError
+from repro.errors import NetworkError, NetworkTimeoutError, ReproError
 from repro.sim.costs import CostMeter
 
 if TYPE_CHECKING:
@@ -165,7 +165,10 @@ class Network:
             # failure of the duplicate stays on the receiver's side.
             try:
                 handler(payload, src)
-            except Exception:
+            except ReproError:
+                # A rejected duplicate (replayed txn, desynced channel) is
+                # the idempotency machinery working; anything outside the
+                # typed taxonomy is a bug and must surface, not vanish.
                 pass
         response = self._apply_faults(dst, src, response, "response")
         for tap in self._taps:

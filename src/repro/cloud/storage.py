@@ -31,11 +31,7 @@ from fnmatch import fnmatch
 from typing import Protocol
 
 from repro import wire
-from repro.errors import ReproError
-
-
-class StorageError(ReproError):
-    """Requested blob does not exist (or cannot be operated on)."""
+from repro.errors import StorageError
 
 
 class DiskFaultHook(Protocol):

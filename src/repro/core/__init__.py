@@ -7,6 +7,7 @@ from repro.core.datastructures import (
     LibraryState,
     MigrationData,
 )
+from repro.core.api import MigrationRequest, RequestKind
 from repro.core.baseline import GuFlagMode, GuMigratableEnclave, register_gu_transport
 from repro.core.combined import FullyMigratableEnclave, LiveMigratableApp
 from repro.core.migration_enclave import MigrationEnclave
@@ -36,6 +37,8 @@ from repro.core.protocol import (
 )
 
 __all__ = [
+    "MigrationRequest",
+    "RequestKind",
     "GuFlagMode",
     "GuMigratableEnclave",
     "register_gu_transport",

@@ -1,0 +1,167 @@
+"""The unified migration request API.
+
+Historically each migration flavor grew its own entry point on
+:class:`~repro.core.protocol.MigratableApp` — ``migrate`` (stop/restart,
+Fig. 2), ``migrate_group`` (batched waves), ``live_migrate`` (Gu-style
+memory + persistent state), and ``resume`` (crash recovery) — each with its
+own parameter list and subtly different retry/journal plumbing.  Automation
+layered on top (the fleet control plane, benches, chaos harnesses) had to
+know which method to call and how to spell its arguments.
+
+This module collapses the four shapes into one value: a frozen
+:class:`MigrationRequest` describing *what* should happen — which members,
+which destination, live or stop/restart, whether the VM moves, which
+transaction and retry policy — which a single internal
+``MigratableApp._execute(request)`` path interprets.  The four public
+methods remain as thin wrappers (their signatures, semantics, and wire
+traffic are pinned by ``tests/integration/test_wire_compat.py``), while
+programmatic callers such as the fleet executor build requests directly.
+
+Design notes:
+
+* ``target`` is a machine **address** (string), not a
+  :class:`~repro.cloud.machine.PhysicalMachine` handle, so a request is
+  data: the fleet planner can journal the plan it derives from and rebuild
+  equal requests after a crash.
+* ``members`` is a tuple of apps.  Single-app kinds carry exactly one
+  member; :data:`RequestKind.WAVE` carries the whole wave (possibly empty,
+  which executes to an empty result list).
+* ``session_resumption`` is advisory metadata: ME<->ME session reuse is an
+  install-time property of the Migration Enclaves, so the flag records the
+  caller's expectation (fleet preflight checks it against the deployment
+  and bench output reports it) rather than switching behavior per request.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.retry import RetryPolicy
+from repro.errors import InvalidParameterError
+
+
+class RequestKind(enum.Enum):
+    """Which migration flow a :class:`MigrationRequest` asks for."""
+
+    MIGRATE = "migrate"  # stop/restart, one enclave (Fig. 2)
+    WAVE = "wave"  # batched stop/restart for a group (stage/flush/complete)
+    LIVE = "live"  # persistent state + data memory, no restart
+    RESUME = "resume"  # finish an interrupted transaction from the journal
+
+
+@dataclass(frozen=True)
+class MigrationRequest:
+    """One migration order, in data.
+
+    Build with the :meth:`migrate` / :meth:`wave` / :meth:`live` /
+    :meth:`resume` constructors rather than positionally — they enforce the
+    per-kind invariants (resume has no target, live never moves the VM,
+    only waves carry multiple members) at construction time, so
+    ``_execute`` can dispatch without re-validating.
+    """
+
+    kind: RequestKind
+    members: tuple  # tuple[MigratableApp, ...]
+    target: str | None = None  # destination machine address
+    live: bool = False
+    migrate_vm: bool = True
+    txn_id: str | None = None
+    session_resumption: bool = False
+    retry_policy: RetryPolicy | None = None
+
+    def __post_init__(self):
+        if not isinstance(self.members, tuple):
+            raise InvalidParameterError("request members must be a tuple")
+        if self.kind is RequestKind.RESUME:
+            if self.target is not None:
+                raise InvalidParameterError(
+                    "resume reads its destination from the journal, not the request"
+                )
+        elif not self.target:
+            raise InvalidParameterError(f"{self.kind.value} request needs a target")
+        if self.kind is not RequestKind.WAVE and len(self.members) != 1:
+            raise InvalidParameterError(
+                f"{self.kind.value} request carries exactly one member"
+            )
+        if self.live != (self.kind is RequestKind.LIVE):
+            raise InvalidParameterError("live flag is implied by the request kind")
+
+    # ------------------------------------------------------------ builders
+    @classmethod
+    def migrate(
+        cls,
+        app,
+        target: str,
+        *,
+        migrate_vm: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        txn_id: str | None = None,
+        session_resumption: bool = False,
+    ) -> "MigrationRequest":
+        """Stop/restart migration of one app to the machine at ``target``."""
+        return cls(
+            kind=RequestKind.MIGRATE,
+            members=(app,),
+            target=target,
+            migrate_vm=migrate_vm,
+            txn_id=txn_id,
+            retry_policy=retry_policy,
+            session_resumption=session_resumption,
+        )
+
+    @classmethod
+    def wave(
+        cls,
+        apps,
+        target: str,
+        *,
+        migrate_vm: bool = False,
+        retry_policy: RetryPolicy | None = None,
+        session_resumption: bool = False,
+    ) -> "MigrationRequest":
+        """Batched migration of a group (one ME<->ME exchange per source)."""
+        return cls(
+            kind=RequestKind.WAVE,
+            members=tuple(apps),
+            target=target,
+            migrate_vm=migrate_vm,
+            retry_policy=retry_policy,
+            session_resumption=session_resumption,
+        )
+
+    # named live_migrate, not live: the ``live`` field and a ``live``
+    # classmethod cannot share the class namespace (the method would become
+    # the dataclass field's default)
+    @classmethod
+    def live_migrate(
+        cls,
+        app,
+        target: str,
+        *,
+        session_resumption: bool = False,
+    ) -> "MigrationRequest":
+        """Live (no stop/restart) migration; requires a LiveMigratableApp."""
+        return cls(
+            kind=RequestKind.LIVE,
+            members=(app,),
+            target=target,
+            live=True,
+            session_resumption=session_resumption,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        app,
+        *,
+        migrate_vm: bool = False,
+        retry_policy: RetryPolicy | None = None,
+    ) -> "MigrationRequest":
+        """Finish the app's journaled in-progress migration."""
+        return cls(
+            kind=RequestKind.RESUME,
+            members=(app,),
+            migrate_vm=migrate_vm,
+            retry_policy=retry_policy,
+        )

@@ -22,6 +22,7 @@ memory image and working migratable counters/sealing.
 from __future__ import annotations
 
 from repro.cloud.machine import PhysicalMachine
+from repro.core.api import MigrationRequest
 from repro.core.baseline import GuFlagMode, GuMigratableEnclave, register_gu_transport
 from repro.core.migration_library import InitState
 from repro.core.protocol import MigratableApp, MigratableEnclave
@@ -56,9 +57,13 @@ class LiveMigratableApp(MigratableApp):
     """Application wrapper adding the live (no stop/restart) migration flow."""
 
     def launch(
-        self, init_state: InitState, *, retry_policy: RetryPolicy | None = None
+        self,
+        init_state: InitState,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        txn_id: str = "",
     ) -> Enclave:
-        enclave = super().launch(init_state, retry_policy=retry_policy)
+        enclave = super().launch(init_state, retry_policy=retry_policy, txn_id=txn_id)
         app = self.app
         self._gu_endpoint = register_gu_transport(enclave, app)
         enclave.ecall(
@@ -77,6 +82,12 @@ class LiveMigratableApp(MigratableApp):
         returns; the source is left frozen (library) and spin-locked (Gu).
         Returns a :class:`MigrationResult` carrying the destination enclave.
         """
+        return self._execute(
+            MigrationRequest.live_migrate(self, destination.address)
+        )
+
+    def _execute_live(self, request: MigrationRequest) -> MigrationResult:
+        destination = self.dc.machine(request.target)
         source_enclave = self.enclave
         if source_enclave is None or not source_enclave.alive:
             raise MigrationError("no running enclave to migrate")

@@ -33,6 +33,7 @@ from repro.cloud.storage import (
     MigrationJournal,
     MigrationRecord,
 )
+from repro.core.api import MigrationRequest, RequestKind
 from repro.core.migration_enclave import MigrationEnclave
 from repro.core.migration_library import InitState, MigrationLibrary
 from repro.core.policy import PolicySet, SameProviderPolicy
@@ -540,10 +541,51 @@ class MigratableApp:
         outcome is ``PENDING_RETRY`` and the journal is retained so
         :meth:`resume` can finish the job later.  Fatal errors raise.
         """
+        return self._execute(
+            MigrationRequest.migrate(
+                self,
+                destination.address,
+                migrate_vm=migrate_vm,
+                retry_policy=retry_policy,
+                txn_id=txn_id,
+            )
+        )
+
+    # --------------------------------------------- unified execution path
+    @classmethod
+    def _execute(
+        cls, request: MigrationRequest
+    ) -> MigrationResult | list[MigrationResult]:
+        """Interpret one :class:`~repro.core.api.MigrationRequest`.
+
+        Every public entry point — and every programmatic caller such as
+        the fleet executor — funnels through here, so retry, journaling,
+        and result semantics are defined exactly once per request kind.
+        """
+        if request.kind is RequestKind.WAVE:
+            return cls._execute_wave(request)
+        (member,) = request.members
+        if request.kind is RequestKind.MIGRATE:
+            return member._execute_migrate(request)
+        if request.kind is RequestKind.RESUME:
+            return member._execute_resume(request)
+        return member._execute_live(request)
+
+    def _execute_live(self, request: MigrationRequest) -> MigrationResult:
+        """Live migration needs the Gu-style memory machinery; only
+        :class:`~repro.core.combined.LiveMigratableApp` provides it."""
+        raise MigrationError(
+            f"{type(self).__name__} cannot serve a live migration request; "
+            "deploy a LiveMigratableApp"
+        )
+
+    def _execute_migrate(self, request: MigrationRequest) -> MigrationResult:
+        destination = self.dc.machine(request.target)
+        migrate_vm = request.migrate_vm
         if self.enclave is None or not self.enclave.alive:
             raise MigrationError("no running enclave to migrate")
-        policy = retry_policy or self.retry_policy
-        txn = txn_id if txn_id is not None else self._next_txn()
+        policy = request.retry_policy or self.retry_policy
+        txn = request.txn_id if request.txn_id is not None else self._next_txn()
         start_cost = CostSnapshot.capture(self.dc)
         source_address = self.app.machine.address
         # Persist the migration-in-progress record BEFORE the first
@@ -661,6 +703,23 @@ class MigratableApp:
         and are finished later by their own :meth:`resume`; fatal errors
         raise, exactly as in sequential :meth:`migrate`.
         """
+        return cls._execute(
+            MigrationRequest.wave(
+                apps,
+                destination.address,
+                migrate_vm=migrate_vm,
+                retry_policy=retry_policy,
+            )
+        )
+
+    @classmethod
+    def _execute_wave(cls, request: MigrationRequest) -> list[MigrationResult]:
+        apps = list(request.members)
+        if not apps:
+            return []
+        destination = apps[0].dc.machine(request.target)
+        migrate_vm = request.migrate_vm
+        retry_policy = request.retry_policy
         results: dict[int, MigrationResult] = {}
         groups: dict[str, list[int]] = {}
         for index, app in enumerate(apps):
@@ -789,7 +848,15 @@ class MigratableApp:
         install (fetch if the state never landed, confirm otherwise).
         Raises :class:`MigrationError` when no migration is in progress.
         """
-        policy = retry_policy or self.retry_policy
+        return self._execute(
+            MigrationRequest.resume(
+                self, migrate_vm=migrate_vm, retry_policy=retry_policy
+            )
+        )
+
+    def _execute_resume(self, request: MigrationRequest) -> MigrationResult:
+        migrate_vm = request.migrate_vm
+        policy = request.retry_policy or self.retry_policy
         record = self._journal().read()
         if record is None:
             raise MigrationError("no migration in progress for this application")

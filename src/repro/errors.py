@@ -165,8 +165,46 @@ class MigrationPendingError(MigrationError, TransientError):
     status = SgxStatus.SGX_ERROR_BUSY
 
 
+class PlanInfeasibleError(ReproError):
+    """No wave schedule can satisfy the fleet constraints.
+
+    Raised by the fleet planner (``repro.fleet``) when an intent cannot be
+    turned into a :class:`~repro.fleet.model.MigrationPlan` — every candidate
+    destination violates anti-affinity or capacity headroom, a per-tenant
+    migration quota is exhausted mid-plan, or the per-wave caps are too tight
+    to ever place a move.  Typed (rather than looping or silently dropping
+    moves) so callers can distinguish "impossible under these constraints"
+    from planner bugs.
+    """
+
+
+class PreflightError(MigrationError):
+    """A fleet pre-flight check rejected a planned wave before dispatch.
+
+    Nothing was frozen or shipped: the wave's enclaves keep serving.  The
+    message names the failed check (policy compatibility, ME version
+    mismatch, destination capacity, source journal mid-transaction).
+    """
+
+
 class CryptoError(ReproError):
     """Low-level cryptographic failure (tag mismatch, bad key size...)."""
+
+
+class StorageError(ReproError):
+    """Requested blob does not exist (or cannot be operated on).
+
+    Canonical home of the storage error (historically defined in
+    :mod:`repro.cloud.storage`, which still re-exports it): the full error
+    taxonomy — transient vs. fatal, wire, storage — is importable from
+    :mod:`repro.errors` alone, so call sites never need to catch a bare
+    ``Exception`` around migration dispatch just to cover every layer.
+    """
+
+
+class WireError(ReproError):
+    """Malformed wire message (canonical home; :mod:`repro.wire`
+    re-exports it for its historical call sites)."""
 
 
 class NetworkError(TransientError):

@@ -21,6 +21,7 @@ Run it as a module::
     PYTHONPATH=src python -m repro.faults.chaos
     PYTHONPATH=src python -m repro.faults.chaos --batched
     PYTHONPATH=src python -m repro.faults.chaos --disk
+    PYTHONPATH=src python -m repro.faults.chaos --fleet
 
 ``--disk`` sweeps the *storage* fault model instead of the network one:
 every persisted artifact (source/destination migration journals, the ME's
@@ -38,6 +39,17 @@ exchange, per-enclave completion), and every leg — including the batch
 transfer itself and mid-batch machine crashes — takes every fault kind.
 R3/R4 are then checked *per enclave*: each counter must be served by exactly
 one instance at exactly its pre-migration value.
+
+``--fleet`` attacks the *control plane*: a four-machine fleet of eight
+enclaves runs a multi-wave drain plan through
+:class:`~repro.fleet.service.FleetService`, and the planner process is
+killed at every journal boundary (plan persisted, wave started, wave
+dispatched, wave marked done, plan complete) — plus ``parked`` variants
+where the network blackholes the wave first, so the planner dies on top of
+members stuck mid-transaction.  A fresh planner must then
+``resume_plan()`` from the durable fleet journal alone and finish the
+drain with R3/R4 intact per enclave, every member at its planned
+destination, and the fleet journal cleared.
 
 Exit status 1 means at least one swept scenario violated an invariant.
 """
@@ -60,6 +72,7 @@ from repro.core.retry import RetryPolicy
 from repro.errors import MigrationError, ReproError
 from repro.faults.injector import FaultInjector, ObservedMessage
 from repro.faults.plan import DISK_FAULT_KINDS, FaultPlan
+from repro.fleet import FleetConstraints, FleetService
 from repro.sgx.identity import SigningKey
 
 SOURCE = "machine-a"
@@ -933,20 +946,308 @@ def _main_disk(seed: int, smoke: bool) -> int:
     return 1 if failures else 0
 
 
+# -------------------------------------------------------------------- fleet
+FLEET_MACHINES = 4
+FLEET_APPS = 8
+FLEET_DRAIN_TARGET = "fleet-0"
+
+
+class _PlannerKilled(Exception):
+    """The simulated planner-process death (not a ReproError: the planner
+    dying is an infrastructure event, not a protocol outcome)."""
+
+
+@dataclass
+class FleetChaosWorld:
+    dc: DataCenter
+    service: FleetService
+    apps: list[MigratableApp]
+    counter_ids: list[int]
+    counter_targets: list[int]
+
+
+def build_fleet_world(seed: int = 2018) -> FleetChaosWorld:
+    """Four machines, durable MEs everywhere, eight counter enclaves placed
+    round-robin and registered with a :class:`FleetService` whose per-wave
+    cap of one move forces the drain into multiple waves (so there are
+    genuinely distinct wave boundaries to die at)."""
+    dc = DataCenter(name="chaos-fleet", seed=seed)
+    for index in range(FLEET_MACHINES):
+        dc.add_machine(f"fleet-{index}")
+    me_signer = SigningKey.generate(dc.rng.child("chaos-me-signer"))
+    hosts = install_all_migration_enclaves(dc, me_signer, durable=True)
+    service = FleetService(
+        dc=dc,
+        hosts=hosts,
+        constraints=FleetConstraints(
+            machine_capacity=FLEET_APPS, max_moves_per_machine=1
+        ),
+        retry_policy=SWEEP_POLICY,
+    )
+    dev_key = SigningKey.generate(dc.rng.child("chaos-dev"))
+    apps: list[MigratableApp] = []
+    counter_ids: list[int] = []
+    counter_targets: list[int] = []
+    for index in range(FLEET_APPS):
+        app = MigratableApp.deploy(
+            dc,
+            dc.machine(f"fleet-{index % FLEET_MACHINES}"),
+            MigratableBenchEnclave,
+            dev_key,
+            vm_name=f"chaos-fleet-vm-{index}",
+            app_name=f"chaos-fleet-app-{index}",
+        )
+        app.retry_policy = SWEEP_POLICY
+        enclave = app.start_new()
+        # Same padded-id trick as the batched world, fleet-wide: app
+        # ``index`` serves tracked counter id ``index`` and nothing higher.
+        for _ in range(index):
+            enclave.ecall("create_counter")
+        counter_id, _ = enclave.ecall("create_counter")
+        target = 2 + index
+        for _ in range(target):
+            enclave.ecall("increment_counter", counter_id)
+        service.register(
+            app,
+            tenant=f"tenant-{index % 2}",
+            anti_affinity_group="chaos-pair" if index < 2 else None,
+        )
+        apps.append(app)
+        counter_ids.append(counter_id)
+        counter_targets.append(target)
+    return FleetChaosWorld(
+        dc=dc,
+        service=service,
+        apps=apps,
+        counter_ids=counter_ids,
+        counter_targets=counter_targets,
+    )
+
+
+def check_fleet_invariants(world: FleetChaosWorld) -> list[str]:
+    """R3/R4 per fleet member, via the padded-counter-id attribution used by
+    :func:`check_batched_invariants`, generalized to eight enclaves."""
+    violations: list[str] = []
+    readings: list[dict[int, int]] = []
+    for machine in world.dc.machines.values():
+        for enclave in machine.enclaves:
+            if enclave.enclave_class is not MigratableBenchEnclave:
+                continue
+            if not enclave.alive:
+                continue
+            served: dict[int, int] = {}
+            for counter_id in world.counter_ids:
+                try:
+                    served[counter_id] = enclave.ecall("read_counter", counter_id)
+                except ReproError:
+                    continue
+            if served:
+                readings.append(served)
+    for index, counter_id in enumerate(world.counter_ids):
+        target = world.counter_targets[index]
+        higher = set(world.counter_ids[index + 1 :])
+        serving = [
+            served[counter_id]
+            for served in readings
+            if counter_id in served and not (higher & served.keys())
+        ]
+        label = f"enclave {index}"
+        if len(serving) > 1:
+            violations.append(
+                f"R3: {len(serving)} operational instances serve {label}"
+            )
+        if not serving:
+            violations.append(
+                f"liveness: no operational instance serves {label}"
+            )
+        elif serving[0] != target:
+            word = "regressed" if serving[0] < target else "advanced"
+            violations.append(
+                f"R4: {label} counter {word} to {serving[0]} "
+                f"(expected {target})"
+            )
+    return violations
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """Kill the planner at one boundary: ``stage`` names it (``planned``,
+    ``started``, ``dispatched``, ``done``, ``complete``), ``wave`` the wave
+    index (-1 for the plan-level boundaries).  ``parked`` additionally
+    blackholes the network from the wave's start, so the planner dies on
+    top of members whose transactions are stuck mid-flight."""
+
+    stage: str
+    wave: int
+    parked: bool = False
+
+    @property
+    def label(self) -> str:
+        suffix = "+parked" if self.parked else ""
+        return f"{self.stage}:{self.wave}{suffix}"
+
+
+@dataclass
+class FleetScenarioReport:
+    scenario: FleetScenario
+    apply_outcome: str
+    recovery_outcome: str
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def enumerate_fleet_scenarios(seed: int = 2018) -> list[FleetScenario]:
+    """One scenario per journal boundary of the drain plan, plus a parked
+    variant per wave."""
+    world = build_fleet_world(seed)
+    n_waves = len(world.service.plan_drain(FLEET_DRAIN_TARGET).waves)
+    scenarios = [FleetScenario("planned", -1)]
+    for wave in range(n_waves):
+        scenarios.append(FleetScenario("started", wave))
+        scenarios.append(FleetScenario("dispatched", wave, parked=True))
+        scenarios.append(FleetScenario("dispatched", wave))
+        scenarios.append(FleetScenario("done", wave))
+    scenarios.append(FleetScenario("complete", -1))
+    return scenarios
+
+
+def run_fleet_scenario(
+    scenario: FleetScenario, seed: int = 2018
+) -> FleetScenarioReport:
+    """Fresh fleet, drain plan, planner killed at the scenario's boundary,
+    fresh planner resumes from the durable fleet journal; then R3/R4 per
+    member, planned placement reached, and journal cleared."""
+    world = build_fleet_world(seed)
+    dc, service = world.dc, world.service
+    plan = service.plan_drain(FLEET_DRAIN_TARGET)
+    destinations = {move.app_name: move.destination for move in plan.moves}
+
+    def boundary_hook(stage: str, wave: int) -> None:
+        if scenario.parked and stage == "started" and wave == scenario.wave:
+            dc.network.fault_injector = FaultInjector(
+                plan=FaultPlan().drop(max_triggers=1_000_000),
+                rng=dc.rng.child("chaos-faults"),
+                machines=dict(dc.machines),
+                meter=dc.meter,
+            )
+        if stage == scenario.stage and wave == scenario.wave:
+            raise _PlannerKilled(scenario.label)
+
+    try:
+        service.apply(plan, boundary_hook=boundary_hook)
+        apply_outcome = "completed-unexpectedly"
+    except _PlannerKilled:
+        apply_outcome = f"killed@{scenario.label}"
+    except ReproError as exc:
+        apply_outcome = f"raised:{type(exc).__name__}"
+    finally:
+        # The planner is dead; the network partition (if any) heals before
+        # the operator restarts it.
+        dc.network.fault_injector = None
+
+    # Planner restart: a brand-new service over the same data center (same
+    # durable disks, same member registry) — nothing survives from the dead
+    # process but what the fleet journal persisted.
+    restarted = FleetService(
+        dc=dc,
+        hosts=service.hosts,
+        constraints=service.constraints,
+        retry_policy=SWEEP_POLICY,
+        members=dict(service.members),
+    )
+    try:
+        result = restarted.resume_plan()
+        recovery_outcome = (
+            f"resumed:{len(result.waves)}-waves"
+            f"+{result.skipped_waves}-skipped"
+        )
+        if not result.completed:
+            recovery_outcome += ":INCOMPLETE"
+    except ReproError as exc:
+        recovery_outcome = f"raised:{type(exc).__name__}"
+
+    report = FleetScenarioReport(
+        scenario=scenario,
+        apply_outcome=apply_outcome,
+        recovery_outcome=recovery_outcome,
+    )
+    if apply_outcome == "completed-unexpectedly":
+        report.violations.append("planner kill hook never fired")
+    if recovery_outcome.startswith("raised:") or recovery_outcome.endswith(
+        ":INCOMPLETE"
+    ):
+        report.violations.append(f"recovery failed: {recovery_outcome}")
+    report.violations.extend(check_fleet_invariants(world))
+    for move in plan.moves:
+        actual = service.members[move.app_name].machine
+        if actual != move.destination:
+            report.violations.append(
+                f"placement: {move.app_name} at {actual}, "
+                f"plan said {move.destination}"
+            )
+    if restarted.journal().read() is not None:
+        report.violations.append("fleet journal not cleared after resume")
+    return report
+
+
+def sweep_fleet(seed: int = 2018, smoke: bool = False) -> list[FleetScenarioReport]:
+    """Every planner-kill boundary of the drain plan; ``smoke`` keeps the
+    first scenario per (stage, parked) kind — the CI slice."""
+    scenarios = enumerate_fleet_scenarios(seed)
+    if smoke:
+        first: dict[tuple[str, bool], FleetScenario] = {}
+        for scenario in scenarios:
+            first.setdefault((scenario.stage, scenario.parked), scenario)
+        scenarios = list(first.values())
+    return [run_fleet_scenario(scenario, seed) for scenario in scenarios]
+
+
+def _main_fleet(seed: int, smoke: bool) -> int:
+    scenarios = enumerate_fleet_scenarios(seed)
+    slice_note = " (smoke slice: first scenario per boundary kind)" if smoke else ""
+    print(
+        f"fleet planner-kill sweep: {len(scenarios)} boundaries over a "
+        f"{FLEET_MACHINES}-machine / {FLEET_APPS}-enclave drain "
+        f"(seed {seed}){slice_note}"
+    )
+    reports = sweep_fleet(seed, smoke=smoke)
+    failures = [r for r in reports if not r.ok]
+    for report in reports:
+        marker = "FAIL" if report.violations else "ok"
+        print(
+            f"  [{marker:>4}] kill@{report.scenario.label:<20} "
+            f"apply={report.apply_outcome:<28} "
+            f"recovery={report.recovery_outcome}"
+        )
+        for violation in report.violations:
+            print(f"         !! {violation}")
+    print(
+        f"{len(reports)} scenarios, {len(failures)} invariant violations "
+        f"(R3/R4 per member, planned placement reached, journal cleared)"
+    )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     session_resumption = "--session-resumption" in args
     batched = "--batched" in args
     disk = "--disk" in args
+    fleet = "--fleet" in args
     smoke = "--smoke" in args
     args = [
         a
         for a in args
-        if a not in ("--session-resumption", "--batched", "--disk", "--smoke")
+        if a not in ("--session-resumption", "--batched", "--disk", "--fleet", "--smoke")
     ]
     seed = int(args[0]) if args else 2018
     if disk:
         return _main_disk(seed, smoke)
+    if fleet:
+        return _main_fleet(seed, smoke)
     probe = probe_batched_message_sequence if batched else probe_message_sequence
     trace = probe(seed, session_resumption)
     mode = "on" if session_resumption else "off"

@@ -1,0 +1,50 @@
+"""Fleet migration control plane: planner, pre-flight, executor, journal.
+
+Operator intents (``drain``, ``rebalance``, ``evacuate``) become ordered
+:class:`MigrationPlan` waves under :class:`FleetConstraints`;
+:class:`FleetService` executes them through the unified
+:class:`~repro.core.api.MigrationRequest` path with durable progress
+journaling (:class:`FleetPlanJournal`), so a planner crash at any wave
+boundary is recoverable via :meth:`FleetService.resume_plan`.
+"""
+
+from repro.errors import PlanInfeasibleError, PreflightError
+from repro.fleet.journal import FleetPlanJournal, FleetPlanRecord
+from repro.fleet.model import (
+    FleetConstraints,
+    FleetMember,
+    MigrationPlan,
+    PlanResult,
+    PlannedMove,
+    Wave,
+    WaveOutcome,
+)
+from repro.fleet.planner import (
+    pack_waves,
+    plan_drain,
+    plan_evacuate,
+    plan_rebalance,
+)
+from repro.fleet.preflight import run_preflight
+from repro.fleet.service import FleetService, resume_plan
+
+__all__ = [
+    "FleetConstraints",
+    "FleetMember",
+    "FleetPlanJournal",
+    "FleetPlanRecord",
+    "FleetService",
+    "MigrationPlan",
+    "PlanInfeasibleError",
+    "PlanResult",
+    "PlannedMove",
+    "PreflightError",
+    "Wave",
+    "WaveOutcome",
+    "pack_waves",
+    "plan_drain",
+    "plan_evacuate",
+    "plan_rebalance",
+    "resume_plan",
+    "run_preflight",
+]

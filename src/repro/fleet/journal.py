@@ -1,0 +1,149 @@
+"""Durable persistence of fleet plans (the control plane's crash safety).
+
+The fleet journal lives on one designated *control machine*'s untrusted
+storage and records the whole plan plus a tiny progress cursor:
+
+* ``next_wave`` — first wave not yet marked done;
+* ``wave_started`` — whether that wave's dispatch began (so a resuming
+  planner knows it must *reconcile* the wave member-by-member instead of
+  blindly re-dispatching — re-dispatching a completed member would try to
+  migrate an enclave that already left).
+
+Updates use the same write-temp -> fsync -> atomic-rename discipline as the
+per-app :class:`~repro.cloud.storage.MigrationJournal` (PR-5 durable-storage
+primitives), so at every instant the journal path holds either the complete
+previous record or the complete new one, and the generation counter makes a
+resurrected stale record (a lying fsync) detectable.
+
+Like the per-app journal, this record is a recovery *hint*: losing it stalls
+fleet resumption (the operator re-plans), but R3/R4 never depend on it —
+every member's own migration journal and the trusted layers carry the
+correctness argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro import wire
+from repro.cloud.storage import UntrustedStorage
+from repro.fleet.model import PlannedMove, MigrationPlan, Wave
+
+FLEET_PLAN_PATH = "fleet_plan"
+
+
+@dataclass(frozen=True)
+class FleetPlanRecord:
+    """The persisted plan + progress cursor."""
+
+    intent: str
+    waves: tuple[tuple[PlannedMove, ...], ...]
+    next_wave: int = 0
+    wave_started: bool = False
+    generation: int = 0
+
+    def to_bytes(self) -> bytes:
+        return wire.encode(
+            {
+                "v": 1,
+                "intent": self.intent,
+                "waves": [
+                    wire.pack_records([move.to_dict() for move in wave])
+                    for wave in self.waves
+                ],
+                "next_wave": self.next_wave,
+                "wave_started": self.wave_started,
+                "gen": self.generation,
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FleetPlanRecord":
+        fields = wire.decode(data)
+        return cls(
+            intent=fields["intent"],
+            waves=tuple(
+                tuple(
+                    PlannedMove.from_dict(row)
+                    for row in wire.unpack_records(wave)
+                )
+                for wave in fields["waves"]
+            ),
+            next_wave=fields["next_wave"],
+            wave_started=fields["wave_started"],
+            generation=fields.get("gen", 0),
+        )
+
+    @classmethod
+    def from_plan(cls, plan: MigrationPlan) -> "FleetPlanRecord":
+        return cls(
+            intent=plan.intent,
+            waves=tuple(wave.moves for wave in plan.waves),
+        )
+
+    def plan_waves(self) -> tuple[Wave, ...]:
+        return tuple(
+            Wave(index=index, moves=moves)
+            for index, moves in enumerate(self.waves)
+        )
+
+
+@dataclass
+class FleetPlanJournal:
+    """The fleet plan record on the control machine's disk."""
+
+    storage: UntrustedStorage
+    owner: str = "fleet"
+
+    @property
+    def path(self) -> str:
+        return f"{self.owner}/{FLEET_PLAN_PATH}"
+
+    @property
+    def _tmp_path(self) -> str:
+        return f"{self.path}.tmp"
+
+    def write(self, record: FleetPlanRecord) -> None:
+        current = self.read()
+        record = replace(
+            record, generation=(current.generation if current else 0) + 1
+        )
+        self.storage.write(self._tmp_path, record.to_bytes())
+        self.storage.sync(self._tmp_path)
+        self.storage.rename(self._tmp_path, self.path)
+
+    def write_plan(self, plan: MigrationPlan) -> None:
+        """Persist a fresh plan with the cursor at wave 0, not started."""
+        self.write(FleetPlanRecord.from_plan(plan))
+
+    def mark_wave_started(self, index: int) -> None:
+        record = self._require()
+        self.write(replace(record, next_wave=index, wave_started=True))
+
+    def mark_wave_done(self, index: int) -> None:
+        record = self._require()
+        self.write(replace(record, next_wave=index + 1, wave_started=False))
+
+    def read(self) -> FleetPlanRecord | None:
+        if not self.storage.exists(self.path):
+            return None
+        try:
+            return FleetPlanRecord.from_bytes(self.storage.read(self.path))
+        except (wire.WireError, KeyError):
+            # Corrupted plan journal == no plan journal: resumption stalls
+            # (the operator re-plans) but nothing unsafe can happen — every
+            # member still has its own migration journal.
+            self.storage.journal_corruption_count += 1
+            return None
+
+    def _require(self) -> FleetPlanRecord:
+        record = self.read()
+        if record is None:
+            raise AssertionError("no fleet plan journaled")
+        return record
+
+    def clear(self) -> None:
+        self.storage.delete(self._tmp_path)
+        self.storage.delete(self.path)
+        self.storage.sync(self._tmp_path)
+        self.storage.sync(self.path)

@@ -1,0 +1,125 @@
+"""Per-wave pre-flight checks: fail fast, before anything freezes.
+
+The migration protocol itself enforces every security property (the MEs
+authenticate each other, policies are checked inside the trusted boundary,
+the library refuses bad states) — but it enforces them *after* the source
+enclave has frozen, so a doomed wave costs availability.  Pre-flight runs
+the operator-visible subset of those checks host-side, from untrusted
+metadata only, and rejects the wave with a typed
+:class:`~repro.errors.PreflightError` while every member is still serving:
+
+1. **Policy compatibility** — the fleet's provisioned policy set (region,
+   allowed destinations, capability...) accepts each planned move.  This
+   mirrors, never replaces, the ME's in-protocol R2/policy enforcement.
+2. **ME version match** — source and destination Migration Enclaves carry
+   the identical MRENCLAVE (the protocol's hard requirement for state
+   hand-over) and the destination ME's endpoint is actually registered.
+3. **Destination capacity** — projected fleet occupancy after the wave
+   stays within capacity minus headroom.
+4. **Source journal idle** — no member is mid-transaction: a pending
+   migration journal means a previous attempt must be resumed (or
+   completed) before the fleet re-plans that member.
+
+No ECALLs and no network traffic: pre-flight must be free to run (and
+re-run, after a planner crash) without perturbing the protocol's measured
+message sequence.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cloud.storage import MigrationJournal
+from repro.core.policy import MigrationContext
+from repro.errors import PolicyViolationError, PreflightError
+from repro.fleet.model import Wave
+
+
+def run_preflight(service, wave: Wave) -> None:
+    """Check one wave against the live fleet; raise :class:`PreflightError`
+    naming the first failed check.  ``service`` is the owning
+    :class:`~repro.fleet.service.FleetService`."""
+    dc = service.dc
+    incoming: Counter = Counter()
+    outgoing: Counter = Counter()
+    for move in wave.moves:
+        incoming[move.destination] += 1
+        outgoing[move.source] += 1
+
+    for move in wave.moves:
+        member = service.members.get(move.app_name)
+        if member is None:
+            raise PreflightError(
+                f"wave {wave.index}: {move.app_name!r} is not a fleet member"
+            )
+        app = member.app
+        if app.enclave is None or not app.enclave.alive:
+            raise PreflightError(
+                f"wave {wave.index}: {move.app_name!r} has no running enclave"
+            )
+        if member.machine != move.source:
+            raise PreflightError(
+                f"wave {wave.index}: {move.app_name!r} is on "
+                f"{member.machine!r}, plan expected {move.source!r}"
+            )
+
+        # 1. policy compatibility (operator-visible mirror of the ME check)
+        try:
+            service.policies.check(
+                MigrationContext(
+                    source_machine=move.source,
+                    destination_machine=move.destination,
+                    enclave_identity=app.enclave.identity,
+                )
+            )
+        except PolicyViolationError as exc:
+            raise PreflightError(
+                f"wave {wave.index}: policy rejects "
+                f"{move.app_name!r} -> {move.destination!r}: {exc}"
+            ) from exc
+
+        # 2. ME version match + destination ME reachable
+        source_host = service.hosts.get(move.source)
+        destination_host = service.hosts.get(move.destination)
+        if source_host is None or destination_host is None:
+            raise PreflightError(
+                f"wave {wave.index}: no Migration Enclave installed on "
+                f"{move.source if source_host is None else move.destination!r}"
+            )
+        if (
+            source_host.enclave.identity.mrenclave
+            != destination_host.enclave.identity.mrenclave
+        ):
+            raise PreflightError(
+                f"wave {wave.index}: ME version mismatch between "
+                f"{move.source!r} and {move.destination!r}"
+            )
+        if f"{move.destination}/me" not in dc.network.endpoints():
+            raise PreflightError(
+                f"wave {wave.index}: destination ME endpoint "
+                f"{move.destination}/me is not registered"
+            )
+
+        # 4. source journal idle
+        journal = MigrationJournal(
+            dc.machine(move.source).storage, move.app_name
+        )
+        if journal.read() is not None:
+            raise PreflightError(
+                f"wave {wave.index}: {move.app_name!r} has a migration "
+                "in progress (resume it before re-planning)"
+            )
+
+    # 3. destination capacity, projected over the whole wave
+    constraints = service.constraints
+    occupancy: Counter = Counter()
+    for member in service.members.values():
+        occupancy[member.machine] += 1
+    for destination in sorted(incoming):
+        projected = occupancy[destination] + incoming[destination] - outgoing[destination]
+        if projected > constraints.effective_capacity:
+            raise PreflightError(
+                f"wave {wave.index}: {destination!r} would hold {projected} "
+                f"fleet enclaves, over effective capacity "
+                f"{constraints.effective_capacity}"
+            )

@@ -1,0 +1,294 @@
+"""The fleet migration service: planner + pre-flight + executor + journal.
+
+:class:`FleetService` is the control plane over a running data center.  It
+keeps a registry of fleet members (apps with tenant and anti-affinity
+metadata), turns operator intents into :class:`MigrationPlan`\\ s, and
+executes plans wave by wave:
+
+* every wave passes :func:`~repro.fleet.preflight.run_preflight` before
+  anything freezes;
+* dispatch goes through the unified request path — one
+  :meth:`MigrationRequest.wave <repro.core.api.MigrationRequest.wave>` per
+  (wave, destination) group, executed by ``MigratableApp._execute`` — so the
+  fleet rides the exact batched stage/flush/complete protocol the chaos
+  sweeps harden;
+* members that park (``PENDING_RETRY``) get one in-line ``resume`` pass
+  (the PR-2 retry/resume semantics), and stay typed-pending in the
+  :class:`PlanResult` if the fault persists;
+* progress is journaled durably at every boundary
+  (:class:`~repro.fleet.journal.FleetPlanJournal`), so a planner crash at
+  *any* instant leaves the fleet resumable via :meth:`resume_plan`.
+
+The ``boundary_hook`` parameter is the chaos harness's crash seam: it is
+called at every journal boundary (``planned``, ``started:k``,
+``dispatched:k``, ``done:k``, ``complete``) and may raise to simulate the
+planner process dying right there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cloud.datacenter import DataCenter
+from repro.cloud.storage import MigrationJournal
+from repro.core.api import MigrationRequest
+from repro.core.policy import PolicySet
+from repro.core.protocol import MigratableApp, MigrationEnclaveHost
+from repro.core.result import MigrationOutcome, MigrationResult
+from repro.core.retry import RetryPolicy
+from repro.errors import MigrationError, TransientError
+from repro.fleet import planner
+from repro.fleet.journal import FleetPlanJournal, FleetPlanRecord
+from repro.fleet.model import (
+    FleetConstraints,
+    FleetMember,
+    MigrationPlan,
+    PlanResult,
+    Wave,
+    WaveOutcome,
+    already_complete_result,
+)
+from repro.fleet.preflight import run_preflight
+
+#: Boundary callback: ``hook(stage, wave_index)``; ``wave_index`` is -1 for
+#: the plan-level ``planned`` / ``complete`` boundaries.
+BoundaryHook = Callable[[str, int], None]
+
+
+@dataclass
+class FleetService:
+    """One provider's migration control plane."""
+
+    dc: DataCenter
+    hosts: dict[str, MigrationEnclaveHost]
+    constraints: FleetConstraints = field(default_factory=FleetConstraints)
+    policies: PolicySet = field(default_factory=PolicySet)
+    retry_policy: RetryPolicy | None = None
+    #: Machine whose disk holds the fleet plan journal; defaults to the
+    #: alphabetically first machine of the data center.
+    control_machine: str | None = None
+    #: Advisory request metadata: whether the fleet's MEs were installed
+    #: with the attested-session cache (recorded into every request).
+    session_resumption: bool = False
+    members: dict[str, FleetMember] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ registry
+    def register(
+        self,
+        app: MigratableApp,
+        *,
+        tenant: str = "default",
+        anti_affinity_group: str | None = None,
+    ) -> FleetMember:
+        member = FleetMember(
+            app=app, tenant=tenant, anti_affinity_group=anti_affinity_group
+        )
+        self.members[member.name] = member
+        return member
+
+    def placements(self) -> dict[str, list[str]]:
+        """``machine -> sorted member names`` (the ``fleet status`` view)."""
+        table: dict[str, list[str]] = {name: [] for name in self.machine_names()}
+        for member in self.members.values():
+            table.setdefault(member.machine, []).append(member.name)
+        return {name: sorted(names) for name, names in table.items()}
+
+    def machine_names(self) -> list[str]:
+        return sorted(self.dc.machines)
+
+    def journal(self) -> FleetPlanJournal:
+        name = self.control_machine or self.machine_names()[0]
+        return FleetPlanJournal(self.dc.machine(name).storage)
+
+    # ------------------------------------------------------------- planner
+    def plan_drain(self, machine: str) -> MigrationPlan:
+        return planner.plan_drain(
+            list(self.members.values()), self.machine_names(), machine,
+            self.constraints,
+        )
+
+    def plan_rebalance(self) -> MigrationPlan:
+        return planner.plan_rebalance(
+            list(self.members.values()), self.machine_names(), self.constraints
+        )
+
+    def plan_evacuate(self, tenant: str) -> MigrationPlan:
+        return planner.plan_evacuate(
+            list(self.members.values()), self.machine_names(), tenant,
+            self.constraints,
+        )
+
+    # ------------------------------------------------------------ executor
+    def apply(
+        self, plan: MigrationPlan, *, boundary_hook: BoundaryHook | None = None
+    ) -> PlanResult:
+        """Execute ``plan`` end to end, journaling at every boundary."""
+        hook = boundary_hook or (lambda stage, index: None)
+        journal = self.journal()
+        journal.write_plan(plan)
+        hook("planned", -1)
+        outcome = PlanResult(intent=plan.intent)
+        for wave in plan.waves:
+            run_preflight(self, wave)
+            journal.mark_wave_started(wave.index)
+            hook("started", wave.index)
+            results = self._dispatch_wave(wave)
+            hook("dispatched", wave.index)
+            journal.mark_wave_done(wave.index)
+            hook("done", wave.index)
+            outcome.waves.append(
+                WaveOutcome(index=wave.index, moves=wave.moves, results=results)
+            )
+        hook("complete", -1)
+        journal.clear()
+        return outcome
+
+    def _dispatch_wave(self, wave: Wave) -> dict[str, MigrationResult]:
+        """One batched request per (wave, destination) group, then a single
+        resume pass over members that parked."""
+        results: dict[str, MigrationResult] = {}
+        destinations = sorted({move.destination for move in wave.moves})
+        for destination in destinations:
+            batch = [
+                self.members[move.app_name].app
+                for move in wave.moves
+                if move.destination == destination
+            ]
+            batch_results = MigratableApp._execute(
+                MigrationRequest.wave(
+                    batch,
+                    destination,
+                    retry_policy=self.retry_policy,
+                    session_resumption=self.session_resumption,
+                )
+            )
+            for app, result in zip(batch, batch_results):
+                results[app.app_name] = result
+        for move in wave.moves:
+            result = results[move.app_name]
+            if result.outcome is MigrationOutcome.PENDING_RETRY:
+                results[move.app_name] = self._try_resume(
+                    self.members[move.app_name].app, fallback=result
+                )
+        return results
+
+    def _try_resume(
+        self, app: MigratableApp, *, fallback: MigrationResult
+    ) -> MigrationResult:
+        """Drive one parked member's journal forward; if the fault window is
+        still open the member simply stays pending (``fallback``)."""
+        try:
+            return app._execute(MigrationRequest.resume(
+                app, retry_policy=self.retry_policy
+            ))
+        except TransientError:
+            return fallback
+
+    # -------------------------------------------------------------- resume
+    def resume_plan(
+        self, *, boundary_hook: BoundaryHook | None = None
+    ) -> PlanResult:
+        """Pick up a journaled plan after a planner crash.
+
+        Waves before the cursor are already done (skipped).  A wave marked
+        *started* is reconciled member by member: members that completed
+        before the crash are recognized (cleared journal, enclave serving at
+        the destination), parked members are driven by their own ``resume``,
+        and members the dispatch never reached are re-dispatched.  Every
+        later wave then runs exactly as in :meth:`apply`.
+
+        Raises :class:`MigrationError` when no plan is journaled.
+        """
+        hook = boundary_hook or (lambda stage, index: None)
+        journal = self.journal()
+        record = journal.read()
+        if record is None:
+            raise MigrationError("no fleet plan in progress")
+        waves = record.plan_waves()
+        outcome = PlanResult(
+            intent=record.intent, resumed=True, skipped_waves=record.next_wave
+        )
+        cursor = record.next_wave
+        if record.wave_started and cursor < len(waves):
+            wave = waves[cursor]
+            results = self._reconcile_wave(wave)
+            journal.mark_wave_done(wave.index)
+            hook("done", wave.index)
+            outcome.waves.append(
+                WaveOutcome(index=wave.index, moves=wave.moves, results=results)
+            )
+            cursor += 1
+        for wave in waves[cursor:]:
+            run_preflight(self, wave)
+            journal.mark_wave_started(wave.index)
+            hook("started", wave.index)
+            results = self._dispatch_wave(wave)
+            hook("dispatched", wave.index)
+            journal.mark_wave_done(wave.index)
+            hook("done", wave.index)
+            outcome.waves.append(
+                WaveOutcome(index=wave.index, moves=wave.moves, results=results)
+            )
+        hook("complete", -1)
+        journal.clear()
+        return outcome
+
+    def _reconcile_wave(self, wave: Wave) -> dict[str, MigrationResult]:
+        """Sort the members of an interrupted wave into done / parked /
+        never-started, and finish each class its own way (R3-safe: nothing
+        is ever dispatched twice)."""
+        results: dict[str, MigrationResult] = {}
+        fresh: list = []
+        for move in wave.moves:
+            app = self.members[move.app_name].app
+            here = MigrationJournal(app.app.machine.storage, app.app_name)
+            if here.read() is not None:
+                # Mid-transaction (parked at the source ME, or arrived but
+                # unconfirmed): the member's own journal knows what to do.
+                results[move.app_name] = app._execute(
+                    MigrationRequest.resume(app, retry_policy=self.retry_policy)
+                )
+            elif (
+                app.app.machine.address == move.destination
+                and app.enclave is not None
+                and app.enclave.alive
+            ):
+                # Completed before the crash; only the fleet cursor is stale.
+                results[move.app_name] = already_complete_result(app)
+            else:
+                fresh.append(move)
+        if fresh:
+            partial = Wave(index=wave.index, moves=tuple(fresh))
+            run_preflight(self, partial)
+            results.update(self._dispatch_wave(partial))
+        return results
+
+    # -------------------------------------------------------------- status
+    def status(self) -> str:
+        """Human-readable placement table + plan journal state."""
+        lines = ["fleet placements:"]
+        for machine, names in self.placements().items():
+            lines.append(f"  {machine}: {', '.join(names) or '(empty)'}")
+        record = self.journal().read()
+        if record is None:
+            lines.append("plan journal: no plan in progress")
+        else:
+            total = len(record.waves)
+            state = "started" if record.wave_started else "pending"
+            lines.append(
+                f"plan journal: {record.intent} — wave "
+                f"{record.next_wave}/{total} {state} "
+                f"(generation {record.generation})"
+            )
+        return "\n".join(lines)
+
+
+def resume_plan(service: FleetService) -> PlanResult:
+    """Module-level convenience: resume ``service``'s journaled plan."""
+    return service.resume_plan()
+
+
+def record_of(service: FleetService) -> FleetPlanRecord | None:
+    """The currently journaled plan record, if any (observability helper)."""
+    return service.journal().read()

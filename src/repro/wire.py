@@ -16,7 +16,7 @@ A message is a mapping from string keys to values of type ``bytes``, ``int``,
 
 from __future__ import annotations
 
-from repro.errors import ReproError
+from repro.errors import WireError
 
 _MAGIC = b"RPR1"
 
@@ -27,10 +27,6 @@ _T_BOOL = 3
 _T_LIST = 4
 
 Value = bytes | int | str | bool | list
-
-
-class WireError(ReproError):
-    """Malformed wire message."""
 
 
 def _encode_value(value: Value) -> bytes:

@@ -424,6 +424,40 @@ class TestRealTreeCallGraph:
                 fn = project.function_at(callee)
                 assert fn is not None and fn.is_ecall
 
+    def test_fleet_control_plane_dispatches_resolve(self):
+        """The fleet control plane (planner/pre-flight/executor/demo) is a
+        new host-side entry surface in front of the enclaves: every string
+        dispatch it issues must resolve to a known ``@ecall`` method, so a
+        fleet code path can never drift off the dispatch table unnoticed."""
+        project = AnalysisEngine(rules=[]).build_project(["src/repro"])
+        fleet_sites = [
+            site
+            for site in project.call_sites
+            if site.kind == "dispatch"
+            and "src/repro/fleet/" in site.module.display_path
+        ]
+        # The fleet package genuinely drives enclaves (the demo world's
+        # counter workload); losing those sites means losing the contract.
+        assert fleet_sites, "no dispatch sites found under src/repro/fleet"
+        for site in fleet_sites:
+            assert site.callees, (
+                f"unresolved fleet dispatch {site.dispatch_name!r} in "
+                f"{site.module.display_path}"
+            )
+            for callee in site.callees:
+                fn = project.function_at(callee)
+                assert fn is not None and fn.is_ecall
+        # The executor itself must stay free of direct enclave dispatches:
+        # it talks to enclaves only through MigrationRequest (the unified
+        # API path), never by invoking ECALLs of its own.
+        for site in fleet_sites:
+            assert not site.module.display_path.endswith(
+                ("service.py", "preflight.py", "journal.py", "planner.py")
+            ), (
+                f"control-plane module issues a raw enclave dispatch: "
+                f"{site.module.display_path}"
+            )
+
 
 # ---------------------------------------------------------------- golden pin
 class TestGoldenPin:
