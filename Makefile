@@ -10,7 +10,7 @@ export PYTHONPATH := src
 
 .PHONY: test analyze analyze-json analyze-sarif analyze-changed baseline \
 	chaos chaos-disk chaos-disk-smoke chaos-fleet chaos-fleet-smoke \
-	bench-fleet bench-fleet-smoke ci
+	bench-fleet bench-fleet-smoke bench-scale-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +23,11 @@ bench-fleet:
 
 bench-fleet-smoke:
 	$(PYTHON) benchmarks/bench_fleet.py --smoke --output /tmp/BENCH_fleet_smoke.json
+
+# Discrete-event concurrency guard: a tiny serial-vs-concurrent dispatch
+# sweep plus the planner heap-vs-scan microbench, in seconds not minutes.
+bench-scale-smoke:
+	$(PYTHON) benchmarks/bench_fleet.py --smoke --scale-only --output /tmp/BENCH_scale_smoke.json
 
 analyze:
 	$(PYTHON) -m repro.analysis --format text src/repro examples benchmarks
@@ -71,4 +76,4 @@ chaos-fleet:
 chaos-fleet-smoke:
 	$(PYTHON) -m repro.faults.chaos --fleet --smoke
 
-ci: test analyze chaos chaos-disk-smoke chaos-fleet-smoke bench-fleet-smoke
+ci: test analyze chaos chaos-disk-smoke chaos-fleet-smoke bench-fleet-smoke bench-scale-smoke

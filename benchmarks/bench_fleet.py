@@ -21,11 +21,19 @@ Seven sweeps are recorded:
 - ``workers_1`` / ``workers_N``  the same set of independent seeded shard
                           worlds run on 1 process vs ``--workers`` processes;
                           wall migrations/sec is the multiprocess gauge.
+- ``scale``               orchestrator-scale scaling curve: serial vs
+                          concurrent wave dispatch at growing fleet sizes
+                          (up to 64 machines x 512 enclaves), for both the
+                          single-source ``drain`` shape and the multi-source
+                          ``evacuate`` shape, plus a wall-clock planner
+                          throughput microbench (heap vs retired scan) at
+                          100x today's fleet.
 
 Usage::
 
     python benchmarks/bench_fleet.py                 # full run, writes JSON
     python benchmarks/bench_fleet.py --smoke         # tiny run for CI
+    python benchmarks/bench_fleet.py --smoke --scale-only -o /tmp/scale.json
     python benchmarks/bench_fleet.py -o out.json --enclaves 16 --workers 8
 """
 
@@ -40,6 +48,117 @@ import sys
 from pathlib import Path
 
 from repro.bench.harness import FleetBenchConfig, run_fleet_bench
+
+#: (n_machines, n_enclaves) rows of the scale sweep; the last row is the
+#: acceptance point (>= 64 machines x >= 512 enclaves).
+SCALE_CONFIGS = ((16, 128), (32, 256), (64, 512))
+SMOKE_SCALE_CONFIGS = ((4, 16),)
+
+#: Planner microbench: a fleet ~100x today's benchmark scale (machines,
+#: members on the drained machine).
+PLANNER_SCALE = (6400, 512)
+SMOKE_PLANNER_SCALE = (400, 64)
+
+
+def run_scale_sweep(seed: int, configs) -> dict:
+    """Serial vs concurrent wave dispatch across fleet sizes.
+
+    For each (machines, enclaves) row and each wave shape (``drain``:
+    single source, ``evacuate``: one move per machine), runs the
+    orchestrated fleet bench once per dispatch mode and reports the
+    virtual-time speedup.  Same seed, same plan, same wire bytes — only the
+    timing model differs, so the speedup is exactly the overlap the
+    discrete-event scheduler finds.
+    """
+    rows = []
+    for n_machines, n_enclaves in configs:
+        for scenario in ("drain", "evacuate"):
+            row: dict = {
+                "n_machines": n_machines,
+                "n_enclaves": n_enclaves,
+                "scenario": scenario,
+            }
+            for dispatch in ("serial", "concurrent"):
+                result = run_fleet_bench(
+                    FleetBenchConfig(
+                        n_enclaves=n_enclaves,
+                        n_machines=n_machines,
+                        reps=1,
+                        seed=seed,
+                        plan=scenario,
+                        orchestrated=True,
+                        dispatch=dispatch,
+                    )
+                )
+                row[dispatch] = {
+                    "migrations": result["migrations"],
+                    "virtual_seconds_total": result["virtual_seconds_total"],
+                    "wall_seconds": result["wall_seconds"],
+                }
+            serial = row["serial"]["virtual_seconds_total"]
+            concurrent = row["concurrent"]["virtual_seconds_total"]
+            row["virtual_speedup"] = serial / concurrent if concurrent else 0.0
+            rows.append(row)
+            print(
+                f"  scale {n_machines:>3}m x {n_enclaves:>4}e {scenario:>8}: "
+                f"{row['serial']['migrations']} moves, "
+                f"serial {serial:.3f}s -> concurrent {concurrent:.3f}s "
+                f"virtual ({row['virtual_speedup']:.2f}x)"
+            )
+    return {"rows": rows}
+
+
+def run_planner_throughput(n_machines: int, n_moves: int) -> dict:
+    """Wall-clock planner throughput: heap fast path vs the retired scan.
+
+    Synthetic fleet (planner runs on plain member records, no enclaves):
+    ``n_moves`` members crowd the drained machine, one background member
+    sits on every other machine.  Asserts both paths produce the identical
+    plan before reporting their wall times.
+    """
+    import time
+    from types import SimpleNamespace
+
+    from repro.fleet.model import FleetConstraints
+    from repro.fleet.planner import plan_drain
+
+    machines = [f"m-{i:05d}" for i in range(n_machines)]
+    members = [
+        SimpleNamespace(
+            name=f"drained-{i:06d}", machine=machines[0], tenant="t",
+            anti_affinity_group=None,
+        )
+        for i in range(n_moves)
+    ]
+    members += [
+        SimpleNamespace(
+            name=f"resident-{i:06d}", machine=machines[i], tenant="t",
+            anti_affinity_group=None,
+        )
+        for i in range(1, n_machines)
+    ]
+    constraints = FleetConstraints(
+        machine_capacity=max(16, n_moves),
+        max_moves_per_machine=n_moves,
+        tenant_wave_quota=n_moves,
+    )
+    start = time.perf_counter()
+    heap_plan = plan_drain(members, machines, machines[0], constraints)
+    heap_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    scan_plan = plan_drain(members, machines, machines[0], constraints, fast=False)
+    scan_seconds = time.perf_counter() - start
+    if heap_plan.to_dict() != scan_plan.to_dict():
+        raise RuntimeError("heap fast path diverged from the scan oracle")
+    return {
+        "n_machines": n_machines,
+        "n_members": len(members),
+        "n_moves": n_moves,
+        "heap_seconds": heap_seconds,
+        "scan_seconds": scan_seconds,
+        "planner_wall_speedup": scan_seconds / heap_seconds if heap_seconds else 0.0,
+        "heap_moves_per_sec": n_moves / heap_seconds if heap_seconds else 0.0,
+    }
 
 
 def _git_commit() -> str:
@@ -73,6 +192,11 @@ def main(argv: list[str] | None = None) -> int:
         help="tiny configuration for CI (2 enclaves, 2 machines, 1 round, 2 workers)",
     )
     parser.add_argument(
+        "--scale-only", action="store_true",
+        help="run only the scale sweep + planner microbench (skip the seven "
+        "throughput sweeps); with --smoke this is `make bench-scale-smoke`",
+    )
+    parser.add_argument(
         "-o", "--output", type=Path, default=Path("BENCH_fleet.json"),
         help="where to write the JSON report (default: BENCH_fleet.json)",
     )
@@ -94,6 +218,19 @@ def main(argv: list[str] | None = None) -> int:
         "config": FleetBenchConfig.from_args(args).as_dict(),
         "runs": {},
     }
+
+    scale_configs = SMOKE_SCALE_CONFIGS if args.smoke else SCALE_CONFIGS
+    planner_scale = SMOKE_PLANNER_SCALE if args.smoke else PLANNER_SCALE
+
+    if args.scale_only:
+        print("scale sweep (serial vs concurrent wave dispatch):")
+        report["runs"]["scale"] = run_scale_sweep(args.seed, scale_configs)
+        report["runs"]["planner_throughput"] = run_planner_throughput(*planner_scale)
+        _summarize_scale(report)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+        return 0
+
     sweeps = (
         ("baseline", dict(session_resumption=False)),
         ("session_resumption", dict(session_resumption=True)),
@@ -154,9 +291,37 @@ def main(argv: list[str] | None = None) -> int:
             f"(same {args.workers} shards): {report['workers_wall_speedup']:.2f}x"
         )
 
+    print("scale sweep (serial vs concurrent wave dispatch):")
+    report["runs"]["scale"] = run_scale_sweep(args.seed, scale_configs)
+    report["runs"]["planner_throughput"] = run_planner_throughput(*planner_scale)
+    _summarize_scale(report)
+
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     return 0
+
+
+def _summarize_scale(report: dict) -> None:
+    """Headline keys from the scale sweep + planner microbench."""
+    rows = report["runs"]["scale"]["rows"]
+    largest = max(r["n_machines"] * r["n_enclaves"] for r in rows)
+    for row in rows:
+        if row["n_machines"] * row["n_enclaves"] != largest:
+            continue
+        key = f"scale_{row['scenario']}_virtual_speedup"
+        report[key] = row["virtual_speedup"]
+        print(
+            f"concurrent-dispatch virtual speedup at "
+            f"{row['n_machines']}x{row['n_enclaves']} ({row['scenario']}): "
+            f"{row['virtual_speedup']:.2f}x"
+        )
+    planner = report["runs"]["planner_throughput"]
+    report["planner_wall_speedup"] = planner["planner_wall_speedup"]
+    print(
+        f"planner heap vs scan at {planner['n_machines']} machines / "
+        f"{planner['n_moves']} moves: {planner['planner_wall_speedup']:.1f}x wall "
+        f"({planner['heap_moves_per_sec']:.0f} moves/s)"
+    )
 
 
 if __name__ == "__main__":

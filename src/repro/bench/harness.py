@@ -219,6 +219,12 @@ class FleetBenchConfig:
     plane (:class:`repro.fleet.service.FleetService` — plan, pre-flight,
     journaled waves) instead of hand-rolled ``migrate_group`` calls,
     benchmarking the control plane's overhead on the same workload.
+
+    ``dispatch`` (orchestrated only) selects the control plane's wave
+    execution mode: ``"serial"`` sums the per-destination groups on the
+    virtual clock, ``"concurrent"`` replays them as overlapping
+    discrete-event processes (same bytes, contended virtual time) — the
+    serial-vs-concurrent comparison behind the ``scale`` sweep.
     """
 
     n_enclaves: int = 8
@@ -231,12 +237,19 @@ class FleetBenchConfig:
     workers: int = 1
     shards: int | None = None
     orchestrated: bool = False
+    dispatch: str = "serial"
 
     def __post_init__(self) -> None:
-        if self.plan not in ("ring", "drain"):
+        if self.plan not in ("ring", "drain", "evacuate"):
             raise ValueError(f"unknown fleet plan: {self.plan!r}")
-        if self.orchestrated and self.plan != "drain":
-            raise ValueError("orchestrated fleet bench requires plan='drain'")
+        if self.orchestrated and self.plan == "ring":
+            raise ValueError("orchestrated fleet bench requires plan='drain' or 'evacuate'")
+        if self.plan == "evacuate" and not self.orchestrated:
+            raise ValueError("plan='evacuate' requires orchestrated=True")
+        if self.dispatch not in ("serial", "concurrent"):
+            raise ValueError(f"unknown dispatch mode: {self.dispatch!r}")
+        if self.dispatch == "concurrent" and not self.orchestrated:
+            raise ValueError("concurrent dispatch requires orchestrated=True")
 
     @classmethod
     def from_args(cls, args, **overrides) -> "FleetBenchConfig":
@@ -343,6 +356,12 @@ def run_fleet_bench(config: "FleetBenchConfig | None" = None, **kwargs) -> dict:
       original schedule; with ``batch=True`` co-located apps form one wave).
     - ``"drain"``: round ``r`` evacuates machine ``r % n_machines`` onto its
       ring successor — the maintenance-drain shape where waves are largest.
+    - ``"evacuate"`` (orchestrated only): round ``r`` relocates every app of
+      tenant ``r`` — one member per machine, so the wave's moves have
+      distinct sources *and* destinations.  This is the shape where
+      concurrent dispatch pays off most: a drain is inherently bottlenecked
+      on the drained machine's CPU (speedup caps near 2x), while an
+      evacuation wave parallelizes across the whole fleet.
 
     ``batch=True`` replaces per-app ``migrate`` calls with one
     ``MigratableApp.migrate_group`` wave per (source, destination) pair; the
@@ -419,11 +438,28 @@ def run_fleet_bench(config: "FleetBenchConfig | None" = None, **kwargs) -> dict:
                 tenant_wave_quota=n_enclaves,
             ),
             session_resumption=session_resumption,
+            dispatch=config.dispatch,
         )
-        for app in apps:
-            service.register(app)
+        # For evacuation rounds, tenant i // n_machines puts one member of
+        # each tenant on each machine (apps deploy round-robin), so an
+        # evacuation wave has distinct sources and destinations — maximum
+        # dispatch overlap.  Drain rounds keep the default tenant so the
+        # orchestrated numbers stay byte-comparable with earlier records.
+        n_tenants = (n_enclaves + n_machines - 1) // n_machines
+        for i, app in enumerate(apps):
+            if plan == "evacuate":
+                service.register(app, tenant=f"tenant-{i // n_machines}")
+            else:
+                service.register(app)
         for round_index in range(reps):
-            drain_plan = service.plan_drain(f"fleet-{round_index % n_machines}")
+            if plan == "evacuate":
+                drain_plan = service.plan_evacuate(
+                    f"tenant-{round_index % n_tenants}"
+                )
+            else:
+                drain_plan = service.plan_drain(
+                    f"fleet-{round_index % n_machines}"
+                )
             if not drain_plan.moves:
                 continue
             before = dc.clock.now

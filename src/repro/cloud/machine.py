@@ -94,6 +94,26 @@ class PhysicalMachine:
         isv_svn: int = 0,
     ) -> Enclave:
         """EINIT analogue: measure, check SIGSTRUCT, instantiate."""
+        if self.meter.recorder is not None:
+            # Trace capture: the whole load (measurement, launch control,
+            # on_load) executes on this machine's CPU in the replay.
+            with self.meter.located(self.name):
+                return self._load_enclave(
+                    vm, enclave_class, signing_key, config, isv_prod_id, isv_svn
+                )
+        return self._load_enclave(
+            vm, enclave_class, signing_key, config, isv_prod_id, isv_svn
+        )
+
+    def _load_enclave(
+        self,
+        vm: VirtualMachine,
+        enclave_class: type,
+        signing_key: SigningKey,
+        config: bytes = b"",
+        isv_prod_id: int = 0,
+        isv_svn: int = 0,
+    ) -> Enclave:
         if vm.machine is not self:
             raise InvalidParameterError(f"VM {vm.name} is not on machine {self.name}")
         identity = build_identity(enclave_class, signing_key, config, isv_prod_id, isv_svn)
@@ -111,6 +131,7 @@ class PhysicalMachine:
             trusted=None,  # type: ignore[arg-type] - set right below
             meter=self.meter,
             enclave_id=f"{self.name}-enc-{self._enclave_seq}",
+            machine_name=self.name,
         )
         runtime = TrustedRuntime(
             cpu=self.cpu,

@@ -22,10 +22,19 @@ Fault injection: beyond ad-hoc taps, a :class:`repro.faults.FaultInjector`
 can be attached via ``fault_injector``; it observes every request and
 response with full addressing metadata and can drop, delay, duplicate, or
 corrupt messages, or crash machines, per a deterministic plan.
+
+Concurrency: when a :class:`~repro.sim.scheduler.TraceRecorder` is attached
+to the meter, each exchange is additionally *attributed* — transfer time to
+the directed ``src -> dst`` link and handler execution to the destination
+machine's CPU — so a later discrete-event replay can let concurrent
+exchanges share the pipe and contend for CPUs instead of summing serially.
+Without a recorder the attribution contexts are no-ops and this path is
+byte-identical to the original synchronous fabric.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -155,21 +164,38 @@ class Network:
             payload = tapped
         self.messages_sent += 1
         self.bytes_sent += len(payload)
-        self._charge(src, dst, len(payload))
-        response = handler(payload, src)
-        if self.fault_injector is not None and self.fault_injector.wants_duplicate(
-            src, dst, "request"
+        # Attribution contexts are live only while a trace recorder is
+        # attached (the discrete-event concurrency path); the sequential
+        # path takes the nullcontext branches and stays byte-identical.
+        recording = self.meter.recorder is not None
+        src_machine, dst_machine = _machine_of(src), _machine_of(dst)
+        with (
+            self.meter.on_link(src_machine, dst_machine)
+            if recording
+            else nullcontext()
         ):
-            # At-least-once delivery: the handler runs again on the same
-            # payload; the sender only ever sees the first response.  A
-            # failure of the duplicate stays on the receiver's side.
-            try:
-                handler(payload, src)
-            except ReproError:
-                # A rejected duplicate (replayed txn, desynced channel) is
-                # the idempotency machinery working; anything outside the
-                # typed taxonomy is a bug and must surface, not vanish.
-                pass
+            self._charge(src, dst, len(payload))
+        with (
+            self.meter.located(dst_machine) if recording else nullcontext()
+        ):
+            response = handler(payload, src)
+            if self.fault_injector is not None and self.fault_injector.wants_duplicate(
+                src, dst, "request"
+            ):
+                # At-least-once delivery: the handler runs again on the same
+                # payload; the sender only ever sees the first response.  A
+                # failure of the duplicate stays on the receiver's side.
+                # The duplicate leg is real chaos traffic, so it counts in
+                # the message/byte odometers like any other delivery.
+                self.messages_sent += 1
+                self.bytes_sent += len(payload)
+                try:
+                    handler(payload, src)
+                except ReproError:
+                    # A rejected duplicate (replayed txn, desynced channel) is
+                    # the idempotency machinery working; anything outside the
+                    # typed taxonomy is a bug and must surface, not vanish.
+                    pass
         response = self._apply_faults(dst, src, response, "response")
         for tap in self._taps:
             tapped = tap(dst, src, response)
@@ -177,7 +203,14 @@ class Network:
                 raise NetworkError(f"response {dst} -> {src} dropped by adversary")
             response = tapped
         self.bytes_sent += len(response)
-        self.meter.charge_exact("net_transfer", self.meter.model.transfer_time(len(response)))
+        with (
+            self.meter.on_link(dst_machine, src_machine)
+            if recording
+            else nullcontext()
+        ):
+            self.meter.charge_exact(
+                "net_transfer", self.meter.model.transfer_time(len(response))
+            )
         if timeout is not None and self.meter.clock.now - started > timeout:
             raise NetworkTimeoutError(
                 f"{src} -> {dst} round trip exceeded timeout of {timeout}s"

@@ -966,23 +966,37 @@ class FleetChaosWorld:
     counter_targets: list[int]
 
 
-def build_fleet_world(seed: int = 2018) -> FleetChaosWorld:
+def build_fleet_world(seed: int = 2018, concurrent: bool = False) -> FleetChaosWorld:
     """Four machines, durable MEs everywhere, eight counter enclaves placed
     round-robin and registered with a :class:`FleetService` whose per-wave
     cap of one move forces the drain into multiple waves (so there are
-    genuinely distinct wave boundaries to die at)."""
+    genuinely distinct wave boundaries to die at).
+
+    ``concurrent=True`` builds the overlapping-wave variant instead: the
+    per-wave caps are relaxed so the whole drain is ONE wave with several
+    destination groups, and the service dispatches them concurrently on the
+    discrete-event scheduler — the planner then dies *mid-overlapping-wave*.
+    """
     dc = DataCenter(name="chaos-fleet", seed=seed)
     for index in range(FLEET_MACHINES):
         dc.add_machine(f"fleet-{index}")
     me_signer = SigningKey.generate(dc.rng.child("chaos-me-signer"))
     hosts = install_all_migration_enclaves(dc, me_signer, durable=True)
+    constraints = (
+        FleetConstraints(
+            machine_capacity=FLEET_APPS,
+            max_moves_per_machine=FLEET_APPS,
+            tenant_wave_quota=FLEET_APPS,
+        )
+        if concurrent
+        else FleetConstraints(machine_capacity=FLEET_APPS, max_moves_per_machine=1)
+    )
     service = FleetService(
         dc=dc,
         hosts=hosts,
-        constraints=FleetConstraints(
-            machine_capacity=FLEET_APPS, max_moves_per_machine=1
-        ),
+        constraints=constraints,
         retry_policy=SWEEP_POLICY,
+        dispatch="concurrent" if concurrent else "serial",
     )
     dev_key = SigningKey.generate(dc.rng.child("chaos-dev"))
     apps: list[MigratableApp] = []
@@ -1080,10 +1094,13 @@ class FleetScenario:
     stage: str
     wave: int
     parked: bool = False
+    concurrent: bool = False
 
     @property
     def label(self) -> str:
         suffix = "+parked" if self.parked else ""
+        if self.concurrent:
+            suffix += "+concurrent"
         return f"{self.stage}:{self.wave}{suffix}"
 
 
@@ -1101,7 +1118,9 @@ class FleetScenarioReport:
 
 def enumerate_fleet_scenarios(seed: int = 2018) -> list[FleetScenario]:
     """One scenario per journal boundary of the drain plan, plus a parked
-    variant per wave."""
+    variant per wave, plus concurrent-dispatch variants where the planner
+    dies mid-overlapping-wave (the relaxed-cap world drains in one wave
+    with several destination groups in flight on the event scheduler)."""
     world = build_fleet_world(seed)
     n_waves = len(world.service.plan_drain(FLEET_DRAIN_TARGET).waves)
     scenarios = [FleetScenario("planned", -1)]
@@ -1111,6 +1130,9 @@ def enumerate_fleet_scenarios(seed: int = 2018) -> list[FleetScenario]:
         scenarios.append(FleetScenario("dispatched", wave))
         scenarios.append(FleetScenario("done", wave))
     scenarios.append(FleetScenario("complete", -1))
+    scenarios.append(FleetScenario("started", 0, concurrent=True))
+    scenarios.append(FleetScenario("dispatched", 0, concurrent=True))
+    scenarios.append(FleetScenario("dispatched", 0, parked=True, concurrent=True))
     return scenarios
 
 
@@ -1120,7 +1142,7 @@ def run_fleet_scenario(
     """Fresh fleet, drain plan, planner killed at the scenario's boundary,
     fresh planner resumes from the durable fleet journal; then R3/R4 per
     member, planned placement reached, and journal cleared."""
-    world = build_fleet_world(seed)
+    world = build_fleet_world(seed, concurrent=scenario.concurrent)
     dc, service = world.dc, world.service
     plan = service.plan_drain(FLEET_DRAIN_TARGET)
     destinations = {move.app_name: move.destination for move in plan.moves}
@@ -1157,6 +1179,7 @@ def run_fleet_scenario(
         constraints=service.constraints,
         retry_policy=SWEEP_POLICY,
         members=dict(service.members),
+        dispatch=service.dispatch,
     )
     try:
         result = restarted.resume_plan()
@@ -1195,12 +1218,14 @@ def run_fleet_scenario(
 
 def sweep_fleet(seed: int = 2018, smoke: bool = False) -> list[FleetScenarioReport]:
     """Every planner-kill boundary of the drain plan; ``smoke`` keeps the
-    first scenario per (stage, parked) kind — the CI slice."""
+    first scenario per (stage, parked, concurrent) kind — the CI slice."""
     scenarios = enumerate_fleet_scenarios(seed)
     if smoke:
-        first: dict[tuple[str, bool], FleetScenario] = {}
+        first: dict[tuple[str, bool, bool], FleetScenario] = {}
         for scenario in scenarios:
-            first.setdefault((scenario.stage, scenario.parked), scenario)
+            first.setdefault(
+                (scenario.stage, scenario.parked, scenario.concurrent), scenario
+            )
         scenarios = list(first.values())
     return [run_fleet_scenario(scenario, seed) for scenario in scenarios]
 

@@ -43,8 +43,13 @@ def build_demo_fleet(
     seed: int = 0,
     n_machines: int = DEMO_MACHINES,
     n_enclaves: int = DEMO_ENCLAVES,
+    dispatch: str = "serial",
 ) -> DemoFleet:
-    """Build the seeded demo world and a registered :class:`FleetService`."""
+    """Build the seeded demo world and a registered :class:`FleetService`.
+
+    ``dispatch="concurrent"`` overlaps each wave's per-destination groups on
+    the discrete-event scheduler (same bytes, contended virtual time).
+    """
     dc = DataCenter(name="fleet-demo", seed=seed)
     for index in range(n_machines):
         dc.add_machine(f"fleet-{index}")
@@ -56,6 +61,7 @@ def build_demo_fleet(
         hosts=hosts,
         constraints=FleetConstraints(machine_capacity=n_enclaves),
         retry_policy=DEMO_POLICY,
+        dispatch=dispatch,
     )
     dev_key = SigningKey.generate(dc.rng.child("fleet-demo-dev"))
     demo = DemoFleet(dc=dc, service=service)

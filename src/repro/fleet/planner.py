@@ -14,6 +14,12 @@ Planning is two phases, both deterministic (sorted iteration, no RNG):
 1. **Placement** — each move gets a destination: the least-loaded machine
    (by projected fleet occupancy, ties by name) that respects anti-affinity
    (no group-mate already there or headed there) and capacity headroom.
+   The default fast path keeps a lazy-invalidation heap of
+   ``(occupancy, name)`` entries so each move costs O(log machines)
+   amortized instead of a full O(machines) scan; the scan survives behind
+   ``fast=False`` as the equivalence oracle (see
+   ``tests/unit/test_fleet_planner.py``) and both produce byte-identical
+   plans and error messages.
 2. **Packing** — moves are packed into ordered waves greedy-first-fit under
    the per-wave caps (moves touching one machine, per-tenant concurrency).
 
@@ -24,7 +30,9 @@ shorter plan.
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter
+from typing import Callable
 
 from repro.errors import PlanInfeasibleError
 from repro.fleet.model import (
@@ -41,6 +49,75 @@ def _placement(members: list[FleetMember]) -> dict[str, str]:
     return {member.name: member.machine for member in members}
 
 
+def _infeasible(
+    member: FleetMember,
+    candidates: list[str],
+    constraints: FleetConstraints,
+    intent: str,
+) -> None:
+    """The one placement-infeasibility message, shared by scan and heap."""
+    raise PlanInfeasibleError(
+        f"{intent}: no feasible destination for {member.name!r} "
+        f"(candidates {sorted(candidates)}, "
+        f"effective capacity {constraints.effective_capacity}, "
+        f"anti-affinity group {member.anti_affinity_group!r})"
+    )
+
+
+class _LoadHeap:
+    """Least-loaded-machine index: the phase-1 placement fast path.
+
+    A lazy-invalidation min-heap of ``(occupancy, name)`` entries over every
+    machine.  :meth:`adjust` pushes a fresh entry instead of re-heapifying;
+    stale entries (whose occupancy no longer matches the counter) are
+    discarded when popped — the freshest entry for each machine is always
+    present, so dropping stale ones is safe.  :meth:`pick` pops until the
+    first entry feasible for the current move and pushes the fresh-but-
+    infeasible ones back, which reproduces exactly the scan's
+    ``min(feasible, key=(occupancy, name))`` choice and tie-break.
+
+    Per move this costs O((s + 1) log machines) where *s* counts machines
+    that are more lightly loaded than the winner yet infeasible for this
+    particular move (the source, drained machines, full machines,
+    anti-affinity sites) — small in practice, versus the scan's
+    unconditional O(machines).
+    """
+
+    def __init__(self, occupancy: Counter, machines: list[str]):
+        self._occupancy = occupancy
+        self._heap: list[tuple[int, str]] = [
+            (occupancy[name], name) for name in machines
+        ]
+        heapq.heapify(self._heap)
+
+    def adjust(self, name: str, delta: int) -> None:
+        """Apply an occupancy change and index the machine's new load."""
+        self._occupancy[name] += delta
+        heapq.heappush(self._heap, (self._occupancy[name], name))
+
+    def pick(self, feasible: Callable[[str, int], bool]) -> str | None:
+        """Least-loaded machine satisfying ``feasible(name, occupancy)``.
+
+        Returns ``None`` when no machine qualifies (the caller raises the
+        same :class:`PlanInfeasibleError` as the scan path).
+        """
+        skipped: list[tuple[int, str]] = []
+        chosen: str | None = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            occupancy, name = entry
+            if occupancy != self._occupancy[name]:
+                continue  # stale: a fresher entry exists (or was consumed)
+            if feasible(name, occupancy):
+                chosen = name
+                heapq.heappush(self._heap, entry)
+                break
+            skipped.append(entry)
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        return chosen
+
+
 def _pick_destination(
     member: FleetMember,
     candidates: list[str],
@@ -49,7 +126,7 @@ def _pick_destination(
     constraints: FleetConstraints,
     intent: str,
 ) -> str:
-    """Least-loaded feasible machine for one move (phase 1)."""
+    """Least-loaded feasible machine for one move (phase 1, scan oracle)."""
     group = member.anti_affinity_group
     feasible = [
         name
@@ -58,12 +135,7 @@ def _pick_destination(
         and (group is None or name not in group_sites.get(group, set()))
     ]
     if not feasible:
-        raise PlanInfeasibleError(
-            f"{intent}: no feasible destination for {member.name!r} "
-            f"(candidates {sorted(candidates)}, "
-            f"effective capacity {constraints.effective_capacity}, "
-            f"anti-affinity group {group!r})"
-        )
+        _infeasible(member, candidates, constraints, intent)
     return min(feasible, key=lambda name: (occupancy[name], name))
 
 
@@ -74,9 +146,15 @@ def _assign_destinations(
     excluded: set[str],
     constraints: FleetConstraints,
     intent: str,
+    fast: bool = True,
 ) -> list[PlannedMove]:
     """Phase 1 over every move, tracking projected occupancy and projected
-    anti-affinity sites as assignments land."""
+    anti-affinity sites as assignments land.
+
+    ``fast=True`` (the default) picks destinations through the
+    :class:`_LoadHeap`; ``fast=False`` keeps the original linear scan as
+    the equivalence oracle.  Both produce identical plans and errors.
+    """
     occupancy = Counter(_placement(all_members).values())
     group_sites: dict[str, set[str]] = {}
     for member in all_members:
@@ -84,6 +162,7 @@ def _assign_destinations(
             group_sites.setdefault(member.anti_affinity_group, set()).add(
                 member.machine
             )
+    heap = _LoadHeap(occupancy, machines) if fast else None
     tenant_moves: Counter = Counter()
     moves: list[PlannedMove] = []
     for member in sorted(members_to_move, key=lambda m: m.name):
@@ -94,18 +173,36 @@ def _assign_destinations(
                 f"({quota}) exhausted with {member.name!r} still to move"
             )
         source = member.machine
-        candidates = [
-            name for name in machines if name != source and name not in excluded
-        ]
         group = member.anti_affinity_group
         # The mover's own slot frees up: its source stops pinning the group.
         if group is not None:
             group_sites.get(group, set()).discard(source)
-        destination = _pick_destination(
-            member, candidates, occupancy, group_sites, constraints, intent
-        )
-        occupancy[source] -= 1
-        occupancy[destination] += 1
+        if heap is not None:
+            sites = group_sites.get(group, set()) if group is not None else ()
+            destination = heap.pick(
+                lambda name, load: name != source
+                and name not in excluded
+                and load + 1 <= constraints.effective_capacity
+                and name not in sites
+            )
+            if destination is None:
+                candidates = [
+                    name
+                    for name in machines
+                    if name != source and name not in excluded
+                ]
+                _infeasible(member, candidates, constraints, intent)
+            heap.adjust(source, -1)
+            heap.adjust(destination, +1)
+        else:
+            candidates = [
+                name for name in machines if name != source and name not in excluded
+            ]
+            destination = _pick_destination(
+                member, candidates, occupancy, group_sites, constraints, intent
+            )
+            occupancy[source] -= 1
+            occupancy[destination] += 1
         if group is not None:
             group_sites.setdefault(group, set()).add(destination)
         tenant_moves[member.tenant] += 1
@@ -175,13 +272,14 @@ def plan_drain(
     machines: list[str],
     machine: str,
     constraints: FleetConstraints,
+    fast: bool = True,
 ) -> MigrationPlan:
     """Evacuate every fleet member currently on ``machine``."""
     intent = f"drain:{machine}"
     movers = [member for member in members if member.machine == machine]
     moves = _assign_destinations(
         movers, members, machines, excluded={machine}, constraints=constraints,
-        intent=intent,
+        intent=intent, fast=fast,
     )
     return MigrationPlan(
         intent=intent,
@@ -251,6 +349,7 @@ def plan_evacuate(
     machines: list[str],
     tenant: str,
     constraints: FleetConstraints,
+    fast: bool = True,
 ) -> MigrationPlan:
     """Relocate every enclave of ``tenant`` off its current machine."""
     intent = f"evacuate:{tenant}"
@@ -259,7 +358,7 @@ def plan_evacuate(
         raise PlanInfeasibleError(f"{intent}: tenant owns no fleet members")
     moves = _assign_destinations(
         movers, members, machines, excluded=set(), constraints=constraints,
-        intent=intent,
+        intent=intent, fast=fast,
     )
     return MigrationPlan(
         intent=intent,

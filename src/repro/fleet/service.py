@@ -11,7 +11,11 @@ executes plans wave by wave:
   :meth:`MigrationRequest.wave <repro.core.api.MigrationRequest.wave>` per
   (wave, destination) group, executed by ``MigratableApp._execute`` — so the
   fleet rides the exact batched stage/flush/complete protocol the chaos
-  sweeps harden;
+  sweeps harden; with ``dispatch="concurrent"`` the groups of one wave
+  overlap on the discrete-event scheduler (record-then-replay, see
+  :mod:`repro.sim.scheduler`) so the wave costs its contended makespan in
+  virtual time instead of the serial sum — same bytes, same results, only
+  the timing model changes;
 * members that park (``PENDING_RETRY``) get one in-line ``resume`` pass
   (the PR-2 retry/resume semantics), and stay typed-pending in the
   :class:`PlanResult` if the fault persists;
@@ -37,19 +41,21 @@ from repro.core.policy import PolicySet
 from repro.core.protocol import MigratableApp, MigrationEnclaveHost
 from repro.core.result import MigrationOutcome, MigrationResult
 from repro.core.retry import RetryPolicy
-from repro.errors import MigrationError, TransientError
+from repro.errors import InvalidParameterError, MigrationError, TransientError
 from repro.fleet import planner
 from repro.fleet.journal import FleetPlanJournal, FleetPlanRecord
 from repro.fleet.model import (
     FleetConstraints,
     FleetMember,
     MigrationPlan,
+    PlannedMove,
     PlanResult,
     Wave,
     WaveOutcome,
     already_complete_result,
 )
 from repro.fleet.preflight import run_preflight
+from repro.sim.scheduler import Scheduler, TraceRecorder
 
 #: Boundary callback: ``hook(stage, wave_index)``; ``wave_index`` is -1 for
 #: the plan-level ``planned`` / ``complete`` boundaries.
@@ -71,7 +77,24 @@ class FleetService:
     #: Advisory request metadata: whether the fleet's MEs were installed
     #: with the attested-session cache (recorded into every request).
     session_resumption: bool = False
+    #: ``"serial"`` executes a wave's per-destination groups one after the
+    #: other on the virtual clock (the original behavior); ``"concurrent"``
+    #: records each group's synchronous run as a segment trace and replays
+    #: all groups together on the discrete-event scheduler, so the wave's
+    #: virtual duration is the contended makespan instead of the sum.  The
+    #: protocol bytes are identical either way — the groups execute in the
+    #: same order with the same RNG draws; only the virtual timing differs.
+    dispatch: str = "serial"
     members: dict[str, FleetMember] = field(default_factory=dict)
+    #: The scheduler of the most recent concurrent wave (observability:
+    #: event log, per-machine CPU busy totals, makespan).
+    last_schedule: "Scheduler | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.dispatch not in ("serial", "concurrent"):
+            raise InvalidParameterError(
+                f"unknown dispatch mode {self.dispatch!r}"
+            )
 
     # ------------------------------------------------------------ registry
     def register(
@@ -144,33 +167,81 @@ class FleetService:
         journal.clear()
         return outcome
 
+    def _wave_groups(self, wave: Wave) -> list[tuple[str, list[PlannedMove]]]:
+        """The wave's moves grouped by destination, in the (sorted) order
+        both dispatch modes execute them."""
+        groups: dict[str, list[PlannedMove]] = {}
+        for move in wave.moves:
+            groups.setdefault(move.destination, []).append(move)
+        return [(destination, groups[destination]) for destination in sorted(groups)]
+
     def _dispatch_wave(self, wave: Wave) -> dict[str, MigrationResult]:
         """One batched request per (wave, destination) group, then a single
         resume pass over members that parked."""
-        results: dict[str, MigrationResult] = {}
-        destinations = sorted({move.destination for move in wave.moves})
-        for destination in destinations:
-            batch = [
-                self.members[move.app_name].app
-                for move in wave.moves
-                if move.destination == destination
-            ]
-            batch_results = MigratableApp._execute(
-                MigrationRequest.wave(
-                    batch,
-                    destination,
-                    retry_policy=self.retry_policy,
-                    session_resumption=self.session_resumption,
-                )
-            )
-            for app, result in zip(batch, batch_results):
-                results[app.app_name] = result
+        groups = self._wave_groups(wave)
+        if self.dispatch == "concurrent" and len(groups) > 1:
+            results = self._dispatch_groups_concurrent(wave, groups)
+        else:
+            results = self._dispatch_groups_serial(groups)
         for move in wave.moves:
             result = results[move.app_name]
             if result.outcome is MigrationOutcome.PENDING_RETRY:
                 results[move.app_name] = self._try_resume(
                     self.members[move.app_name].app, fallback=result
                 )
+        return results
+
+    def _group_request(
+        self, destination: str, moves: list[PlannedMove]
+    ) -> tuple[list[MigratableApp], MigrationRequest]:
+        batch = [self.members[move.app_name].app for move in moves]
+        return batch, MigrationRequest.wave(
+            batch,
+            destination,
+            retry_policy=self.retry_policy,
+            session_resumption=self.session_resumption,
+        )
+
+    def _dispatch_groups_serial(
+        self, groups: list[tuple[str, list[PlannedMove]]]
+    ) -> dict[str, MigrationResult]:
+        results: dict[str, MigrationResult] = {}
+        for destination, moves in groups:
+            batch, request = self._group_request(destination, moves)
+            batch_results = MigratableApp._execute(request)
+            for app, result in zip(batch, batch_results):
+                results[app.app_name] = result
+        return results
+
+    def _dispatch_groups_concurrent(
+        self, wave: Wave, groups: list[tuple[str, list[PlannedMove]]]
+    ) -> dict[str, MigrationResult]:
+        """Record each destination group's synchronous run as a segment
+        trace (clock frozen, bytes and RNG identical to serial dispatch),
+        then replay every trace as a concurrent scheduler process with
+        per-machine CPU and per-link bandwidth contention.  The clock ends
+        at the contended makespan — what a wave whose groups genuinely
+        overlap would take — instead of the serial sum."""
+        meter = self.dc.meter
+        results: dict[str, MigrationResult] = {}
+        recorded: list[tuple[str, TraceRecorder]] = []
+        for destination, moves in groups:
+            batch, request = self._group_request(destination, moves)
+            recorder = TraceRecorder(home=moves[0].source)
+            with meter.recording(recorder):
+                batch_results = MigratableApp._execute(request)
+            for app, result in zip(batch, batch_results):
+                results[app.app_name] = result
+            recorded.append((destination, recorder))
+        scheduler = Scheduler(self.dc.clock)
+        for destination, recorder in recorded:
+            scheduler.spawn(
+                f"wave-{wave.index}->{destination}",
+                recorder.replay(),
+                home=recorder.home,
+            )
+        scheduler.run()
+        self.last_schedule = scheduler
         return results
 
     def _try_resume(

@@ -65,6 +65,10 @@ class Enclave:
     enclave_id: str = field(default_factory=lambda: f"enc-{next(_enclave_counter)}")
     state: EnclaveState = EnclaveState.ALIVE
     ocall_handlers: dict[str, Callable] = field(default_factory=dict)
+    #: Hosting machine, for CPU attribution when a trace recorder is active
+    #: (set by :meth:`PhysicalMachine.load_enclave`; ``None`` for enclaves
+    #: built outside a machine, e.g. unit-test fixtures).
+    machine_name: str | None = None
 
     def register_ocall(self, name: str, handler: Callable) -> None:
         """Host registers an untrusted function the enclave may OCALL."""
@@ -78,6 +82,15 @@ class Enclave:
         if method is None or not getattr(method, _ECALL_ATTR, False):
             raise InvalidParameterError(f"{name!r} is not a declared ECALL")
         if self.meter is not None:
+            if (
+                getattr(self.meter, "recorder", None) is not None
+                and self.machine_name is not None
+            ):
+                # Trace capture: everything this ECALL charges belongs to
+                # the hosting machine's CPU in the discrete-event replay.
+                with self.meter.located(self.machine_name):
+                    self.meter.charge("ecall", self.meter.model.ecall)
+                    return method(*args, **kwargs)
             self.meter.charge("ecall", self.meter.model.ecall)
         return method(*args, **kwargs)
 

@@ -1,7 +1,30 @@
-"""Simulation substrate: virtual time, calibrated cost model, deterministic RNG."""
+"""Simulation substrate: virtual time, calibrated cost model, deterministic
+RNG, and the discrete-event scheduler for concurrent virtual-time work."""
 
 from repro.sim.clock import Timer, VirtualClock
 from repro.sim.costs import CostMeter, CostModel
 from repro.sim.rng import DeterministicRng
+from repro.sim.scheduler import (
+    Charge,
+    EventQueue,
+    Process,
+    Scheduler,
+    Sleep,
+    TraceRecorder,
+    Transfer,
+)
 
-__all__ = ["Timer", "VirtualClock", "CostMeter", "CostModel", "DeterministicRng"]
+__all__ = [
+    "Timer",
+    "VirtualClock",
+    "CostMeter",
+    "CostModel",
+    "DeterministicRng",
+    "Charge",
+    "EventQueue",
+    "Process",
+    "Scheduler",
+    "Sleep",
+    "TraceRecorder",
+    "Transfer",
+]

@@ -35,6 +35,19 @@ class VirtualClock:
             raise ValueError(f"cannot advance clock by negative time: {seconds}")
         self._now += seconds
 
+    def advance_to(self, instant: float) -> None:
+        """Jump forward to an absolute virtual instant (never backward).
+
+        This is the :class:`~repro.sim.scheduler.Scheduler`'s interface: as
+        the event engine dispatches timed events it drags the clock along,
+        so during a scheduler run the clock is a view over the event clock.
+        """
+        if instant < self._now:
+            raise ValueError(
+                f"cannot rewind clock from {self._now} to {instant}"
+            )
+        self._now = instant
+
     def timer(self) -> "Timer":
         """Start a stopwatch against this clock."""
         return Timer(self)

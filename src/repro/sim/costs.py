@@ -18,8 +18,11 @@ Calibration sources (Section VII-B of the paper):
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Any
 
+from repro.errors import InvalidStateError
 from repro.sim.clock import VirtualClock
 from repro.sim.rng import DeterministicRng
 
@@ -102,8 +105,19 @@ class CostModel:
 class CostMeter:
     """Binds a :class:`CostModel` to a clock and RNG and charges costs.
 
-    One meter exists per simulated physical machine, so all components on a
-    machine share a clock, and experiments stay deterministic under a seed.
+    One meter exists per data center, so all components share a clock and
+    experiments stay deterministic under a seed.
+
+    Trace capture (the discrete-event concurrency path): attaching a
+    recorder via :meth:`recording` diverts every charge into it instead of
+    the clock — the protocol code runs unchanged (same calls, same RNG
+    draws) while the clock stays frozen; the recorded trace is later
+    replayed by :class:`~repro.sim.scheduler.Scheduler` with resource
+    contention, and only then does the clock move.  The :meth:`located` and
+    :meth:`on_link` contexts attribute charges to a machine's CPU or a
+    directed network link for that replay; both are inert no-ops whenever
+    no recorder is attached, which is how every sequential code path stays
+    byte-identical.
     """
 
     model: CostModel
@@ -111,23 +125,72 @@ class CostMeter:
     rng: DeterministicRng
     enabled: bool = True
     charges: list[tuple[str, float]] = field(default_factory=list)
+    #: Trace sink (``record(label, seconds, location, link)``); ``None`` =
+    #: normal operation, charges advance the clock directly.
+    recorder: Any = None
+    #: Machine currently accountable for CPU charges (recording only).
+    location: str | None = None
+    #: Directed link ``(src_machine, dst_machine)`` accountable for network
+    #: charges (recording only).
+    link: tuple[str, str] | None = None
 
     def charge(self, label: str, mean_cost: float) -> float:
         """Charge a noisy sample of ``mean_cost``; returns the charged time."""
         if not self.enabled:
             return 0.0
         cost = self.model.noisy(mean_cost, self.rng)
-        self.clock.advance(cost)
-        self.charges.append((label, cost))
+        self._commit(label, cost)
         return cost
 
     def charge_exact(self, label: str, cost: float) -> float:
         """Charge an exact (noise-free) cost, e.g. deterministic transfer."""
         if not self.enabled:
             return 0.0
-        self.clock.advance(cost)
-        self.charges.append((label, cost))
+        self._commit(label, cost)
         return cost
+
+    def _commit(self, label: str, cost: float) -> None:
+        if self.recorder is not None:
+            self.recorder.record(label, cost, self.location, self.link)
+        else:
+            self.clock.advance(cost)
+        self.charges.append((label, cost))
 
     def reset_charges(self) -> None:
         self.charges.clear()
+
+    # ----------------------------------------------------- trace attribution
+    @contextmanager
+    def recording(self, recorder: Any):
+        """Divert charges into ``recorder`` for the duration of the block.
+
+        Not reentrant: one trace is recorded at a time (concurrency comes
+        from replaying many traces, not from nesting recordings).
+        """
+        if self.recorder is not None:
+            raise InvalidStateError("a trace recording is already in progress")
+        self.recorder = recorder
+        try:
+            yield recorder
+        finally:
+            self.recorder = None
+            self.location = None
+            self.link = None
+
+    @contextmanager
+    def located(self, machine: str):
+        """Attribute CPU charges in the block to ``machine``."""
+        previous, self.location = self.location, machine
+        try:
+            yield
+        finally:
+            self.location = previous
+
+    @contextmanager
+    def on_link(self, src_machine: str, dst_machine: str):
+        """Attribute network charges in the block to the directed link."""
+        previous, self.link = self.link, (src_machine, dst_machine)
+        try:
+            yield
+        finally:
+            self.link = previous

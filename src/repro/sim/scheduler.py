@@ -1,0 +1,416 @@
+"""Deterministic discrete-event simulation core.
+
+The synchronous simulator executes one call stack at a time: ``Network.send``
+is a nested function call and :class:`~repro.sim.clock.VirtualClock` is a
+single serial timeline, so two migrations can never overlap in virtual time.
+This module supplies the missing half: a :class:`Scheduler` that owns a
+priority queue of timed events (stable FIFO tie-breaking, so a seed fully
+determines the event order) and a cooperative process abstraction —
+generator-based coroutines that ``yield`` :class:`Charge`, :class:`Transfer`,
+and :class:`Sleep` segments.
+
+Resources are *contended*, not summed:
+
+* **CPU** — charges on one machine serialize FIFO (non-preemptive); charges
+  on different machines overlap freely.
+* **Links** — concurrent transfers on the same directed ``src -> dst`` link
+  share the pipe via processor sharing (each of *n* in-flight transfers
+  progresses at ``1/n`` of link rate, recomputed at every join/finish).
+* **Sleeps** — pure latency (RTTs, retry backoff, injected fault delays);
+  contend with nothing.
+
+How the sequential paths stay wire-byte identical: concurrency is layered
+*on top* of the existing synchronous protocol via record-then-replay.  A
+:class:`TraceRecorder` attached to the :class:`~repro.sim.costs.CostMeter`
+diverts every charge into a per-process trace instead of the clock while the
+protocol runs exactly as before (same calls, same RNG draws, same bytes on
+the wire); the recorded traces are then replayed as concurrent scheduler
+processes, and only *then* does the clock advance — to the makespan the
+contended schedule produced.  Code that never records (every sequential
+entry point) never touches this module and charges the clock exactly as it
+always has.
+
+The scheduler drives the clock it is given: every event dispatch calls
+:meth:`VirtualClock.advance_to`, making the ``VirtualClock`` a live view
+over the scheduler's event clock for the duration of a run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import InvalidParameterError, InvalidStateError
+from repro.sim.clock import VirtualClock
+
+#: Residual link demand below this is a completed transfer (absorbs the
+#: float error of settling elapsed processor-sharing time).  The tolerance
+#: must also scale with the clock reading: at ``now ~ 1e2`` one ulp is
+#: ``~1e-14``, so an absolute-only epsilon can leave a residue too small to
+#: ever advance the clock — a zero-time event loop.  See :func:`_finished`.
+_LINK_EPSILON = 1e-15
+_LINK_REL_EPSILON = 1e-12
+
+
+def _finished(remaining: float, now: float) -> bool:
+    """Is a transfer with ``remaining`` full-rate seconds of demand done?
+
+    True when the residue is below the absolute epsilon *or* below the
+    relative tolerance at the current clock magnitude (a residue that small
+    could not measurably delay the completion anyway).
+    """
+    return remaining <= max(_LINK_EPSILON, abs(now) * _LINK_REL_EPSILON)
+
+#: Meter labels that are pure latency: they occupy neither a CPU nor a link.
+LATENCY_LABELS = frozenset({"net_rtt", "retry_backoff", "fault_delay"})
+
+#: The meter label the network charges for bandwidth-proportional time.
+TRANSFER_LABEL = "net_transfer"
+
+
+# ------------------------------------------------------------------ segments
+@dataclass(frozen=True)
+class Charge:
+    """Occupy one machine's CPU for ``seconds`` (FIFO, non-preemptive).
+
+    ``machine=None`` resolves to the owning process's home machine.
+    """
+
+    seconds: float
+    machine: str | None = None
+    label: str = "cpu"
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Pure delay — latency, backoff; contends with nothing."""
+
+    seconds: float
+    label: str = "sleep"
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """Demand ``seconds`` of full-rate time on the directed ``src -> dst``
+    link; concurrent transfers on the link share its rate fairly."""
+
+    seconds: float
+    src: str
+    dst: str
+    label: str = TRANSFER_LABEL
+
+
+Segment = Charge | Sleep | Transfer
+
+
+def _normalize(segment: Any) -> Segment:
+    if isinstance(segment, (Charge, Sleep, Transfer)):
+        return segment
+    if isinstance(segment, (int, float)):
+        return Sleep(float(segment))
+    raise InvalidParameterError(
+        f"process yielded {segment!r}; expected Charge/Sleep/Transfer or seconds"
+    )
+
+
+# --------------------------------------------------------------- event queue
+@dataclass(order=True)
+class Event:
+    """One scheduled occurrence; ``seq`` breaks time ties FIFO."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Priority queue of timed events with stable FIFO tie-breaking.
+
+    Two events at the same virtual instant fire in the order they were
+    scheduled — the property that makes a seed fully determine a run.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        event = Event(time=time, seq=next(self._seq), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+# ------------------------------------------------------------------- process
+@dataclass
+class Process:
+    """One cooperative coroutine driven by the scheduler."""
+
+    name: str
+    home: str | None
+    gen: Generator[Any, None, None] = field(repr=False)
+    started_at: float = 0.0
+    finished_at: float | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+
+class _Link:
+    """Processor-sharing state of one directed link.
+
+    ``members`` maps a transfer token to its remaining full-rate demand in
+    seconds; with *n* members each progresses at rate ``1/n``.  The link
+    settles elapsed time lazily at every membership change and keeps a
+    version counter so superseded completion events are ignored.
+    """
+
+    def __init__(self, key: tuple[str, str]) -> None:
+        self.key = key
+        self.members: dict[int, tuple[float, Process]] = {}
+        self.last_settled = 0.0
+        self.version = 0
+
+    def settle(self, now: float) -> None:
+        n = len(self.members)
+        if n:
+            share = (now - self.last_settled) / n
+            for token, (remaining, proc) in self.members.items():
+                self.members[token] = (remaining - share, proc)
+        self.last_settled = now
+
+    def next_completion(self, now: float) -> float | None:
+        if not self.members:
+            return None
+        shortest = min(remaining for remaining, _ in self.members.values())
+        return now + max(shortest, 0.0) * len(self.members)
+
+
+class Scheduler:
+    """A deterministic discrete-event engine over a :class:`VirtualClock`.
+
+    Spawn processes, then :meth:`run`; the clock is advanced event by event
+    (``advance_to``) so ``clock.now`` is a view of the event clock while the
+    scheduler runs.  Per-machine CPU busy totals, per-process completion
+    times, and the full event log are exposed for tests and golden pins.
+    """
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._now = self.clock.now
+        self._queue = EventQueue()
+        self.processes: list[Process] = []
+        self._cpu_free: dict[str, float] = {}
+        self.cpu_busy: dict[str, float] = {}
+        self._links: dict[tuple[str, str], _Link] = {}
+        self._token = itertools.count()
+        self.event_log: list[dict] = []
+        self._running = False
+
+    # ------------------------------------------------------------- spawning
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def spawn(
+        self,
+        name: str,
+        gen: Generator[Any, None, None] | Iterable[Any],
+        *,
+        home: str | None = None,
+    ) -> Process:
+        """Register a coroutine; it takes its first step when :meth:`run`
+        reaches its start event (scheduled immediately, FIFO with peers)."""
+        process = Process(name=name, home=home, gen=iter(gen), started_at=self._now)
+        self.processes.append(process)
+        self._log("spawn", process.name)
+        self._queue.push(self._now, lambda: self._step(process))
+        return process
+
+    # ------------------------------------------------------------ execution
+    def run(self) -> float:
+        """Drain the event queue; returns (and leaves the clock at) the
+        virtual time of the last event — the schedule's makespan."""
+        if self._running:
+            raise InvalidStateError("scheduler is already running")
+        self._running = True
+        try:
+            while len(self._queue):
+                event = self._queue.pop()
+                if event.time > self._now:
+                    self._now = event.time
+                    self.clock.advance_to(self._now)
+                event.action()
+        finally:
+            self._running = False
+        for process in self.processes:
+            if not process.done:
+                raise InvalidStateError(
+                    f"process {process.name!r} never finished (empty queue "
+                    "with a blocked process is a scheduler bug)"
+                )
+        return self._now
+
+    # ----------------------------------------------------------- dispatching
+    def _step(self, process: Process) -> None:
+        try:
+            segment = _normalize(next(process.gen))
+        except StopIteration:
+            process.finished_at = self._now
+            self._log("exit", process.name)
+            return
+        if isinstance(segment, Charge):
+            self._dispatch_charge(process, segment)
+        elif isinstance(segment, Transfer):
+            self._dispatch_transfer(process, segment)
+        else:
+            self._log("sleep", process.name, seconds=segment.seconds)
+            self._queue.push(self._now + segment.seconds, lambda: self._step(process))
+
+    def _dispatch_charge(self, process: Process, segment: Charge) -> None:
+        machine = segment.machine or process.home
+        if machine is None:
+            raise InvalidParameterError(
+                f"process {process.name!r} charged CPU with no machine and no home"
+            )
+        start = max(self._now, self._cpu_free.get(machine, self._now))
+        finish = start + segment.seconds
+        self._cpu_free[machine] = finish
+        self.cpu_busy[machine] = self.cpu_busy.get(machine, 0.0) + segment.seconds
+        self._log(
+            "charge", process.name, machine=machine, seconds=segment.seconds,
+            queued=start - self._now,
+        )
+        self._queue.push(finish, lambda: self._step(process))
+
+    def _dispatch_transfer(self, process: Process, segment: Transfer) -> None:
+        key = (segment.src, segment.dst)
+        link = self._links.get(key)
+        if link is None:
+            link = self._links[key] = _Link(key)
+            link.last_settled = self._now
+        link.settle(self._now)
+        link.members[next(self._token)] = (segment.seconds, process)
+        self._log(
+            "transfer", process.name, link=f"{segment.src}->{segment.dst}",
+            seconds=segment.seconds, sharing=len(link.members),
+        )
+        self._reschedule_link(link)
+
+    def _reschedule_link(self, link: _Link) -> None:
+        link.version += 1
+        completion = link.next_completion(self._now)
+        if completion is None:
+            return
+        version = link.version
+        self._queue.push(completion, lambda: self._link_event(link, version))
+
+    def _link_event(self, link: _Link, version: int) -> None:
+        if version != link.version:
+            return  # superseded by a later join/finish
+        link.settle(self._now)
+        finished = [
+            token
+            for token, (remaining, _) in link.members.items()
+            if _finished(remaining, self._now)
+        ]
+        for token in finished:
+            _, process = link.members.pop(token)
+            self._log("transfer_done", process.name, link=f"{link.key[0]}->{link.key[1]}")
+            self._queue.push(self._now, lambda p=process: self._step(p))
+        self._reschedule_link(link)
+
+    # -------------------------------------------------------------- logging
+    def _log(self, kind: str, process: str, **detail) -> None:
+        entry = {"t": self._now, "event": kind, "process": process}
+        entry.update(detail)
+        self.event_log.append(entry)
+
+    # ------------------------------------------------------------ reporting
+    def makespan(self) -> float:
+        """Virtual time from the first spawn to the last completion."""
+        if not self.processes:
+            return 0.0
+        return max(p.finished_at or self._now for p in self.processes) - min(
+            p.started_at for p in self.processes
+        )
+
+
+# ------------------------------------------------------------ trace capture
+class TraceRecorder:
+    """Captures one synchronous protocol run as a replayable segment trace.
+
+    Attach via :meth:`CostMeter.recording <repro.sim.costs.CostMeter.
+    recording>`: every charge is diverted here (the clock stays frozen) and
+    classified using the meter's attribution context:
+
+    * charges under a :meth:`~repro.sim.costs.CostMeter.on_link` context
+      with the ``net_transfer`` label become :class:`Transfer` segments;
+    * latency labels (RTT, retry backoff, injected fault delay) become
+      :class:`Sleep` segments;
+    * everything else becomes CPU :class:`Charge` on the meter's current
+      :meth:`~repro.sim.costs.CostMeter.located` machine (falling back to
+      the recorder's ``home``), with adjacent same-machine charges coalesced
+      so replay stays compact at fleet scale.
+    """
+
+    def __init__(self, home: str | None = None) -> None:
+        self.home = home
+        self.segments: list[Segment] = []
+
+    def record(
+        self,
+        label: str,
+        seconds: float,
+        location: str | None,
+        link: tuple[str, str] | None,
+    ) -> None:
+        if label in LATENCY_LABELS:
+            self.segments.append(Sleep(seconds, label))
+            return
+        if link is not None:
+            # Any non-latency charge inside an on_link context is bandwidth
+            # on that directed pipe (protocol payloads, VM pre-copy rounds).
+            self.segments.append(Transfer(seconds, link[0], link[1], label))
+            return
+        if label == TRANSFER_LABEL:
+            # Bandwidth time charged outside any link context (e.g. a disk
+            # image copy): no pipe to contend on, but it is not CPU work
+            # either — it replays as pure latency.
+            self.segments.append(Sleep(seconds, label))
+            return
+        machine = location or self.home
+        if self.segments:
+            previous = self.segments[-1]
+            if isinstance(previous, Charge) and previous.machine == machine:
+                self.segments[-1] = replace(
+                    previous, seconds=previous.seconds + seconds
+                )
+                return
+        self.segments.append(Charge(seconds, machine, label))
+
+    def replay(self) -> Generator[Segment, None, None]:
+        """A fresh coroutine that re-enacts the recorded segments."""
+        return (segment for segment in self.segments)
+
+    def total_seconds(self) -> float:
+        """Serial duration of the trace (what the sequential path would
+        have charged): the sum of every segment's demand."""
+        return sum(segment.seconds for segment in self.segments)
+
+    def cpu_seconds(self) -> dict[str, float]:
+        """Per-machine CPU demand in the trace."""
+        totals: dict[str, float] = {}
+        for segment in self.segments:
+            if isinstance(segment, Charge):
+                machine = segment.machine or self.home or "?"
+                totals[machine] = totals.get(machine, 0.0) + segment.seconds
+        return totals

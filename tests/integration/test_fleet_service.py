@@ -231,3 +231,21 @@ class TestGoldenPlan:
         demo = build_demo_fleet(seed=0)
         plan = demo.service.plan_drain("fleet-0")
         assert plan.to_dict() == golden
+
+    def test_heap_fast_path_matches_scan_oracle_on_golden_plan(self):
+        """The heap-based placement (the default) and the retired linear
+        scan must both reproduce the golden plan — placement is
+        byte-identical across the fast-path swap."""
+        from repro.fleet.planner import plan_drain
+
+        golden = json.loads((GOLDEN_DIR / "fleet_plan_seed0.json").read_text())
+        demo = build_demo_fleet(seed=0)
+        members = list(demo.service.members.values())
+        machines = demo.service.machine_names()
+        constraints = demo.service.constraints
+        heap_plan = plan_drain(members, machines, "fleet-0", constraints)
+        scan_plan = plan_drain(
+            members, machines, "fleet-0", constraints, fast=False
+        )
+        assert heap_plan.to_dict() == golden
+        assert scan_plan.to_dict() == golden

@@ -115,6 +115,34 @@ class TestNetwork:
         net.send("machine-b", "machine-a/svc5", b"hello")
         assert net.messages_sent == sent_before + 1
 
+    def test_duplicate_delivery_counts_in_odometers(self, datacenter):
+        """Regression: the fault injector's duplicate leg runs the handler a
+        second time but historically left ``messages_sent``/``bytes_sent``
+        untouched — the extra delivery is real traffic and must count."""
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+        from repro.sim.rng import DeterministicRng
+
+        net = datacenter.network
+        calls = []
+        net.register("machine-a/svc6", lambda payload, src: calls.append(1) or b"ok")
+        net.fault_injector = FaultInjector(
+            plan=FaultPlan().duplicate(direction="request"),
+            rng=DeterministicRng(7).child("faults"),
+            machines={},
+            meter=datacenter.meter,
+        )
+        try:
+            sent_before, bytes_before = net.messages_sent, net.bytes_sent
+            response = net.send("machine-b", "machine-a/svc6", b"hello")
+        finally:
+            net.fault_injector = None
+        assert response == b"ok"
+        assert len(calls) == 2  # handler really ran twice
+        # Two request deliveries + the payload twice + one response.
+        assert net.messages_sent == sent_before + 2
+        assert net.bytes_sent == bytes_before + 2 * len(b"hello") + len(b"ok")
+
 
 class TestProxiedPse:
     def test_same_semantics_as_direct(self, datacenter):

@@ -273,3 +273,87 @@ class TestPlanSerialization:
         first = plan_drain(members, MACHINES, "m-0", FleetConstraints())
         second = plan_drain(members, MACHINES, "m-0", FleetConstraints())
         assert first.to_dict() == second.to_dict()
+
+
+class TestHeapFastPath:
+    """The ``_LoadHeap`` placement fast path must be indistinguishable from
+    the linear scan it replaced — same plans, same errors, byte for byte."""
+
+    def _random_fleet(self, rng, machine_count, member_count):
+        machines = [f"m-{i}" for i in range(machine_count)]
+        members = []
+        for i in range(member_count):
+            group = f"g{rng.randrange(3)}" if rng.random() < 0.3 else None
+            members.append(
+                member(
+                    f"a{i:03d}",
+                    rng.choice(machines),
+                    tenant=f"t{rng.randrange(4)}",
+                    group=group,
+                )
+            )
+        return machines, members
+
+    def test_drain_heap_matches_scan_on_random_fleets(self):
+        import random
+
+        rng = random.Random(2018)
+        for trial in range(25):
+            machines, members = self._random_fleet(
+                rng, rng.randrange(3, 9), rng.randrange(4, 25)
+            )
+            constraints = FleetConstraints(
+                machine_capacity=rng.randrange(6, 16),
+                capacity_headroom=rng.randrange(0, 2),
+            )
+            target = rng.choice(machines)
+            fast_err = scan_err = None
+            try:
+                fast_plan = plan_drain(members, machines, target, constraints)
+            except PlanInfeasibleError as exc:
+                fast_err = str(exc)
+            try:
+                scan_plan = plan_drain(
+                    members, machines, target, constraints, fast=False
+                )
+            except PlanInfeasibleError as exc:
+                scan_err = str(exc)
+            assert fast_err == scan_err, f"trial {trial}"
+            if fast_err is None:
+                assert fast_plan.to_dict() == scan_plan.to_dict(), f"trial {trial}"
+
+    def test_evacuate_heap_matches_scan_on_random_fleets(self):
+        import random
+
+        rng = random.Random(99)
+        for trial in range(25):
+            machines, members = self._random_fleet(
+                rng, rng.randrange(3, 9), rng.randrange(4, 25)
+            )
+            constraints = FleetConstraints(machine_capacity=rng.randrange(6, 16))
+            tenant = f"t{rng.randrange(4)}"
+            if not any(m.tenant == tenant for m in members):
+                continue
+            fast_err = scan_err = None
+            try:
+                fast_plan = plan_evacuate(members, machines, tenant, constraints)
+            except PlanInfeasibleError as exc:
+                fast_err = str(exc)
+            try:
+                scan_plan = plan_evacuate(
+                    members, machines, tenant, constraints, fast=False
+                )
+            except PlanInfeasibleError as exc:
+                scan_err = str(exc)
+            assert fast_err == scan_err, f"trial {trial}"
+            if fast_err is None:
+                assert fast_plan.to_dict() == scan_plan.to_dict(), f"trial {trial}"
+
+    def test_heap_infeasibility_message_identical_to_scan(self):
+        members = [member("a", "m-0", group="g"), member("b", "m-1", group="g")]
+        machines = ["m-0", "m-1"]
+        with pytest.raises(PlanInfeasibleError) as fast_exc:
+            plan_drain(members, machines, "m-0", FleetConstraints())
+        with pytest.raises(PlanInfeasibleError) as scan_exc:
+            plan_drain(members, machines, "m-0", FleetConstraints(), fast=False)
+        assert str(fast_exc.value) == str(scan_exc.value)

@@ -1,0 +1,304 @@
+"""Unit tests for the discrete-event simulation core (repro.sim.scheduler).
+
+Pins the contracts the concurrent fleet dispatch rides on: stable FIFO
+tie-breaking in the event queue, FIFO non-preemptive CPU contention,
+processor-sharing link math, trace-recorder segment mapping, the meter's
+recording/attribution contexts, and bit-for-bit determinism of full runs.
+"""
+
+import pytest
+
+from repro.errors import InvalidParameterError, InvalidStateError
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostMeter, CostModel
+from repro.sim.rng import DeterministicRng
+from repro.sim.scheduler import (
+    Charge,
+    EventQueue,
+    Scheduler,
+    Sleep,
+    TraceRecorder,
+    Transfer,
+)
+
+
+def meter(seed=0):
+    return CostMeter(
+        model=CostModel(), clock=VirtualClock(), rng=DeterministicRng(seed)
+    )
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("late"))
+        queue.push(1.0, lambda: order.append("early"))
+        while len(queue):
+            queue.pop().action()
+        assert order == ["early", "late"]
+
+    def test_ties_break_fifo(self):
+        queue = EventQueue()
+        order = []
+        for i in range(10):
+            queue.push(1.0, lambda i=i: order.append(i))
+        while len(queue):
+            queue.pop().action()
+        assert order == list(range(10))
+
+
+class TestSchedulerBasics:
+    def test_sleeps_advance_the_clock(self):
+        clock = VirtualClock()
+        sched = Scheduler(clock)
+        sched.spawn("p", iter([Sleep(1.5), Sleep(0.5)]))
+        final = sched.run()
+        assert final == pytest.approx(2.0)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_bare_numbers_are_sleeps(self):
+        sched = Scheduler()
+        sched.spawn("p", iter([1.0, 2]))
+        assert sched.run() == pytest.approx(3.0)
+
+    def test_invalid_yield_is_typed(self):
+        sched = Scheduler()
+        sched.spawn("p", iter(["not a segment"]))
+        with pytest.raises(InvalidParameterError, match="expected Charge"):
+            sched.run()
+
+    def test_charge_without_machine_or_home_is_typed(self):
+        sched = Scheduler()
+        sched.spawn("p", iter([Charge(1.0)]))
+        with pytest.raises(InvalidParameterError, match="no machine and no home"):
+            sched.run()
+
+    def test_charge_machine_falls_back_to_home(self):
+        sched = Scheduler()
+        sched.spawn("p", iter([Charge(1.0)]), home="m-0")
+        sched.run()
+        assert sched.cpu_busy == {"m-0": pytest.approx(1.0)}
+
+    def test_clock_never_rewinds(self):
+        clock = VirtualClock()
+        clock.advance(5.0)
+        with pytest.raises(ValueError, match="cannot rewind"):
+            clock.advance_to(1.0)
+
+
+class TestCpuContention:
+    def test_same_machine_charges_serialize_fifo(self):
+        sched = Scheduler()
+        a = sched.spawn("a", iter([Charge(1.0, "m-0")]))
+        b = sched.spawn("b", iter([Charge(1.0, "m-0")]))
+        final = sched.run()
+        # Non-preemptive FIFO: b waits for a, makespan is the sum.
+        assert final == pytest.approx(2.0)
+        assert a.finished_at == pytest.approx(1.0)
+        assert b.finished_at == pytest.approx(2.0)
+        assert sched.cpu_busy["m-0"] == pytest.approx(2.0)
+
+    def test_different_machines_overlap(self):
+        sched = Scheduler()
+        sched.spawn("a", iter([Charge(1.0, "m-0")]))
+        sched.spawn("b", iter([Charge(1.0, "m-1")]))
+        assert sched.run() == pytest.approx(1.0)
+
+    def test_spawn_order_decides_cpu_queue_order(self):
+        sched = Scheduler()
+        first = sched.spawn("first", iter([Charge(1.0, "m-0")]))
+        second = sched.spawn("second", iter([Charge(2.0, "m-0")]))
+        sched.run()
+        assert first.finished_at < second.finished_at
+
+
+class TestLinkSharing:
+    def test_two_equal_transfers_halve_the_rate(self):
+        sched = Scheduler()
+        a = sched.spawn("a", iter([Transfer(1.0, "m-0", "m-1")]))
+        b = sched.spawn("b", iter([Transfer(1.0, "m-0", "m-1")]))
+        final = sched.run()
+        # Each holds half the pipe: both need 2 s of wall time.
+        assert final == pytest.approx(2.0)
+        assert a.finished_at == pytest.approx(2.0)
+        assert b.finished_at == pytest.approx(2.0)
+
+    def test_staggered_join_processor_sharing_math(self):
+        sched = Scheduler()
+        a = sched.spawn("a", iter([Transfer(2.0, "m-0", "m-1")]))
+        b = sched.spawn("b", iter([Sleep(1.0), Transfer(2.0, "m-0", "m-1")]))
+        sched.run()
+        # a alone for 1 s (1.0 demand left), then shared: a's last 1.0 takes
+        # 2 s of wall time -> a done at 3.0; over those 2 s b also drains
+        # 1.0 of its 2.0 demand, then finishes alone -> done at 4.0.
+        assert a.finished_at == pytest.approx(3.0)
+        assert b.finished_at == pytest.approx(4.0)
+
+    def test_opposite_directions_are_separate_links(self):
+        sched = Scheduler()
+        sched.spawn("a", iter([Transfer(1.0, "m-0", "m-1")]))
+        sched.spawn("b", iter([Transfer(1.0, "m-1", "m-0")]))
+        assert sched.run() == pytest.approx(1.0)
+
+    def test_disjoint_links_do_not_contend(self):
+        sched = Scheduler()
+        sched.spawn("a", iter([Transfer(1.0, "m-0", "m-1")]))
+        sched.spawn("b", iter([Transfer(1.0, "m-2", "m-3")]))
+        assert sched.run() == pytest.approx(1.0)
+
+
+class TestDeterminism:
+    def _world(self):
+        sched = Scheduler()
+        for i in range(4):
+            sched.spawn(
+                f"p{i}",
+                iter(
+                    [
+                        Charge(0.25, f"m-{i % 2}"),
+                        Transfer(0.5, f"m-{i % 2}", "m-9"),
+                        Sleep(0.1),
+                        Charge(0.1, f"m-{i % 2}"),
+                    ]
+                ),
+            )
+        return sched
+
+    def test_identical_runs_produce_identical_logs(self):
+        one, two = self._world(), self._world()
+        t1, t2 = one.run(), two.run()
+        assert t1 == t2
+        assert one.event_log == two.event_log
+        assert one.cpu_busy == two.cpu_busy
+
+    def test_makespan_spans_first_spawn_to_last_exit(self):
+        sched = self._world()
+        final = sched.run()
+        assert sched.makespan() == pytest.approx(final)
+
+
+class TestTraceRecorder:
+    def test_label_mapping(self):
+        rec = TraceRecorder(home="m-0")
+        rec.record("net_rtt", 0.1, None, None)
+        rec.record("net_transfer", 0.2, None, ("m-0", "m-1"))
+        rec.record("ecall", 0.3, "m-1", None)
+        rec.record("retry_backoff", 0.4, None, None)
+        rec.record("fault_delay", 0.5, None, None)
+        assert rec.segments == [
+            Sleep(0.1, "net_rtt"),
+            Transfer(0.2, "m-0", "m-1"),
+            Charge(0.3, "m-1", "ecall"),
+            Sleep(0.4, "retry_backoff"),
+            Sleep(0.5, "fault_delay"),
+        ]
+
+    def test_transfer_without_link_context_is_a_sleep(self):
+        # net_transfer charged outside on_link (e.g. disk path) has no link
+        # to contend on; it degrades to pure latency, never to a CPU charge.
+        rec = TraceRecorder(home="m-0")
+        rec.record("net_transfer", 0.2, None, None)
+        assert rec.segments == [Sleep(0.2, "net_transfer")]
+
+    def test_adjacent_same_machine_charges_coalesce(self):
+        rec = TraceRecorder(home="m-0")
+        rec.record("ecall", 0.25, "m-1", None)
+        rec.record("seal", 0.5, "m-1", None)
+        rec.record("ecall", 0.125, "m-2", None)
+        assert rec.segments == [
+            Charge(0.75, "m-1", "ecall"),
+            Charge(0.125, "m-2", "ecall"),
+        ]
+
+    def test_unlocated_charges_fall_back_to_home(self):
+        rec = TraceRecorder(home="m-7")
+        rec.record("misc", 0.5, None, None)
+        assert rec.segments == [Charge(0.5, "m-7", "misc")]
+        assert rec.cpu_seconds() == {"m-7": pytest.approx(0.5)}
+
+    def test_total_seconds_is_the_serial_sum(self):
+        rec = TraceRecorder(home="m-0")
+        rec.record("net_rtt", 0.1, None, None)
+        rec.record("ecall", 0.2, "m-0", None)
+        assert rec.total_seconds() == pytest.approx(0.3)
+
+    def test_replay_reenacts_the_trace_on_a_scheduler(self):
+        rec = TraceRecorder(home="m-0")
+        rec.record("ecall", 0.25, "m-0", None)
+        rec.record("net_rtt", 0.1, None, None)
+        sched = Scheduler()
+        sched.spawn("replay", rec.replay(), home=rec.home)
+        assert sched.run() == pytest.approx(0.35)
+        assert sched.cpu_busy == {"m-0": pytest.approx(0.25)}
+
+
+class TestMeterRecording:
+    def test_recording_freezes_the_clock_and_diverts_charges(self):
+        m = meter()
+        rec = TraceRecorder(home="m-0")
+        with m.recording(rec):
+            m.charge_exact("ecall", 0.5)
+        assert m.clock.now == 0.0  # frozen while recording
+        assert rec.segments == [Charge(0.5, "m-0", "ecall")]
+        assert m.charges == [("ecall", 0.5)]  # ledger still sees everything
+        m.charge_exact("ecall", 0.5)  # recorder detached: clock moves again
+        assert m.clock.now == pytest.approx(0.5)
+
+    def test_rng_draw_order_is_recording_invariant(self):
+        sequential, recorded = meter(seed=3), meter(seed=3)
+        sequential.charge("ecall", 0.1)
+        with recorded.recording(TraceRecorder(home="m")):
+            recorded.charge("ecall", 0.1)
+        # Same noisy sample either way — the wire-byte-invariance keystone.
+        assert sequential.charges == recorded.charges
+
+    def test_located_and_on_link_nest_and_restore(self):
+        m = meter()
+        rec = TraceRecorder(home="m-0")
+        with m.recording(rec):
+            with m.located("m-1"):
+                with m.located("m-2"):
+                    m.charge_exact("inner", 0.1)
+                m.charge_exact("outer", 0.1)
+            with m.on_link("m-0", "m-1"):
+                m.charge_exact("net_transfer", 0.2)
+            m.charge_exact("plain", 0.1)
+        assert rec.segments == [
+            Charge(0.1, "m-2", "inner"),
+            Charge(0.1, "m-1", "outer"),
+            Transfer(0.2, "m-0", "m-1"),
+            Charge(0.1, "m-0", "plain"),
+        ]
+        assert m.location is None and m.link is None
+
+    def test_nested_recording_is_typed(self):
+        m = meter()
+        with m.recording(TraceRecorder()):
+            with pytest.raises(InvalidStateError, match="already in progress"):
+                with m.recording(TraceRecorder()):
+                    pass
+
+    def test_contexts_are_inert_without_a_recorder(self):
+        m = meter()
+        with m.located("m-1"), m.on_link("m-0", "m-1"):
+            m.charge_exact("ecall", 0.5)
+        assert m.clock.now == pytest.approx(0.5)
+
+
+class TestSchedulerLifecycle:
+    def test_run_twice_is_fine_but_not_reentrant(self):
+        sched = Scheduler()
+        sched.spawn("p", iter([Sleep(1.0)]))
+        sched.run()
+        # A second run with nothing queued is a no-op at the same time.
+        assert sched.run() == pytest.approx(1.0)
+
+    def test_spawn_after_run_continues_the_timeline(self):
+        clock = VirtualClock()
+        sched = Scheduler(clock)
+        sched.spawn("first", iter([Sleep(1.0)]))
+        sched.run()
+        sched.spawn("second", iter([Sleep(1.0)]))
+        assert sched.run() == pytest.approx(2.0)
+        assert clock.now == pytest.approx(2.0)
