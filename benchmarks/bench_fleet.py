@@ -22,12 +22,15 @@ Seven sweeps are recorded:
                           worlds run on 1 process vs ``--workers`` processes;
                           wall migrations/sec is the multiprocess gauge.
 - ``scale``               orchestrator-scale scaling curve: serial vs
-                          concurrent wave dispatch at growing fleet sizes
-                          (up to 64 machines x 512 enclaves), for both the
-                          single-source ``drain`` shape and the multi-source
-                          ``evacuate`` shape, plus a wall-clock planner
-                          throughput microbench (heap vs retired scan) at
-                          100x today's fleet.
+                          concurrent vs pipelined dispatch at growing fleet
+                          sizes (up to 64 machines x 512 enclaves) over
+                          three shapes — a multi-round maintenance-window
+                          ``drain`` (``apply_many`` plan factories), a
+                          cap-split ``evacuate`` (many small waves), and a
+                          ``multi_tenant`` row (two pod-confined tenants'
+                          evacuations interleaved on one scheduler) — plus
+                          a wall-clock planner throughput microbench (heap
+                          vs retired scan) at 100x today's fleet.
 
 Usage::
 
@@ -60,50 +63,99 @@ PLANNER_SCALE = (6400, 512)
 SMOKE_PLANNER_SCALE = (400, 64)
 
 
-def run_scale_sweep(seed: int, configs) -> dict:
-    """Serial vs concurrent wave dispatch across fleet sizes.
+def _scale_scenarios(n_machines: int) -> list[tuple[str, dict, tuple[str, ...]]]:
+    """The scale sweep's (scenario, config knobs, dispatch modes) rows.
 
-    For each (machines, enclaves) row and each wave shape (``drain``:
-    single source, ``evacuate``: one move per machine), runs the
-    orchestrated fleet bench once per dispatch mode and reports the
-    virtual-time speedup.  Same seed, same plan, same wire bytes — only the
-    timing model differs, so the speedup is exactly the overlap the
-    discrete-event scheduler finds.
+    * ``drain`` — a multi-round maintenance window via ``apply_many`` plan
+      factories: each round drains one machine, every round's machine is
+      excluded from destinations (so drained hosts stay empty and the
+      rounds' claims stay mostly disjoint — the shape where pipelined
+      admission lifts the curve past concurrent's per-wave bound).
+    * ``evacuate`` — one tenant's evacuation split into many small waves by
+      ``wave_caps=4``; pipelined overlaps the claim-disjoint waves the caps
+      artificially serialized.
+    * ``multi_tenant`` — ``apply_many`` of two tenants' evacuations with
+      pod-confined tenants (disjoint source claims); concurrent vs
+      pipelined only, since plan-level overlap is the whole point.
+    """
+    drain_reps = min(4, max(2, n_machines // 2))
+    pods = 2 if n_machines < 16 else 8
+    return [
+        (
+            "drain",
+            dict(plan="drain", reps=drain_reps, multi_plan=True),
+            ("serial", "concurrent", "pipelined"),
+        ),
+        (
+            "evacuate",
+            dict(plan="evacuate", reps=1, wave_caps=4),
+            ("serial", "concurrent", "pipelined"),
+        ),
+        (
+            "multi_tenant",
+            dict(plan="evacuate", reps=2, multi_plan=True, tenant_pods=pods),
+            ("concurrent", "pipelined"),
+        ),
+    ]
+
+
+def run_scale_sweep(seed: int, configs) -> dict:
+    """Serial vs concurrent vs pipelined dispatch across fleet sizes.
+
+    For each (machines, enclaves) row and each workload shape (see
+    :func:`_scale_scenarios`), runs the orchestrated fleet bench once per
+    dispatch mode and reports the virtual-time speedups.  Same seed, same
+    plans, same wire bytes — only the timing model differs, so the speedup
+    is exactly the overlap the discrete-event scheduler finds.
     """
     rows = []
     for n_machines, n_enclaves in configs:
-        for scenario in ("drain", "evacuate"):
+        for scenario, knobs, modes in _scale_scenarios(n_machines):
             row: dict = {
                 "n_machines": n_machines,
                 "n_enclaves": n_enclaves,
                 "scenario": scenario,
             }
-            for dispatch in ("serial", "concurrent"):
+            for dispatch in modes:
                 result = run_fleet_bench(
                     FleetBenchConfig(
                         n_enclaves=n_enclaves,
                         n_machines=n_machines,
-                        reps=1,
                         seed=seed,
-                        plan=scenario,
                         orchestrated=True,
                         dispatch=dispatch,
+                        **knobs,
                     )
                 )
                 row[dispatch] = {
                     "migrations": result["migrations"],
                     "virtual_seconds_total": result["virtual_seconds_total"],
                     "wall_seconds": result["wall_seconds"],
+                    "utilization": result["utilization"],
                 }
-            serial = row["serial"]["virtual_seconds_total"]
             concurrent = row["concurrent"]["virtual_seconds_total"]
-            row["virtual_speedup"] = serial / concurrent if concurrent else 0.0
+            pipelined = row["pipelined"]["virtual_seconds_total"]
+            row["pipelined_vs_concurrent"] = (
+                concurrent / pipelined if pipelined else 0.0
+            )
+            if "serial" in row:
+                serial = row["serial"]["virtual_seconds_total"]
+                row["virtual_speedup"] = (
+                    serial / concurrent if concurrent else 0.0
+                )
+                row["pipelined_virtual_speedup"] = (
+                    serial / pipelined if pipelined else 0.0
+                )
+                base = f"serial {serial:.3f}s -> "
+            else:
+                base = ""
             rows.append(row)
             print(
-                f"  scale {n_machines:>3}m x {n_enclaves:>4}e {scenario:>8}: "
-                f"{row['serial']['migrations']} moves, "
-                f"serial {serial:.3f}s -> concurrent {concurrent:.3f}s "
-                f"virtual ({row['virtual_speedup']:.2f}x)"
+                f"  scale {n_machines:>3}m x {n_enclaves:>4}e "
+                f"{scenario:>12}: {row['concurrent']['migrations']} moves, "
+                f"{base}concurrent {concurrent:.3f}s -> pipelined "
+                f"{pipelined:.3f}s virtual "
+                f"({row['pipelined_vs_concurrent']:.2f}x over concurrent)"
             )
     return {"rows": rows}
 
@@ -223,7 +275,7 @@ def main(argv: list[str] | None = None) -> int:
     planner_scale = SMOKE_PLANNER_SCALE if args.smoke else PLANNER_SCALE
 
     if args.scale_only:
-        print("scale sweep (serial vs concurrent wave dispatch):")
+        print("scale sweep (serial vs concurrent vs pipelined dispatch):")
         report["runs"]["scale"] = run_scale_sweep(args.seed, scale_configs)
         report["runs"]["planner_throughput"] = run_planner_throughput(*planner_scale)
         _summarize_scale(report)
@@ -291,7 +343,7 @@ def main(argv: list[str] | None = None) -> int:
             f"(same {args.workers} shards): {report['workers_wall_speedup']:.2f}x"
         )
 
-    print("scale sweep (serial vs concurrent wave dispatch):")
+    print("scale sweep (serial vs concurrent vs pipelined dispatch):")
     report["runs"]["scale"] = run_scale_sweep(args.seed, scale_configs)
     report["runs"]["planner_throughput"] = run_planner_throughput(*planner_scale)
     _summarize_scale(report)
@@ -308,12 +360,24 @@ def _summarize_scale(report: dict) -> None:
     for row in rows:
         if row["n_machines"] * row["n_enclaves"] != largest:
             continue
-        key = f"scale_{row['scenario']}_virtual_speedup"
-        report[key] = row["virtual_speedup"]
+        scenario = row["scenario"]
+        report[f"scale_{scenario}_pipelined_vs_concurrent"] = row[
+            "pipelined_vs_concurrent"
+        ]
+        if "virtual_speedup" in row:
+            report[f"scale_{scenario}_virtual_speedup"] = row["virtual_speedup"]
+            report[f"scale_{scenario}_pipelined_speedup"] = row[
+                "pipelined_virtual_speedup"
+            ]
+            detail = (
+                f"{row['virtual_speedup']:.2f}x concurrent, "
+                f"{row['pipelined_virtual_speedup']:.2f}x pipelined vs serial"
+            )
+        else:
+            detail = f"{row['pipelined_vs_concurrent']:.2f}x pipelined vs concurrent"
         print(
-            f"concurrent-dispatch virtual speedup at "
-            f"{row['n_machines']}x{row['n_enclaves']} ({row['scenario']}): "
-            f"{row['virtual_speedup']:.2f}x"
+            f"dispatch virtual speedup at "
+            f"{row['n_machines']}x{row['n_enclaves']} ({scenario}): {detail}"
         )
     planner = report["runs"]["planner_throughput"]
     report["planner_wall_speedup"] = planner["planner_wall_speedup"]

@@ -77,11 +77,17 @@ def _run_fleet(argv: list[str]) -> int:
         help="drain:<machine>, rebalance, or evacuate:<tenant> "
         "(default drain:fleet-0)",
     )
+    parser.add_argument(
+        "--dispatch", choices=["serial", "concurrent", "pipelined"],
+        default="serial",
+        help="wave execution mode: serial groups, per-wave concurrent "
+        "replay, or plan-wide pipelined admission (default serial)",
+    )
     args = parser.parse_args(argv)
 
     from repro.fleet.demo import build_demo_fleet, counter_values
 
-    demo = build_demo_fleet(seed=args.seed)
+    demo = build_demo_fleet(seed=args.seed, dispatch=args.dispatch)
     service = demo.service
     if args.action == "status":
         print(service.status())

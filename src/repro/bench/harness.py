@@ -223,8 +223,29 @@ class FleetBenchConfig:
     ``dispatch`` (orchestrated only) selects the control plane's wave
     execution mode: ``"serial"`` sums the per-destination groups on the
     virtual clock, ``"concurrent"`` replays them as overlapping
-    discrete-event processes (same bytes, contended virtual time) — the
-    serial-vs-concurrent comparison behind the ``scale`` sweep.
+    discrete-event processes (same bytes, contended virtual time), and
+    ``"pipelined"`` additionally drops the wave (and plan) barrier —
+    groups admit the moment their machine/link claims are free — the
+    three-way comparison behind the ``scale`` sweep.
+
+    ``wave_caps`` (orchestrated only) tightens ``max_moves_per_machine``
+    and ``tenant_wave_quota`` to that value so plans split into many small
+    waves (the shape where cross-wave admission matters); default keeps the
+    caps at ``n_enclaves`` (single-wave plans, byte-comparable with earlier
+    records).
+
+    ``multi_plan=True`` (orchestrated only) executes all ``reps`` rounds as
+    ONE ``apply_many`` dispatch of plan factories instead of sequential
+    ``apply`` calls: drain rounds become a maintenance window (each round's
+    machine excluded from every round's destinations, so the drained hosts
+    stay empty), evacuate rounds one tenant each.  Under pipelined dispatch
+    the rounds' claim-disjoint groups overlap on one scheduler.
+
+    ``tenant_pods`` (evacuate only) registers tenants in that many
+    contiguous machine pods (tenant *p* owns ``n_machines/pods`` machines)
+    instead of striping every tenant across all machines — pods make
+    different tenants' source claims disjoint, which is what lets a
+    multi-tenant ``apply_many`` actually overlap.
     """
 
     n_enclaves: int = 8
@@ -238,6 +259,9 @@ class FleetBenchConfig:
     shards: int | None = None
     orchestrated: bool = False
     dispatch: str = "serial"
+    wave_caps: int | None = None
+    multi_plan: bool = False
+    tenant_pods: int | None = None
 
     def __post_init__(self) -> None:
         if self.plan not in ("ring", "drain", "evacuate"):
@@ -246,10 +270,23 @@ class FleetBenchConfig:
             raise ValueError("orchestrated fleet bench requires plan='drain' or 'evacuate'")
         if self.plan == "evacuate" and not self.orchestrated:
             raise ValueError("plan='evacuate' requires orchestrated=True")
-        if self.dispatch not in ("serial", "concurrent"):
+        if self.dispatch not in ("serial", "concurrent", "pipelined"):
             raise ValueError(f"unknown dispatch mode: {self.dispatch!r}")
-        if self.dispatch == "concurrent" and not self.orchestrated:
-            raise ValueError("concurrent dispatch requires orchestrated=True")
+        if self.dispatch != "serial" and not self.orchestrated:
+            raise ValueError(
+                f"{self.dispatch} dispatch requires orchestrated=True"
+            )
+        if self.wave_caps is not None and not self.orchestrated:
+            raise ValueError("wave_caps requires orchestrated=True")
+        if self.multi_plan and not self.orchestrated:
+            raise ValueError("multi_plan requires orchestrated=True")
+        if self.tenant_pods is not None:
+            if self.plan != "evacuate":
+                raise ValueError("tenant_pods requires plan='evacuate'")
+            if self.n_machines % self.tenant_pods:
+                raise ValueError(
+                    "tenant_pods must divide n_machines evenly"
+                )
 
     @classmethod
     def from_args(cls, args, **overrides) -> "FleetBenchConfig":
@@ -420,6 +457,7 @@ def run_fleet_bench(config: "FleetBenchConfig | None" = None, **kwargs) -> dict:
     positions = [i % n_machines for i in range(n_enclaves)]
 
     per_migration_virtual: list[float] = []
+    utilization: dict | None = None
     virtual_start = dc.clock.now
     wall_start = time.perf_counter()
     if config.orchestrated:
@@ -429,13 +467,14 @@ def run_fleet_bench(config: "FleetBenchConfig | None" = None, **kwargs) -> dict:
         # numbers comparable with the hand-rolled paths.
         from repro.fleet import FleetConstraints, FleetService
 
+        caps = config.wave_caps or n_enclaves
         service = FleetService(
             dc=dc,
             hosts=hosts,
             constraints=FleetConstraints(
                 machine_capacity=n_enclaves,
-                max_moves_per_machine=n_enclaves,
-                tenant_wave_quota=n_enclaves,
+                max_moves_per_machine=caps,
+                tenant_wave_quota=caps,
             ),
             session_resumption=session_resumption,
             dispatch=config.dispatch,
@@ -443,36 +482,87 @@ def run_fleet_bench(config: "FleetBenchConfig | None" = None, **kwargs) -> dict:
         # For evacuation rounds, tenant i // n_machines puts one member of
         # each tenant on each machine (apps deploy round-robin), so an
         # evacuation wave has distinct sources and destinations — maximum
-        # dispatch overlap.  Drain rounds keep the default tenant so the
-        # orchestrated numbers stay byte-comparable with earlier records.
-        n_tenants = (n_enclaves + n_machines - 1) // n_machines
+        # dispatch overlap.  ``tenant_pods`` confines each tenant to a
+        # contiguous pod of machines instead, making different tenants'
+        # source claims disjoint.  Drain rounds keep the default tenant so
+        # the orchestrated numbers stay byte-comparable with earlier
+        # records.
+        if config.tenant_pods:
+            pod_size = n_machines // config.tenant_pods
+            n_tenants = config.tenant_pods
+        else:
+            pod_size = None
+            n_tenants = (n_enclaves + n_machines - 1) // n_machines
         for i, app in enumerate(apps):
             if plan == "evacuate":
-                service.register(app, tenant=f"tenant-{i // n_machines}")
+                if pod_size is not None:
+                    tenant = f"tenant-{(i % n_machines) // pod_size}"
+                else:
+                    tenant = f"tenant-{i // n_machines}"
+                service.register(app, tenant=tenant)
             else:
                 service.register(app)
-        for round_index in range(reps):
+
+        def round_plan(round_index: int):
             if plan == "evacuate":
-                drain_plan = service.plan_evacuate(
-                    f"tenant-{round_index % n_tenants}"
-                )
-            else:
-                drain_plan = service.plan_drain(
-                    f"fleet-{round_index % n_machines}"
-                )
-            if not drain_plan.moves:
-                continue
-            before = dc.clock.now
-            outcome = service.apply(drain_plan)
-            _require_completed(
-                [
-                    result
-                    for wave in outcome.waves
-                    for result in wave.results.values()
-                ]
+                return service.plan_evacuate(f"tenant-{round_index % n_tenants}")
+            return service.plan_drain(f"fleet-{round_index % n_machines}")
+
+        if config.multi_plan:
+            # All rounds in one multi-plan dispatch.  Factories defer
+            # planning until the earlier rounds have executed (round r+1's
+            # placements depend on round r); drain rounds exclude the whole
+            # maintenance window so the drained hosts stay empty and the
+            # rounds' resource claims stay mostly disjoint.
+            window = frozenset(
+                f"fleet-{r % n_machines}" for r in range(reps)
             )
-            share = (dc.clock.now - before) / len(drain_plan.moves)
-            per_migration_virtual.extend([share] * len(drain_plan.moves))
+
+            def drain_factory(round_index: int):
+                return lambda: service.plan_drain(
+                    f"fleet-{round_index % n_machines}", exclude=window
+                )
+
+            if plan == "evacuate":
+                factories = [
+                    (lambda r=r: service.plan_evacuate(f"tenant-{r % n_tenants}"))
+                    for r in range(reps)
+                ]
+            else:
+                factories = [drain_factory(r) for r in range(reps)]
+            before = dc.clock.now
+            outcomes = service.apply_many(factories)
+            results = [
+                result
+                for outcome in outcomes
+                for wave in outcome.waves
+                for result in wave.results.values()
+            ]
+            _require_completed(results)
+            if results:
+                share = (dc.clock.now - before) / len(results)
+                per_migration_virtual.extend([share] * len(results))
+        else:
+            for round_index in range(reps):
+                drain_plan = round_plan(round_index)
+                if not drain_plan.moves:
+                    continue
+                before = dc.clock.now
+                outcome = service.apply(drain_plan)
+                _require_completed(
+                    [
+                        result
+                        for wave in outcome.waves
+                        for result in wave.results.values()
+                    ]
+                )
+                share = (dc.clock.now - before) / len(drain_plan.moves)
+                per_migration_virtual.extend([share] * len(drain_plan.moves))
+        utilization = (
+            service.last_schedule.utilization_report()["summary"]
+            if service.last_schedule is not None
+            else None
+        )
     else:
         for round_index in range(reps):
             if plan == "ring":
@@ -531,6 +621,7 @@ def run_fleet_bench(config: "FleetBenchConfig | None" = None, **kwargs) -> dict:
         "virtual_seconds_total": dc.clock.now - virtual_start,
         "virtual_seconds_mean": sum(per_migration_virtual) / migrations,
         "virtual_seconds_per_migration": per_migration_virtual,
+        "utilization": utilization,
     }
 
 

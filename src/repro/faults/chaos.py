@@ -966,16 +966,17 @@ class FleetChaosWorld:
     counter_targets: list[int]
 
 
-def build_fleet_world(seed: int = 2018, concurrent: bool = False) -> FleetChaosWorld:
+def build_fleet_world(seed: int = 2018, dispatch: str = "serial") -> FleetChaosWorld:
     """Four machines, durable MEs everywhere, eight counter enclaves placed
     round-robin and registered with a :class:`FleetService` whose per-wave
     cap of one move forces the drain into multiple waves (so there are
     genuinely distinct wave boundaries to die at).
 
-    ``concurrent=True`` builds the overlapping-wave variant instead: the
-    per-wave caps are relaxed so the whole drain is ONE wave with several
-    destination groups, and the service dispatches them concurrently on the
-    discrete-event scheduler — the planner then dies *mid-overlapping-wave*.
+    ``dispatch="concurrent"`` (or ``"pipelined"``) builds the
+    overlapping-group variant instead: the per-wave caps are relaxed so the
+    whole drain is ONE wave with several destination groups, and the service
+    records/replays them on the discrete-event scheduler — the planner then
+    dies *between group dispatches* (the record phase's journal boundaries).
     """
     dc = DataCenter(name="chaos-fleet", seed=seed)
     for index in range(FLEET_MACHINES):
@@ -983,20 +984,20 @@ def build_fleet_world(seed: int = 2018, concurrent: bool = False) -> FleetChaosW
     me_signer = SigningKey.generate(dc.rng.child("chaos-me-signer"))
     hosts = install_all_migration_enclaves(dc, me_signer, durable=True)
     constraints = (
-        FleetConstraints(
+        FleetConstraints(machine_capacity=FLEET_APPS, max_moves_per_machine=1)
+        if dispatch == "serial"
+        else FleetConstraints(
             machine_capacity=FLEET_APPS,
             max_moves_per_machine=FLEET_APPS,
             tenant_wave_quota=FLEET_APPS,
         )
-        if concurrent
-        else FleetConstraints(machine_capacity=FLEET_APPS, max_moves_per_machine=1)
     )
     service = FleetService(
         dc=dc,
         hosts=hosts,
         constraints=constraints,
         retry_policy=SWEEP_POLICY,
-        dispatch="concurrent" if concurrent else "serial",
+        dispatch=dispatch,
     )
     dev_key = SigningKey.generate(dc.rng.child("chaos-dev"))
     apps: list[MigratableApp] = []
@@ -1086,21 +1087,27 @@ def check_fleet_invariants(world: FleetChaosWorld) -> list[str]:
 @dataclass(frozen=True)
 class FleetScenario:
     """Kill the planner at one boundary: ``stage`` names it (``planned``,
-    ``started``, ``dispatched``, ``done``, ``complete``), ``wave`` the wave
-    index (-1 for the plan-level boundaries).  ``parked`` additionally
-    blackholes the network from the wave's start, so the planner dies on
-    top of members whose transactions are stuck mid-flight."""
+    ``started``, ``group``, ``dispatched``, ``done``, ``complete``),
+    ``wave`` the wave index (-1 for the plan-level boundaries), ``skip``
+    how many matching boundaries to let pass first (so a multi-group wave
+    can die between its second and third group, not only its first).
+    ``parked`` additionally blackholes the network from the wave's start,
+    so the planner dies on top of members whose transactions are stuck
+    mid-flight.  ``dispatch`` picks the world variant to kill."""
 
     stage: str
     wave: int
     parked: bool = False
-    concurrent: bool = False
+    dispatch: str = "serial"
+    skip: int = 0
 
     @property
     def label(self) -> str:
-        suffix = "+parked" if self.parked else ""
-        if self.concurrent:
-            suffix += "+concurrent"
+        suffix = f"#{self.skip + 1}" if self.skip else ""
+        if self.parked:
+            suffix += "+parked"
+        if self.dispatch != "serial":
+            suffix += f"+{self.dispatch}"
         return f"{self.stage}:{self.wave}{suffix}"
 
 
@@ -1118,9 +1125,10 @@ class FleetScenarioReport:
 
 def enumerate_fleet_scenarios(seed: int = 2018) -> list[FleetScenario]:
     """One scenario per journal boundary of the drain plan, plus a parked
-    variant per wave, plus concurrent-dispatch variants where the planner
-    dies mid-overlapping-wave (the relaxed-cap world drains in one wave
-    with several destination groups in flight on the event scheduler)."""
+    variant per wave, plus concurrent- and pipelined-dispatch variants where
+    the planner dies mid-overlapping-wave (the relaxed-cap world drains in
+    one wave with several destination groups) — for pipelined, between the
+    per-group journal boundaries the record phase writes."""
     world = build_fleet_world(seed)
     n_waves = len(world.service.plan_drain(FLEET_DRAIN_TARGET).waves)
     scenarios = [FleetScenario("planned", -1)]
@@ -1130,9 +1138,18 @@ def enumerate_fleet_scenarios(seed: int = 2018) -> list[FleetScenario]:
         scenarios.append(FleetScenario("dispatched", wave))
         scenarios.append(FleetScenario("done", wave))
     scenarios.append(FleetScenario("complete", -1))
-    scenarios.append(FleetScenario("started", 0, concurrent=True))
-    scenarios.append(FleetScenario("dispatched", 0, concurrent=True))
-    scenarios.append(FleetScenario("dispatched", 0, parked=True, concurrent=True))
+    scenarios.append(FleetScenario("started", 0, dispatch="concurrent"))
+    scenarios.append(FleetScenario("dispatched", 0, dispatch="concurrent"))
+    scenarios.append(
+        FleetScenario("dispatched", 0, parked=True, dispatch="concurrent")
+    )
+    scenarios.append(FleetScenario("started", 0, dispatch="pipelined"))
+    scenarios.append(FleetScenario("group", 0, dispatch="pipelined"))
+    scenarios.append(FleetScenario("group", 0, skip=1, dispatch="pipelined"))
+    scenarios.append(
+        FleetScenario("dispatched", 0, parked=True, dispatch="pipelined")
+    )
+    scenarios.append(FleetScenario("done", 0, dispatch="pipelined"))
     return scenarios
 
 
@@ -1142,12 +1159,14 @@ def run_fleet_scenario(
     """Fresh fleet, drain plan, planner killed at the scenario's boundary,
     fresh planner resumes from the durable fleet journal; then R3/R4 per
     member, planned placement reached, and journal cleared."""
-    world = build_fleet_world(seed, concurrent=scenario.concurrent)
+    world = build_fleet_world(seed, dispatch=scenario.dispatch)
     dc, service = world.dc, world.service
     plan = service.plan_drain(FLEET_DRAIN_TARGET)
     destinations = {move.app_name: move.destination for move in plan.moves}
+    matched = 0
 
     def boundary_hook(stage: str, wave: int) -> None:
+        nonlocal matched
         if scenario.parked and stage == "started" and wave == scenario.wave:
             dc.network.fault_injector = FaultInjector(
                 plan=FaultPlan().drop(max_triggers=1_000_000),
@@ -1156,7 +1175,9 @@ def run_fleet_scenario(
                 meter=dc.meter,
             )
         if stage == scenario.stage and wave == scenario.wave:
-            raise _PlannerKilled(scenario.label)
+            matched += 1
+            if matched > scenario.skip:
+                raise _PlannerKilled(scenario.label)
 
     try:
         service.apply(plan, boundary_hook=boundary_hook)
@@ -1221,10 +1242,10 @@ def sweep_fleet(seed: int = 2018, smoke: bool = False) -> list[FleetScenarioRepo
     first scenario per (stage, parked, concurrent) kind — the CI slice."""
     scenarios = enumerate_fleet_scenarios(seed)
     if smoke:
-        first: dict[tuple[str, bool, bool], FleetScenario] = {}
+        first: dict[tuple[str, bool, str], FleetScenario] = {}
         for scenario in scenarios:
             first.setdefault(
-                (scenario.stage, scenario.parked, scenario.concurrent), scenario
+                (scenario.stage, scenario.parked, scenario.dispatch), scenario
             )
         scenarios = list(first.values())
     return [run_fleet_scenario(scenario, seed) for scenario in scenarios]

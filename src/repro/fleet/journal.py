@@ -30,22 +30,38 @@ from repro.cloud.storage import UntrustedStorage
 from repro.fleet.model import PlannedMove, MigrationPlan, Wave
 
 FLEET_PLAN_PATH = "fleet_plan"
+FLEET_PLAN_INDEX_PATH = "fleet/plans_index"
+
+
+def group_key(wave_index: int, destination: str) -> str:
+    """The journal's name for one (wave, destination) dispatch group."""
+    return f"{wave_index}:{destination}"
 
 
 @dataclass(frozen=True)
 class FleetPlanRecord:
-    """The persisted plan + progress cursor."""
+    """The persisted plan + progress cursor.
+
+    ``done_groups`` (record v2) lists the (wave, destination) dispatch
+    groups of the *current* wave whose members all completed — entries are
+    ``"{wave_index}:{destination}"`` strings, pruned every time the wave
+    cursor advances.  A resuming planner skips those groups instead of
+    re-reconciling every member of a partially-done wave.  v1 records decode
+    with the list empty: resume falls back to full-wave reconciliation,
+    which is slower but equally safe.
+    """
 
     intent: str
     waves: tuple[tuple[PlannedMove, ...], ...]
     next_wave: int = 0
     wave_started: bool = False
     generation: int = 0
+    done_groups: tuple[str, ...] = ()
 
     def to_bytes(self) -> bytes:
         return wire.encode(
             {
-                "v": 1,
+                "v": 2,
                 "intent": self.intent,
                 "waves": [
                     wire.pack_records([move.to_dict() for move in wave])
@@ -54,6 +70,7 @@ class FleetPlanRecord:
                 "next_wave": self.next_wave,
                 "wave_started": self.wave_started,
                 "gen": self.generation,
+                "done_groups": list(self.done_groups),
             }
         )
 
@@ -72,6 +89,7 @@ class FleetPlanRecord:
             next_wave=fields["next_wave"],
             wave_started=fields["wave_started"],
             generation=fields.get("gen", 0),
+            done_groups=tuple(fields.get("done_groups", [])),
         )
 
     @classmethod
@@ -122,7 +140,23 @@ class FleetPlanJournal:
 
     def mark_wave_done(self, index: int) -> None:
         record = self._require()
-        self.write(replace(record, next_wave=index + 1, wave_started=False))
+        self.write(
+            replace(
+                record, next_wave=index + 1, wave_started=False, done_groups=()
+            )
+        )
+
+    def mark_group_done(self, index: int, destination: str) -> None:
+        """Record one (wave, destination) group as fully completed.
+
+        Idempotent; group entries accumulate within the current wave and
+        are pruned by :meth:`mark_wave_done` when the cursor advances.
+        """
+        record = self._require()
+        entry = group_key(index, destination)
+        if entry in record.done_groups:
+            return
+        self.write(replace(record, done_groups=record.done_groups + (entry,)))
 
     def read(self) -> FleetPlanRecord | None:
         if not self.storage.exists(self.path):
@@ -141,6 +175,51 @@ class FleetPlanJournal:
         if record is None:
             raise AssertionError("no fleet plan journaled")
         return record
+
+    def clear(self) -> None:
+        self.storage.delete(self._tmp_path)
+        self.storage.delete(self.path)
+        self.storage.sync(self._tmp_path)
+        self.storage.sync(self.path)
+
+
+@dataclass
+class FleetPlanIndex:
+    """Directory of the per-plan journals a multi-plan dispatch created.
+
+    ``apply_many`` journals each tenant plan under its own owner prefix
+    (``plan-0``, ``plan-1``, ...) so crash/resume reconciles every plan
+    independently; this index is what lets ``resume_many`` *find* them
+    after a planner restart.  Same rename discipline, same hint-only
+    stakes: a lost index stalls multi-plan resumption, never correctness.
+    """
+
+    storage: UntrustedStorage
+
+    @property
+    def path(self) -> str:
+        return FLEET_PLAN_INDEX_PATH
+
+    @property
+    def _tmp_path(self) -> str:
+        return f"{self.path}.tmp"
+
+    def write(self, labels: list[str]) -> None:
+        self.storage.write(
+            self._tmp_path, wire.encode({"v": 1, "labels": list(labels)})
+        )
+        self.storage.sync(self._tmp_path)
+        self.storage.rename(self._tmp_path, self.path)
+
+    def read(self) -> list[str]:
+        if not self.storage.exists(self.path):
+            return []
+        try:
+            fields = wire.decode(self.storage.read(self.path))
+            return list(fields["labels"])
+        except (wire.WireError, KeyError):
+            self.storage.journal_corruption_count += 1
+            return []
 
     def clear(self) -> None:
         self.storage.delete(self._tmp_path)

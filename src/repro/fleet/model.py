@@ -107,6 +107,25 @@ class PlannedMove:
             tenant=data["tenant"],
         )
 
+    def claims(self) -> frozenset[tuple]:
+        """Resources this move occupies while in flight.
+
+        The pipelined dispatcher admits a group only when no earlier
+        unfinished group holds an intersecting claim.  A move claims both
+        endpoint machines (ME/CPU work happens on each) and the link between
+        them.  The link claim is *undirected* — record-then-replay fixes the
+        wire bytes at record time, so two groups pushing opposite directions
+        over one pipe must not reorder each other's contention.
+        """
+        link = (min(self.source, self.destination), max(self.source, self.destination))
+        return frozenset(
+            {
+                ("machine", self.source),
+                ("machine", self.destination),
+                ("link",) + link,
+            }
+        )
+
 
 @dataclass(frozen=True)
 class Wave:
@@ -160,6 +179,10 @@ class WaveOutcome:
     index: int
     moves: tuple[PlannedMove, ...]
     results: dict[str, MigrationResult] = field(default_factory=dict)
+    #: Scheduler utilization summary for the dispatch that ran this wave
+    #: (concurrent dispatch; ``None`` for serial waves, and for pipelined
+    #: plans — there the whole-plan report lives on ``PlanResult``).
+    schedule: dict | None = None
 
     @property
     def completed(self) -> bool:
@@ -176,6 +199,11 @@ class PlanResult:
     #: Waves the resume path found already marked done in the fleet journal
     #: (their members migrated before the planner crash; no new results).
     skipped_waves: int = 0
+    #: Groups skipped by group-granular resume inside partially-done waves.
+    skipped_groups: int = 0
+    #: Scheduler utilization report for pipelined dispatch (whole plan, or
+    #: the shared schedule when executed via ``apply_many``).
+    utilization: dict | None = None
 
     @property
     def completed(self) -> bool:

@@ -273,13 +273,22 @@ def plan_drain(
     machine: str,
     constraints: FleetConstraints,
     fast: bool = True,
+    exclude: frozenset[str] | set[str] = frozenset(),
 ) -> MigrationPlan:
-    """Evacuate every fleet member currently on ``machine``."""
+    """Evacuate every fleet member currently on ``machine``.
+
+    ``exclude`` lists additional machines no move may land on — the rest of
+    a maintenance window.  Draining hosts one by one *without* excluding the
+    others refills each drained host from the next one's evacuees; excluding
+    the whole window keeps the drained hosts empty and, as a consequence,
+    keeps the rounds' resource claims mostly disjoint (what lets pipelined
+    dispatch overlap a multi-host drain).
+    """
     intent = f"drain:{machine}"
     movers = [member for member in members if member.machine == machine]
     moves = _assign_destinations(
-        movers, members, machines, excluded={machine}, constraints=constraints,
-        intent=intent, fast=fast,
+        movers, members, machines, excluded={machine} | set(exclude),
+        constraints=constraints, intent=intent, fast=fast,
     )
     return MigrationPlan(
         intent=intent,
@@ -365,3 +374,52 @@ def plan_evacuate(
         waves=pack_waves(moves, constraints, intent),
         constraints=constraints,
     )
+
+
+# ------------------------------------------------------- pipelined admission
+def group_claims(moves: tuple[PlannedMove, ...] | list[PlannedMove]) -> frozenset:
+    """Union of resource claims of one (wave, destination) dispatch group."""
+    claims: set = set()
+    for move in moves:
+        claims |= move.claims()
+    return frozenset(claims)
+
+
+def build_conflict_graph(
+    groups: list[dict],
+) -> list[tuple[int, ...]]:
+    """Admission dependencies for pipelined dispatch.
+
+    ``groups`` is the global dispatch order — every (wave, destination)
+    group of every plan, serialized the way the record phase visited them.
+    Each descriptor needs ``claims`` (a frozenset from :func:`group_claims`),
+    ``plan`` (an opaque plan identity), and ``wave`` (the wave index inside
+    that plan).  Returns, per group, the indices of earlier groups it must
+    wait for.
+
+    The edge rule: an earlier group gates a later one iff their claims
+    intersect *and* they are not peers of the same wave of the same plan.
+    Same-wave peers never gate each other — the planner's per-wave caps
+    already sized that concurrency, and within-wave overlap is exactly what
+    concurrent dispatch shipped.  Everything else with a shared machine or
+    link serializes in recorded order, which keeps replay contention
+    consistent with the wire bytes fixed at record time.
+
+    Transitively-implied edges are left in (an O(n^2) scan, n = groups per
+    dispatch, is cheap at fleet scale); the scheduler's admission gate
+    counts unfinished dependencies, so redundant edges change nothing.
+    """
+    dependencies: list[tuple[int, ...]] = []
+    for index, group in enumerate(groups):
+        gates: list[int] = []
+        for earlier in range(index):
+            other = groups[earlier]
+            if (
+                other["plan"] == group["plan"]
+                and other["wave"] == group["wave"]
+            ):
+                continue
+            if other["claims"] & group["claims"]:
+                gates.append(earlier)
+        dependencies.append(tuple(gates))
+    return dependencies

@@ -81,10 +81,13 @@ class TestApply:
         assert len(plan.waves) == 2
         seen = []
         demo.service.apply(plan, boundary_hook=lambda s, i: seen.append((s, i)))
+        # Each wave of this plan is a single (wave, destination) group, so
+        # exactly one ``group`` boundary fires between started and
+        # dispatched.
         assert seen == [
             ("planned", -1),
-            ("started", 0), ("dispatched", 0), ("done", 0),
-            ("started", 1), ("dispatched", 1), ("done", 1),
+            ("started", 0), ("group", 0), ("dispatched", 0), ("done", 0),
+            ("started", 1), ("group", 1), ("dispatched", 1), ("done", 1),
             ("complete", -1),
         ]
 

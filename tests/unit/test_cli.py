@@ -16,3 +16,18 @@ class TestCli:
     def test_unknown_command(self, capsys):
         assert main(["bogus"]) == 1
         assert "Subcommands" in capsys.readouterr().out
+
+
+class TestFleetDispatchFlag:
+    def test_fleet_apply_accepts_pipelined_dispatch(self, capsys):
+        assert main(["fleet", "apply", "--dispatch", "pipelined"]) == 0
+        out = capsys.readouterr().out
+        assert "state intact" in out
+
+    def test_fleet_rejects_unknown_dispatch(self, capsys):
+        try:
+            main(["fleet", "apply", "--dispatch", "warp"])
+        except SystemExit as exc:
+            assert exc.code != 0
+        else:  # pragma: no cover - argparse always exits here
+            raise AssertionError("argparse accepted an unknown dispatch mode")

@@ -17,6 +17,7 @@ from repro.fleet import (
     plan_rebalance,
 )
 from repro.fleet.model import PlannedMove
+from repro.fleet.planner import build_conflict_graph, group_claims
 
 
 class _StubMachine:
@@ -357,3 +358,110 @@ class TestHeapFastPath:
         with pytest.raises(PlanInfeasibleError) as scan_exc:
             plan_drain(members, machines, "m-0", FleetConstraints(), fast=False)
         assert str(fast_exc.value) == str(scan_exc.value)
+
+
+class TestResourceClaims:
+    def test_move_claims_both_machines_and_the_undirected_link(self):
+        move = PlannedMove("app", source="m-1", destination="m-0")
+        assert move.claims() == frozenset(
+            {("machine", "m-1"), ("machine", "m-0"), ("link", "m-0", "m-1")}
+        )
+
+    def test_link_claim_is_direction_agnostic(self):
+        forward = PlannedMove("a", source="m-0", destination="m-1")
+        reverse = PlannedMove("b", source="m-1", destination="m-0")
+        assert forward.claims() == reverse.claims()
+
+    def test_group_claims_is_the_union(self):
+        moves = [
+            PlannedMove("a", source="m-0", destination="m-2"),
+            PlannedMove("b", source="m-1", destination="m-2"),
+        ]
+        claims = group_claims(moves)
+        assert ("machine", "m-0") in claims
+        assert ("machine", "m-1") in claims
+        assert ("machine", "m-2") in claims
+        assert ("link", "m-0", "m-2") in claims and ("link", "m-1", "m-2") in claims
+
+
+def _group(moves, plan="p", wave=0):
+    return {"claims": group_claims(moves), "plan": plan, "wave": wave}
+
+
+class TestConflictGraph:
+    def test_disjoint_groups_never_gate(self):
+        graph = build_conflict_graph(
+            [
+                _group([PlannedMove("a", source="m-0", destination="m-1")], wave=0),
+                _group([PlannedMove("b", source="m-2", destination="m-3")], wave=1),
+            ]
+        )
+        assert graph == [(), ()]
+
+    def test_shared_destination_across_waves_serializes(self):
+        graph = build_conflict_graph(
+            [
+                _group([PlannedMove("a", source="m-0", destination="m-2")], wave=0),
+                _group([PlannedMove("b", source="m-1", destination="m-2")], wave=1),
+            ]
+        )
+        assert graph == [(), (0,)]
+
+    def test_shared_source_machine_also_serializes(self):
+        graph = build_conflict_graph(
+            [
+                _group([PlannedMove("a", source="m-0", destination="m-1")], wave=0),
+                _group([PlannedMove("b", source="m-0", destination="m-2")], wave=1),
+            ]
+        )
+        assert graph == [(), (0,)]
+
+    def test_same_wave_same_plan_peers_never_gate_each_other(self):
+        # Both groups touch m-0 (the drained source) but are peers of one
+        # wave: the planner already sized that concurrency.
+        graph = build_conflict_graph(
+            [
+                _group([PlannedMove("a", source="m-0", destination="m-1")], wave=0),
+                _group([PlannedMove("b", source="m-0", destination="m-2")], wave=0),
+            ]
+        )
+        assert graph == [(), ()]
+
+    def test_same_wave_index_of_different_plans_does_gate(self):
+        graph = build_conflict_graph(
+            [
+                _group(
+                    [PlannedMove("a", source="m-0", destination="m-1")],
+                    plan="p1",
+                    wave=0,
+                ),
+                _group(
+                    [PlannedMove("b", source="m-1", destination="m-2")],
+                    plan="p2",
+                    wave=0,
+                ),
+            ]
+        )
+        assert graph == [(), (0,)]
+
+    def test_transitive_and_direct_edges_are_both_recorded(self):
+        # g2 conflicts with g1 and g0; the redundant g0 edge is harmless
+        # and deliberately kept (admission counts unfinished gates).
+        groups = [
+            _group([PlannedMove("a", source="m-0", destination="m-1")], wave=0),
+            _group([PlannedMove("b", source="m-1", destination="m-2")], wave=1),
+            _group([PlannedMove("c", source="m-1", destination="m-3")], wave=2),
+        ]
+        assert build_conflict_graph(groups) == [(), (0,), (0, 1)]
+
+    def test_maintenance_window_drain_rounds_are_mostly_disjoint(self):
+        # The showcase shape: drain m-0 with m-1 excluded, then m-1 with
+        # m-0 excluded — later rounds never refill earlier drained hosts,
+        # so only genuinely shared destinations serialize.
+        machines = ["m-0", "m-1", "m-2", "m-3"]
+        members = [member(f"e{i}", machines[i % 2]) for i in range(4)]
+        window = {"m-0", "m-1"}
+        constraints = FleetConstraints(max_moves_per_machine=4)
+        round0 = plan_drain(members, machines, "m-0", constraints, exclude=window - {"m-0"})
+        for move in round0.moves:
+            assert move.destination not in window

@@ -302,3 +302,126 @@ class TestSchedulerLifecycle:
         sched.spawn("second", iter([Sleep(1.0)]))
         assert sched.run() == pytest.approx(2.0)
         assert clock.now == pytest.approx(2.0)
+
+
+class TestGatedAdmission:
+    def test_after_holds_the_first_step_until_dependencies_exit(self):
+        sched = Scheduler()
+        a = sched.spawn("a", iter([Charge(2.0, "m-0")]))
+        b = sched.spawn("b", iter([Charge(1.0, "m-1")]))
+        c = sched.spawn("c", iter([Charge(1.0, "m-2")]), after=[a, b])
+        sched.run()
+        # c admits at max(a, b) finish and only then burns its second.
+        assert c.admitted_at == pytest.approx(2.0)
+        assert c.finished_at == pytest.approx(3.0)
+        assert a.finished_at == pytest.approx(2.0)
+        assert b.finished_at == pytest.approx(1.0)
+
+    def test_disjoint_gates_admit_independently(self):
+        sched = Scheduler()
+        fast = sched.spawn("fast", iter([Charge(1.0, "m-0")]))
+        slow = sched.spawn("slow", iter([Charge(3.0, "m-1")]))
+        after_fast = sched.spawn("after-fast", iter([Charge(1.0, "m-2")]), after=[fast])
+        after_slow = sched.spawn("after-slow", iter([Charge(1.0, "m-3")]), after=[slow])
+        final = sched.run()
+        # The fast chain does not wait for the slow one: no wave barrier.
+        assert after_fast.admitted_at == pytest.approx(1.0)
+        assert after_slow.admitted_at == pytest.approx(3.0)
+        assert final == pytest.approx(4.0)
+
+    def test_finished_dependencies_gate_nothing(self):
+        sched = Scheduler()
+        a = sched.spawn("a", iter([Sleep(1.0)]))
+        sched.run()
+        b = sched.spawn("b", iter([Sleep(1.0)]), after=[a])
+        # a is already done, so b admits at spawn time, no "admit" event.
+        assert b.waiting_on == 0
+        assert b.admitted_at == pytest.approx(1.0)
+        sched.run()
+        assert not any(entry["event"] == "admit" for entry in sched.event_log)
+
+    def test_gated_spawn_logs_waiting_and_admit_events(self):
+        sched = Scheduler()
+        a = sched.spawn("a", iter([Sleep(1.0)]))
+        sched.spawn("b", iter([Sleep(1.0)]), after=[a])
+        sched.run()
+        kinds = [(entry["event"], entry["process"]) for entry in sched.event_log]
+        assert ("spawn", "a") in kinds
+        assert ("spawn", "b") in kinds
+        assert ("admit", "b") in kinds
+        admit_index = kinds.index(("admit", "b"))
+        assert kinds.index(("exit", "a")) < admit_index
+
+    def test_ungated_event_log_is_unchanged_by_the_feature(self):
+        plain = Scheduler()
+        plain.spawn("p", iter([Charge(1.0, "m-0")]))
+        plain.run()
+        explicit = Scheduler()
+        explicit.spawn("p", iter([Charge(1.0, "m-0")]), after=[])
+        explicit.run()
+        assert plain.event_log == explicit.event_log
+
+    def test_unfinished_gated_process_is_a_scheduler_bug(self):
+        sched = Scheduler()
+        a = sched.spawn("a", iter([Sleep(1.0)]))
+        b = sched.spawn("b", iter([Sleep(1.0)]))
+        # Simulate a cycle-ish bug: gate on a process that never exits by
+        # inflating waiting_on behind the scheduler's back.
+        c = sched.spawn("c", iter([Sleep(1.0)]), after=[a, b])
+        c.waiting_on += 1
+        with pytest.raises(InvalidStateError, match="never finished"):
+            sched.run()
+
+
+class TestUtilizationReport:
+    def test_busy_fractions_and_queue_depth(self):
+        sched = Scheduler()
+        sched.spawn("a", iter([Charge(1.0, "m-0")]))
+        sched.spawn("b", iter([Charge(1.0, "m-0")]))
+        sched.spawn("c", iter([Charge(2.0, "m-1")]))
+        sched.run()
+        report = sched.utilization_report()
+        assert report["makespan"] == pytest.approx(2.0)
+        m0 = report["cpu"]["m-0"]
+        assert m0["busy_seconds"] == pytest.approx(2.0)
+        assert m0["busy_fraction"] == pytest.approx(1.0)
+        # b queued behind a for one second on m-0; depth counts the
+        # running charge, so a contended CPU peaks at 2 and an
+        # uncontended one at 1.
+        assert m0["queued_wait_seconds"] == pytest.approx(1.0)
+        assert m0["max_queue_depth"] == 2
+        m1 = report["cpu"]["m-1"]
+        assert m1["queued_wait_seconds"] == pytest.approx(0.0)
+        assert m1["max_queue_depth"] == 1
+
+    def test_link_stats_count_transfers_and_concurrency(self):
+        sched = Scheduler()
+        sched.spawn("a", iter([Transfer(1.0, "m-0", "m-1")]))
+        sched.spawn("b", iter([Transfer(1.0, "m-0", "m-1")]))
+        sched.run()
+        report = sched.utilization_report()
+        link = report["links"]["m-0->m-1"]
+        assert link["transfers"] == 2
+        assert link["max_concurrent"] == 2
+        # Processor sharing: both 1 s transfers finish at t=2, link busy
+        # the whole makespan.
+        assert link["busy_seconds"] == pytest.approx(2.0)
+        assert link["busy_fraction"] == pytest.approx(1.0)
+
+    def test_summary_is_the_compact_bench_slice(self):
+        sched = Scheduler()
+        sched.spawn("a", iter([Charge(1.0, "m-0"), Transfer(1.0, "m-0", "m-1")]))
+        sched.run()
+        summary = sched.utilization_report()["summary"]
+        assert summary["machines"] == 1
+        assert summary["links"] == 1
+        assert summary["makespan"] == pytest.approx(2.0)
+        assert 0.0 < summary["mean_cpu_busy_fraction"] <= 1.0
+        assert 0.0 < summary["mean_link_busy_fraction"] <= 1.0
+        assert summary["max_cpu_queue_depth"] == 1
+
+    def test_empty_schedule_reports_zeroes(self):
+        report = Scheduler().utilization_report()
+        assert report["cpu"] == {} and report["links"] == {}
+        assert report["summary"]["mean_cpu_busy_fraction"] == 0.0
+        assert report["summary"]["max_link_concurrency"] == 0
