@@ -280,6 +280,18 @@ class FleetBenchConfig:
             raise ValueError("wave_caps requires orchestrated=True")
         if self.multi_plan and not self.orchestrated:
             raise ValueError("multi_plan requires orchestrated=True")
+        if (
+            self.multi_plan
+            and self.plan == "drain"
+            and self.reps >= self.n_machines
+        ):
+            # The maintenance window excludes every round's drain target
+            # from all destinations; reps >= n_machines would exclude every
+            # machine and make every round's plan infeasible.
+            raise ValueError(
+                "multi_plan drain requires reps < n_machines (the "
+                "maintenance window must leave at least one destination)"
+            )
         if self.tenant_pods is not None:
             if self.plan != "evacuate":
                 raise ValueError("tenant_pods requires plan='evacuate'")

@@ -35,6 +35,7 @@ planner process dying right there.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -443,7 +444,9 @@ class FleetService:
         self.last_schedule = scheduler
         report = scheduler.utilization_report()
         for outcome in outcomes:
-            outcome.utilization = report
+            # Each plan gets its own copy: the report is a nested dict, and
+            # one tenant mutating its view must not leak into the others'.
+            outcome.utilization = copy.deepcopy(report)
         return outcomes
 
     # -------------------------------------------------------------- resume
@@ -533,7 +536,15 @@ class FleetService:
         never-started, and finish each class its own way (R3-safe: nothing
         is ever dispatched twice).  Groups the journal already recorded as
         done are skipped wholesale — no member journal reads, no liveness
-        probes; returns the results plus the skipped-group count."""
+        probes; returns the results plus the skipped-group count.
+
+        Group completions are journaled here, not by the partial
+        re-dispatch: a re-dispatched subset completing says nothing about
+        the group's *other* members (a parked member resumed above may
+        still be ``PENDING_RETRY``), so ``mark_group_done`` fires only when
+        the aggregate over the group's original membership is all
+        ``COMPLETED`` — otherwise a second crash would skip the group and
+        falsely report the stuck member done."""
         results: dict[str, MigrationResult] = {}
         fresh: list = []
         skipped_groups = 0
@@ -571,8 +582,19 @@ class FleetService:
         if fresh:
             partial = Wave(index=wave.index, moves=tuple(fresh))
             run_preflight(self, partial)
-            partial_results, _ = self._dispatch_wave(partial, journal=journal)
+            partial_results, _ = self._dispatch_wave(partial)
             results.update(partial_results)
+        if journal is not None:
+            for destination, moves in self._wave_groups(wave):
+                if group_key(wave.index, destination) in done:
+                    continue
+                self._mark_group(
+                    journal,
+                    None,
+                    wave.index,
+                    destination,
+                    {move.app_name: results[move.app_name] for move in moves},
+                )
         return results, skipped_groups
 
     # -------------------------------------------------------------- status

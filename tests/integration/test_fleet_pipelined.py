@@ -26,7 +26,10 @@ import pytest
 
 from repro import wire
 from repro.core.result import MigrationOutcome
+from repro.core.retry import NO_RETRY
 from repro.errors import MigrationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.fleet.demo import build_demo_fleet, counter_values
 from repro.fleet.journal import (
     FleetPlanIndex,
@@ -209,6 +212,72 @@ class TestGroupGranularResume:
         assert restarted.placements()["fleet-0"] == []
         assert restarted.journal().read() is None
 
+    def test_partial_redispatch_never_journals_a_mixed_group_done(self):
+        """Regression: a (wave, destination) group whose members split into
+        parked (own migration journal on disk) and never-started must not
+        be journaled done just because the re-dispatched fresh subset
+        completed.  The parked member's reconcile lands as ``RESUMED``,
+        not ``COMPLETED`` — were the group marked done off the fresh
+        subset alone, a second planner crash before ``mark_wave_done``
+        would skip the group wholesale and report a member complete that
+        the journal never proved so."""
+        demo = build_demo_fleet(seed=0)
+        service = demo.service
+        plan = service.plan_drain("fleet-0")
+        wave = plan.waves[0]
+        groups = service._wave_groups(wave)
+        destination, moves = next(
+            (d, m) for d, m in groups if len(m) >= 2
+        )
+        journal = service.journal()
+        journal.write_plan(plan)
+        journal.mark_wave_started(0)
+
+        # Park the group's first member mid-transaction: migrate journals
+        # the transaction and freezes, then the dropped la_rec exhausts
+        # the single attempt — PENDING_RETRY, member journal on disk.
+        # The group's other member is never started at all.
+        parked = moves[0].app_name
+        app = service.members[parked].app
+        demo.dc.network.fault_injector = FaultInjector(
+            plan=FaultPlan().drop(msg_type="la_rec", direction="request"),
+            rng=demo.dc.rng.child("mixed-group"),
+            machines=dict(demo.dc.machines),
+            meter=demo.dc.meter,
+        )
+        result = app.migrate(
+            demo.dc.machine(destination),
+            migrate_vm=False,
+            retry_policy=NO_RETRY,
+        )
+        assert result.outcome is MigrationOutcome.PENDING_RETRY
+        demo.dc.network.fault_injector = None
+
+        results, skipped = service._reconcile_wave(
+            wave, done_groups=(), journal=journal
+        )
+        assert skipped == 0
+        assert results[parked].outcome is MigrationOutcome.RESUMED
+        record = journal.read()
+        # Groups whose original membership all reported COMPLETED are
+        # journaled done; the mixed group is not, so a repeated crash
+        # re-reconciles it instead of fabricating completion.
+        assert group_key(0, destination) not in record.done_groups
+        for other, other_moves in groups:
+            if other == destination:
+                continue
+            assert all(
+                results[move.app_name].outcome is MigrationOutcome.COMPLETED
+                for move in other_moves
+            )
+            assert group_key(0, other) in record.done_groups
+        # The fleet state itself is fully reconciled either way.
+        assert all(
+            service.members[move.app_name].machine == move.destination
+            for move in wave.moves
+        )
+        journal.clear()
+
     def test_journal_v2_round_trips_and_prunes_done_groups(self):
         demo = build_demo_fleet(seed=0, n_enclaves=8)
         journal = demo.service.journal()
@@ -297,3 +366,30 @@ class TestMultiTenantResume:
             assert len(results) == 2 and all(r.completed for r in results)
             state[mode] = _snapshot(demo)
         assert state["serial"] == state["pipelined"]
+
+    def test_apply_many_outcomes_get_independent_utilization_reports(self):
+        demo = build_demo_fleet(seed=0, n_enclaves=8, dispatch="pipelined")
+        first, second = demo.service.apply_many(self._evacuations(demo))
+        # Same shared schedule, but each tenant owns its copy: mutating
+        # one plan's report must not leak into the other's.
+        assert first.utilization == second.utilization
+        assert first.utilization is not second.utilization
+        first.utilization["summary"]["makespan"] = -1.0
+        assert second.utilization["summary"]["makespan"] != -1.0
+
+
+class TestBenchConfigGuards:
+    def test_multi_plan_drain_requires_reps_below_machines(self):
+        from repro.bench.harness import FleetBenchConfig
+
+        # reps >= n_machines puts every machine in the maintenance window,
+        # leaving plan_drain no destination at all.
+        with pytest.raises(ValueError, match="reps < n_machines"):
+            FleetBenchConfig(
+                n_enclaves=8, n_machines=4, reps=4, plan="drain",
+                orchestrated=True, dispatch="pipelined", multi_plan=True,
+            )
+        FleetBenchConfig(
+            n_enclaves=8, n_machines=4, reps=3, plan="drain",
+            orchestrated=True, dispatch="pipelined", multi_plan=True,
+        )
