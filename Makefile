@@ -2,14 +2,16 @@
 # tests, the SEC001-SEC010 interprocedural static-analysis gate (fails on
 # any finding not recorded in .analysis-baseline.json), the chaos sweep
 # (drop/duplicate/crash faults over every migration message; R3/R4 must hold
-# after recovery), and the disk-fault smoke slice (one torn/lost/rot/stale
-# scenario per persisted artifact; the full grid runs via `make chaos-disk`).
+# after recovery), and the smoke slices of the disk-fault, fleet-kill and
+# clone-campaign grids (the full grids run via `make chaos-disk`,
+# `make chaos-fleet` and `make chaos-clone`).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test analyze analyze-json analyze-sarif analyze-changed baseline \
 	chaos chaos-disk chaos-disk-smoke chaos-fleet chaos-fleet-smoke \
+	chaos-clone chaos-clone-smoke chaos-smoke-all \
 	bench-fleet bench-fleet-smoke bench-scale-smoke ci
 
 test:
@@ -76,4 +78,18 @@ chaos-fleet:
 chaos-fleet-smoke:
 	$(PYTHON) -m repro.faults.chaos --fleet --smoke
 
-ci: test analyze chaos chaos-disk-smoke chaos-fleet-smoke bench-fleet-smoke bench-scale-smoke
+# Cloning-window attack campaigns: a second instance launched at every
+# request leg of the guarded RESTORE / wave / stale-session protocols plus
+# healed-disk relaunches, with drop-fault variants.  Every clone must be
+# detected and fenced by the single-instance registry with R3/R4 intact;
+# the summary reports per-scenario detection latency in virtual time.
+chaos-clone:
+	$(PYTHON) -m repro.faults.chaos --clone
+
+chaos-clone-smoke:
+	$(PYTHON) -m repro.faults.chaos --clone --smoke
+
+# One scenario per cell of every adversarial grid — the CI slice.
+chaos-smoke-all: chaos-disk-smoke chaos-fleet-smoke chaos-clone-smoke
+
+ci: test analyze chaos chaos-smoke-all bench-fleet-smoke bench-scale-smoke

@@ -1,5 +1,19 @@
 """End-to-end reproductions of the paper's Section III attacks."""
 
+from repro.attacks.cloning import (
+    CloneCampaignReport,
+    CloneWorld,
+    build_clone_world,
+    check_clone_invariants,
+    launch_clone,
+    probe_restore_trace,
+    probe_stale_session_trace,
+    probe_wave_trace,
+    run_healed_disk_campaign,
+    run_restore_window_campaign,
+    run_stale_session_replay_campaign,
+    run_wave_double_join_campaign,
+)
 from repro.attacks.fork import (
     ForkAttackResult,
     run_fork_attack_defended,
@@ -12,10 +26,22 @@ from repro.attacks.rollback import (
 )
 
 __all__ = [
+    "CloneCampaignReport",
+    "CloneWorld",
     "ForkAttackResult",
+    "RollbackAttackResult",
+    "build_clone_world",
+    "check_clone_invariants",
+    "launch_clone",
+    "probe_restore_trace",
+    "probe_stale_session_trace",
+    "probe_wave_trace",
     "run_fork_attack_defended",
     "run_fork_attack_vulnerable",
-    "RollbackAttackResult",
+    "run_healed_disk_campaign",
+    "run_restore_window_campaign",
     "run_rollback_attack_defended",
     "run_rollback_attack_vulnerable",
+    "run_stale_session_replay_campaign",
+    "run_wave_double_join_campaign",
 ]

@@ -25,12 +25,15 @@ from repro.attestation.local import LocalAttestationResponder
 from repro.attestation.remote import RemoteAttestationInitiator, RemoteAttestationResponder
 from repro.cloud.datacenter import ProviderCredential
 from repro.cloud.network import Endpoint
+from repro.core.datastructures import MIGRATION_DATA_SIZE
 from repro.core.policy import MigrationContext, PolicySet
 from repro.core.result import MigrationOutcome, MigrationResult
 from repro.crypto import schnorr
 from repro.errors import (
     AttestationError,
     ChannelError,
+    CloneDetectedError,
+    FencedInstanceError,
     InvalidStateError,
     MigrationError,
     PolicyViolationError,
@@ -67,6 +70,20 @@ class MigrationEnclave(EnclaveBase):
         # a labelled RNG child so it does not perturb any other stream.
         self._epoch: bytes = sdk._rng.child("me-session-epoch").random_bytes(8)
         self._session_resumption = False
+        # Clone defense (opt-in): the fleet's single-instance registry, a
+        # host-side arbiter attached after provisioning; None = the default
+        # deployment with no clone detection (and, for guarded enclaves,
+        # deny-by-default on their claims).  The heartbeat is a monotonic
+        # counter persisted in checkpoint v4: a legitimately reinstalled ME
+        # continues the sequence, an ME cloned from a healed older
+        # checkpoint regresses and is fenced by the registry.
+        self._registry = None
+        self._heartbeat = 0
+        # Session epoch of the checkpoint this instance was restored from
+        # (b"" for a fresh instance).  Diagnostics only: _epoch itself is
+        # NEVER restored, so peers can never resume a session into a
+        # different instance than the one they attested.
+        self._restored_epoch: bytes = b""
         # destination address -> {sid, channel, peer_credential, epoch}
         self._resumable: dict[str, dict] = {}
         # Migration-data stores, keyed target mrenclave -> transaction id ->
@@ -169,7 +186,110 @@ class MigrationEnclave(EnclaveBase):
             return self._on_done_notice(message)
         if msg_type == "flush_staged":
             return self._on_flush_staged(message)
+        if msg_type == "heartbeat":
+            return self._on_heartbeat()
         return wire.encode({"status": "error", "error": f"unknown message {msg_type!r}"})
+
+    # ------------------------------------------------------ clone defense
+    @ecall
+    def attach_registry(self, registry) -> None:
+        """Attach the fleet's single-instance registry (clone defense).
+
+        Like ``ias_verify`` and the policy set, the registry is host-side
+        infrastructure handed in by the operator; an ME without one answers
+        every ``clone_check`` with a retryable denial (deny-by-default)."""
+        self._registry = registry
+
+    def _beat(self) -> dict:
+        """Advance the monotonic heartbeat and report it to the registry."""
+        self._heartbeat += 1
+        if self._registry is not None and self._my_address is not None:
+            self._registry.me_beat(self._my_address, self._epoch, self._heartbeat)
+        return {"epoch": self._epoch, "heartbeat": self._heartbeat}
+
+    @ecall
+    def heartbeat(self) -> dict:
+        """One liveness beat: returns ``{"epoch", "heartbeat"}``.
+
+        Raises :class:`~repro.errors.CloneDetectedError` if the registry
+        proves this instance regressed (restored from a stale checkpoint).
+        Drive beats through the ``{"t": "heartbeat"}`` network message
+        instead when durability matters: the message path checkpoints."""
+        return self._beat()
+
+    def _on_heartbeat(self) -> bytes:
+        try:
+            result = self._beat()
+        except CloneDetectedError as exc:
+            return wire.encode({"status": "clone_detected", "error": str(exc)})
+        except FencedInstanceError as exc:
+            return wire.encode({"status": "fenced", "error": str(exc)})
+        except TransientError as exc:
+            return wire.encode(
+                {"status": "error", "retryable": True, "error": str(exc)}
+            )
+        return wire.encode(
+            {
+                "status": "ok",
+                "epoch": result["epoch"],
+                "heartbeat": result["heartbeat"],
+            }
+        )
+
+    def _advance_registry(self, data: bytes, destination: str) -> dict | None:
+        """Report a freeze to the registry from the guard suffix on shipped
+        migration data.  Returns an error reply to send instead of
+        proceeding, or None when the data is unguarded / the advance
+        succeeded."""
+        if len(data) <= MIGRATION_DATA_SIZE or self._registry is None:
+            return None
+        try:
+            suffix = wire.decode(data[MIGRATION_DATA_SIZE:])
+            identity, instance, epoch = (
+                suffix["id"],
+                suffix["instance"],
+                int(suffix["epoch"]),
+            )
+        except (wire.WireError, KeyError, TypeError, ValueError):
+            return None  # unparseable suffix: treat as unguarded
+        try:
+            self._registry.advance(
+                identity,
+                instance,
+                epoch=epoch,
+                destination=destination,
+                machine=self._my_address or "",
+            )
+        except FencedInstanceError as exc:
+            return {"status": "error", "error": str(exc)}
+        except TransientError as exc:
+            return {"status": "error", "retryable": True, "error": str(exc)}
+        return None
+
+    def _handle_clone_check(self, command: dict, session: dict) -> dict:
+        """A guarded library claims its identity before operating."""
+        if self._registry is None:
+            return {
+                "status": "error",
+                "retryable": True,
+                "error": "no single-instance registry attached to this "
+                "Migration Enclave (deny-by-default)",
+            }
+        try:
+            self._registry.claim(
+                command["id"],
+                command["instance"],
+                machine=self._my_address or "",
+                epoch=int(command["epoch"]),
+                kind=str(command.get("kind", "")),
+            )
+        except CloneDetectedError as exc:
+            return {"status": "clone_detected", "error": str(exc)}
+        except FencedInstanceError as exc:
+            return {"status": "fenced", "error": str(exc)}
+        except TransientError as exc:
+            return {"status": "error", "retryable": True, "error": str(exc)}
+        return {"status": "ok"}
 
     # -------------------------------------------------------- diagnostics
     @ecall
@@ -235,20 +355,36 @@ class MigrationEnclave(EnclaveBase):
                 for txn in sorted(txns)
             ]
 
-        payload = wire.encode(
-            {
-                "incoming": encode_store(self._incoming),
-                "pending": encode_store(self._pending_outgoing),
-                "completed": encode_ledger(self._completed),
-                "confirmed": encode_ledger(self._confirmed),
-                "signing_private": self._keypair.private.to_bytes(256, "big"),
-            }
+        fields = {
+            "incoming": encode_store(self._incoming),
+            "pending": encode_store(self._pending_outgoing),
+            "completed": encode_ledger(self._completed),
+            "confirmed": encode_ledger(self._confirmed),
+            "signing_private": self._keypair.private.to_bytes(256, "big"),
+        }
+        # v4 adds the clone-defense fields: the monotonic heartbeat (so a
+        # legitimately reinstalled ME continues the sequence and a clone
+        # restored from a healed older checkpoint regresses — the registry
+        # fences it on its first beat) and this instance's session epoch
+        # (lineage diagnostics only; import NEVER adopts it as the live
+        # epoch).  Deployments that never used the defense keep writing
+        # byte-identical v3 checkpoints.
+        defense_active = (
+            self._heartbeat > 0
+            or self._registry is not None
+            or self._restored_epoch != b""
         )
+        aad = b"me-checkpoint-v3"
+        if defense_active:
+            fields["heartbeat"] = self._heartbeat
+            fields["epoch"] = self._epoch
+            aad = b"me-checkpoint-v4"
+        payload = wire.encode(fields)
         # MRENCLAVE policy: only the same ME *code* on the same machine can
         # restore the checkpoint, regardless of deployment signer.
         from repro.sgx.identity import KeyPolicy
 
-        return self.sdk.seal_data(payload, b"me-checkpoint-v3", KeyPolicy.MRENCLAVE)
+        return self.sdk.seal_data(payload, aad, KeyPolicy.MRENCLAVE)
 
     @ecall
     def import_sealed_state(self, checkpoint: bytes) -> None:
@@ -267,12 +403,15 @@ class MigrationEnclave(EnclaveBase):
             # SealedData.from_bytes on garbage raises untyped lookup errors.
             raise InvalidStateError(f"malformed sealed checkpoint: {exc}") from exc
         # v3: stores and ledgers hold one row per (mrenclave, transaction)
-        # pair so wave records survive a restart individually.
-        if aad != b"me-checkpoint-v3":
+        # pair so wave records survive a restart individually.  v4 appends
+        # the heartbeat counter and the writing instance's session epoch.
+        if aad not in (b"me-checkpoint-v3", b"me-checkpoint-v4"):
             raise InvalidStateError("not a Migration Enclave checkpoint")
         try:
             fields = wire.decode(plaintext)
             restored_private = int.from_bytes(fields["signing_private"], "big")
+            restored_heartbeat = int(fields.get("heartbeat", 0))
+            restored_epoch = bytes(fields.get("epoch", b""))
             staged_stores: dict[str, dict] = {}
             for name in ("incoming", "pending"):
                 peer_key = "source_me" if name == "incoming" else "dest"
@@ -311,6 +450,14 @@ class MigrationEnclave(EnclaveBase):
         for name, ledger in (("completed", self._completed), ("confirmed", self._confirmed)):
             ledger.clear()
             ledger.update(staged_ledgers[name])
+        # The heartbeat continues from the checkpoint (monotonic lineage —
+        # that continuity is what lets the registry fence a clone restored
+        # from an OLDER checkpoint).  The session epoch is recorded for
+        # diagnostics only: this instance keeps its freshly minted _epoch,
+        # so any session a peer cached against the previous instance can
+        # never resume here and falls back to full remote attestation.
+        self._heartbeat = restored_heartbeat
+        self._restored_epoch = restored_epoch
 
     # ---------------------------------------------------- local attestation
     def _require_provisioned(self) -> None:
@@ -372,6 +519,8 @@ class MigrationEnclave(EnclaveBase):
             return self._handle_fetch(command, session)
         if cmd == "done":
             return self._handle_done(command, session)
+        if cmd == "clone_check":
+            return self._handle_clone_check(command, session)
         return {"status": "error", "error": f"unknown command {cmd!r}"}
 
     # ------------------------------------------------------------- outgoing
@@ -402,6 +551,13 @@ class MigrationEnclave(EnclaveBase):
         # enclave identity: multi-hop chains reuse the same MRENCLAVE, so a
         # new transaction must not be mistaken for a duplicate of the last.
         self._completed.pop(target_mrenclave, None)
+        reply = self._advance_registry(command["data"], destination)
+        if reply is not None:
+            if reply.get("retryable"):
+                # The registry will hear the advance on the retry; park so
+                # the exact transaction can be re-driven.
+                self._park_pending(target_mrenclave, command["data"], destination, txn)
+            return reply
         try:
             self._require_provisioned()
             shipped = self._send_to_destination(
@@ -441,6 +597,11 @@ class MigrationEnclave(EnclaveBase):
         # As with migrate_out: a fresh transaction supersedes the identity's
         # completion records (multi-hop chains reuse the same MRENCLAVE).
         self._completed.pop(target_mrenclave, None)
+        reply = self._advance_registry(command["data"], destination)
+        if reply is not None:
+            # Not parked: the frozen library re-stages via the no_pending
+            # retry path, and the registry must hear the freeze first.
+            return reply
         self._park_pending(target_mrenclave, command["data"], destination, txn)
         return {"status": "ok", "staged": True}
 
@@ -474,6 +635,9 @@ class MigrationEnclave(EnclaveBase):
                 "error": "no pending migration data",
                 "no_pending": True,
             }
+        reply = self._advance_registry(entry["data"], command["dest"])
+        if reply is not None:
+            return reply
         if command.get("staged"):
             # Deferred retry: the record is already parked for the wave
             # flush; just (re-)route it to the requested destination.

@@ -30,17 +30,26 @@ from __future__ import annotations
 import enum
 
 from repro import wire
-from repro.core.datastructures import NUM_COUNTERS, LibraryState, MigrationData
+from repro.core.datastructures import (
+    LIBRARY_STATE_SIZE,
+    MIGRATION_DATA_SIZE,
+    NUM_COUNTERS,
+    LibraryState,
+    MigrationData,
+)
 from repro.crypto.gcm import AesGcm
 from repro.errors import (
     ChannelError,
+    CloneDetectedError,
     CounterNotFoundError,
     CryptoError,
+    FencedInstanceError,
     InvalidParameterError,
     InvalidStateError,
     MacMismatchError,
     MigrationError,
     MigrationPendingError,
+    ReproError,
     ServiceUnavailableError,
     SgxError,
     SgxStatus,
@@ -51,6 +60,21 @@ from repro.attestation.local import LocalAttestationInitiator
 
 _MSK_SIZE = 16
 _STATE_AAD = b"migration-library-state-v1"
+_GUARD_ID_SIZE = 16
+_GUARD_INSTANCE_SIZE = 8
+
+
+def _split_guard(blob: bytes, base_size: int) -> tuple[bytes, dict | None]:
+    """Separate an optional clone-guard suffix from a fixed-size payload.
+
+    Clone-guarded enclaves append ``wire.encode({"v", "id", "epoch"})``
+    after the Table I/II binary layout; unguarded payloads are exactly the
+    base size, keeping the default protocol byte-identical.
+    """
+    if len(blob) <= base_size:
+        return blob, None
+    suffix = wire.decode(blob[base_size:])
+    return blob[:base_size], {"id": suffix["id"], "epoch": suffix["epoch"]}
 
 
 class InitState(enum.Enum):
@@ -82,6 +106,12 @@ class MigrationLibrary:
         # Complements the operator policies enforced by the ME.
         self._destination_policy = destination_policy
         self._state: LibraryState | None = None
+        # Clone-guard registration (opt-in via migration_init NEW): the
+        # identity travels with the persistent state, the epoch counts
+        # freeze/restore/install generations, and the instance nonce is
+        # fresh per library load.  None = unguarded (the default; keeps
+        # every persisted and shipped byte identical to the base protocol).
+        self._guard: dict | None = None
         self._channel = None
         self._me_address: str | None = None
         self._session_id: str | None = None
@@ -126,7 +156,12 @@ class MigrationLibrary:
         commits, the previous sealed blob is still the durable one.
         """
         assert self._state is not None
-        blob = self._sdk.seal_data(self._state.to_bytes(), _STATE_AAD)
+        plaintext = self._state.to_bytes()
+        if self._guard is not None:
+            plaintext += wire.encode(
+                {"v": 1, "id": self._guard["id"], "epoch": self._guard["epoch"]}
+            )
+        blob = self._sdk.seal_data(plaintext, _STATE_AAD)
         try:
             self._sdk.ocall("save_library_state", blob)
         except InvalidParameterError:
@@ -134,7 +169,7 @@ class MigrationLibrary:
             pass
         return blob
 
-    def _load_state(self, data_buffer: bytes) -> LibraryState:
+    def _load_state(self, data_buffer: bytes) -> tuple[LibraryState, dict | None]:
         try:
             plaintext, aad = self._sdk.unseal_data(data_buffer)
         except MacMismatchError as exc:
@@ -144,7 +179,8 @@ class MigrationLibrary:
             ) from exc
         if aad != _STATE_AAD:
             raise MigrationError("library state buffer has wrong context tag")
-        return LibraryState.from_bytes(plaintext)
+        core, guard = _split_guard(plaintext, LIBRARY_STATE_SIZE)
+        return LibraryState.from_bytes(core), guard
 
     # -------------------------------------------------------- ME connection
     def _me_send(self, message: dict) -> dict:
@@ -211,6 +247,61 @@ class MigrationLibrary:
                 f"Migration Enclave exchange failed: {exc}"
             ) from exc
 
+    # ------------------------------------------------------ clone detection
+    @property
+    def guard_identity(self) -> bytes:
+        """The clone-guard identity (empty when unguarded)."""
+        return self._guard["id"] if self._guard is not None else b""
+
+    def _clone_check(self, kind: str) -> None:
+        """Claim this identity at the single-instance registry via the ME.
+
+        Mandatory for guarded enclaves before any state becomes operational:
+        the check runs inside ``migration_init`` (trusted code folded into
+        the MRENCLAVE), so an attacker restoring a snapshot cannot skip it —
+        stubbing the ``send_to_me`` transport just turns the claim into a
+        transport failure, which is a denial, never an acceptance.
+        """
+        assert self._guard is not None
+        response = self._me_command(
+            {
+                "cmd": "clone_check",
+                "kind": kind,
+                "id": self._guard["id"],
+                "epoch": self._guard["epoch"],
+                "instance": self._guard["instance"],
+            }
+        )
+        status = response.get("status")
+        if status == "ok":
+            return
+        error = str(response.get("error", status))
+        if status == "clone_detected":
+            raise CloneDetectedError(error)
+        if status == "fenced":
+            raise FencedInstanceError(error)
+        if response.get("retryable"):
+            # Registry (or ME) unavailable: deny now, allow a retry later.
+            raise ServiceUnavailableError(
+                f"single-instance claim could not be completed (denied): {error}"
+            )
+        raise MigrationError(f"single-instance claim failed: {error}")
+
+    def _guard_suffix(self) -> bytes:
+        """The guard fields shipped alongside Table I migration data, so the
+        source ME can advance the registry and the destination library can
+        continue the epoch sequence."""
+        if self._guard is None:
+            return b""
+        return wire.encode(
+            {
+                "v": 1,
+                "id": self._guard["id"],
+                "epoch": self._guard["epoch"],
+                "instance": self._guard["instance"],
+            }
+        )
+
     # ------------------------------------------------------------ Listing 1
     def migration_init(
         self,
@@ -218,6 +309,7 @@ class MigrationLibrary:
         init_state: InitState,
         me_address: str,
         txn_id: str = "",
+        clone_guard: bool = False,
     ) -> bytes:
         """Initialize the library (must be called every time the enclave is
         loaded).  Returns the sealed Table II buffer to store untrusted.
@@ -229,6 +321,11 @@ class MigrationLibrary:
           Migration Enclave and install it (fresh counters, new offsets).
           ``txn_id`` (optional) names the migration transaction to fetch,
           needed when a wave parked several records for this MRENCLAVE.
+
+        ``clone_guard=True`` on a NEW init enrolls the enclave with the
+        fleet's single-instance registry; the guard travels inside the
+        sealed state, so every later RESTORE/MIGRATE of that state — by
+        anyone — must claim the registry before the library operates.
         """
         if self._state is not None:
             raise InvalidStateError("Migration Library already initialized")
@@ -239,21 +336,52 @@ class MigrationLibrary:
             self._charge("lib_init_new", "lib_counter_read_wrap")
             state = LibraryState()
             state.msk = self._sdk.random_bytes(_MSK_SIZE)
+            if clone_guard:
+                self._guard = {
+                    "id": self._sdk.random_bytes(_GUARD_ID_SIZE),
+                    "epoch": 1,
+                    "instance": self._sdk.random_bytes(_GUARD_INSTANCE_SIZE),
+                }
+                try:
+                    self._clone_check("new")
+                except ReproError:
+                    self._guard = None
+                    raise
             self._state = state
             return self._persist()
 
         if init_state is InitState.RESTORE:
             if data_buffer is None:
                 raise InvalidParameterError("RESTORE requires the sealed state buffer")
-            state = self._load_state(data_buffer)
+            state, guard = self._load_state(data_buffer)
+            if guard is not None:
+                guard["instance"] = self._sdk.random_bytes(_GUARD_INSTANCE_SIZE)
             if state.frozen:
                 # Keep the frozen state loaded so diagnostics can see it,
-                # but refuse every operation.
+                # but refuse every operation.  No registry claim: a frozen
+                # instance can never operate, and the retry path it feeds
+                # reports the freeze to the registry via the ME instead.
                 self._state = state
+                self._guard = guard
                 raise InvalidStateError(
                     "refusing to operate: this enclave has been migrated "
                     "(freeze flag set in persistent state)"
                 )
+            if guard is not None:
+                # Claim with the successor epoch, then persist the bump.
+                # Unlike the unguarded path below, a guarded restore DOES
+                # rewrite the buffer: the epoch advance is what lets the
+                # registry tell this legitimate relaunch apart from a clone
+                # replaying the same bytes later.
+                guard["epoch"] += 1
+                self._guard = guard
+                try:
+                    self._clone_check("restore")
+                except ReproError:
+                    self._guard = None
+                    raise
+                self._state = state
+                return self._persist()
             self._state = state
             # Restore is read-only on disk: the loaded buffer already *is*
             # the persistent state, and re-sealing it here would overwrite
@@ -265,7 +393,20 @@ class MigrationLibrary:
             return data_buffer
 
         if init_state is InitState.MIGRATE:
-            migration = self._fetch_incoming()
+            migration, guard = self._fetch_incoming()
+            if guard is not None:
+                # Successor epoch over the shipped (frozen) one; the claim
+                # must succeed before any state is installed.
+                self._guard = {
+                    "id": guard["id"],
+                    "epoch": guard["epoch"] + 1,
+                    "instance": self._sdk.random_bytes(_GUARD_INSTANCE_SIZE),
+                }
+                try:
+                    self._clone_check("migrate")
+                except ReproError:
+                    self._guard = None
+                    raise
             state = LibraryState()
             state.msk = migration.msk
             for slot in range(NUM_COUNTERS):
@@ -309,7 +450,7 @@ class MigrationLibrary:
             return
         raise MigrationError(f"Migration Enclave rejected DONE: {ack}")
 
-    def _fetch_incoming(self) -> MigrationData:
+    def _fetch_incoming(self) -> tuple[MigrationData, dict | None]:
         command: dict = {"cmd": "fetch"}
         if self._txn_id:
             # Only named transactions send the field: the sequential path
@@ -321,7 +462,8 @@ class MigrationLibrary:
                 "no incoming migration data for this enclave at the "
                 f"Migration Enclave ({response.get('status')!r})"
             )
-        return MigrationData.from_bytes(response["data"])
+        core, guard = _split_guard(response["data"], MIGRATION_DATA_SIZE)
+        return MigrationData.from_bytes(core), guard
 
     def migration_start(
         self,
@@ -394,6 +536,12 @@ class MigrationLibrary:
         for slot in state.active_slots():
             state.counter_offsets[slot] = data.counter_values[slot]
 
+        if self._guard is not None:
+            # The freeze is an epoch advance: the destination install will
+            # claim with frozen+1, and the registry learns frozen (+ the
+            # planned destination) from the guard suffix on the shipped
+            # data, closing the restore-during-migration window.
+            self._guard["epoch"] += 1
         state.frozen = True
         self._persist()
         self._ship(destination_address, data, txn_id, defer_transfer)
@@ -411,7 +559,7 @@ class MigrationLibrary:
                 {
                     "cmd": "stage_out" if defer else "migrate_out",
                     "dest": destination_address,
-                    "data": data.to_bytes(),
+                    "data": data.to_bytes() + self._guard_suffix(),
                     "txn": txn_id,
                 }
             )

@@ -101,10 +101,16 @@ class MigratableEnclave(EnclaveBase):
         init_state: str,
         me_address: str,
         txn_id: str = "",
+        clone_guard: bool = False,
     ) -> bytes:
-        """Initialize the Migration Library; must be called on every load."""
+        """Initialize the Migration Library; must be called on every load.
+
+        ``clone_guard=True`` (honored on NEW only; later loads inherit the
+        guard from the sealed state) enrolls this enclave with the fleet's
+        single-instance registry — see :mod:`repro.fleet.registry`."""
         return self.miglib.migration_init(
-            data_buffer, InitState[init_state], me_address, txn_id
+            data_buffer, InitState[init_state], me_address, txn_id,
+            clone_guard=clone_guard,
         )
 
     @ecall
@@ -132,6 +138,11 @@ class MigratableEnclave(EnclaveBase):
     def migration_ready(self) -> bool:
         """True once the library is initialized and serving (not frozen)."""
         return self.miglib.initialized and not self.miglib.frozen
+
+    @ecall
+    def guard_identity(self) -> bytes:
+        """The clone-guard identity (empty for unguarded enclaves)."""
+        return self.miglib.guard_identity
 
 
 # The base class and library sources are both folded into subclasses'
@@ -210,6 +221,7 @@ def _provision_and_register(
     durable: bool,
     replace: bool,
     session_resumption: bool,
+    registry=None,
 ) -> MigrationEnclaveHost:
     """Shared tail of (re)installation: setup phase + endpoint binding."""
     # Setup phase: the data-center operator certifies this ME.
@@ -229,6 +241,10 @@ def _provision_and_register(
         policies,
         session_resumption,
     )
+    if registry is not None:
+        # Attach before the endpoint goes live (and before the initial
+        # durable checkpoint below, which therefore seals as v4).
+        me_enclave.ecall("attach_registry", registry)
 
     if durable:
         checkpoint_state = {"gen": _me_checkpoint_generation(mgmt_app)}
@@ -266,6 +282,7 @@ def install_migration_enclave(
     *,
     durable: bool = False,
     session_resumption: bool = False,
+    registry=None,
 ) -> MigrationEnclaveHost:
     """Deploy + provision the Migration Enclave on ``machine``.
 
@@ -275,7 +292,9 @@ def install_migration_enclave(
     checkpoint after every handled message (see
     :func:`reinstall_migration_enclave`).  ``session_resumption=True``
     opts the ME into reusing attested ME<->ME sessions across migrations
-    to the same destination (an ablation, off by default).
+    to the same destination (an ablation, off by default).  ``registry``
+    (a :class:`~repro.fleet.registry.SingleInstanceRegistry`) attaches the
+    fleet's clone-detection arbiter.
     """
     mgmt_app = machine.management_vm.launch_application("migration-service")
     me_enclave = mgmt_app.launch_enclave(MigrationEnclave, me_signing_key)
@@ -285,7 +304,7 @@ def install_migration_enclave(
     )
     return _provision_and_register(
         dc, machine, mgmt_app, me_enclave, policies, durable, replace=False,
-        session_resumption=session_resumption,
+        session_resumption=session_resumption, registry=registry,
     )
 
 
@@ -297,6 +316,7 @@ def reinstall_migration_enclave(
     *,
     durable: bool = True,
     session_resumption: bool = False,
+    registry=None,
 ) -> MigrationEnclaveHost:
     """Bring the Migration Enclave back after a machine crash or mgmt-VM
     restart, restoring its sealed checkpoint when one survives on disk.
@@ -341,7 +361,7 @@ def reinstall_migration_enclave(
         break
     host = _provision_and_register(
         dc, machine, mgmt_app, me_enclave, policies, durable, replace=True,
-        session_resumption=session_resumption,
+        session_resumption=session_resumption, registry=registry,
     )
     host.restored_generation = restored_generation
     return host
@@ -353,6 +373,7 @@ def install_all_migration_enclaves(
     *,
     durable: bool = False,
     session_resumption: bool = False,
+    registry=None,
 ) -> dict[str, MigrationEnclaveHost]:
     """Deploy the ME on every machine of the data center."""
     if me_signing_key is None:
@@ -361,6 +382,7 @@ def install_all_migration_enclaves(
         name: install_migration_enclave(
             dc, machine, me_signing_key,
             durable=durable, session_resumption=session_resumption,
+            registry=registry,
         )
         for name, machine in dc.machines.items()
     }
@@ -386,6 +408,12 @@ class MigratableApp:
     app: object = None
     enclave: Enclave | None = None
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    # Clone defense (opt-in): ``clone_guard=True`` makes a NEW init mint a
+    # guard identity inside the library; ``registry`` is the fleet's
+    # single-instance registry, used host-side only to bind a liveness
+    # probe for this instance (the trusted checks run library->ME).
+    registry: object = None
+    clone_guard: bool = False
     _txn_seq: int = 0
 
     @classmethod
@@ -456,7 +484,8 @@ class MigratableApp:
         try:
             blob, _ = call_with_retries(
                 lambda: enclave.ecall(
-                    "migration_init", buffer, init_state.name, app.machine.address, txn_id
+                    "migration_init", buffer, init_state.name, app.machine.address,
+                    txn_id, self.clone_guard if init_state is InitState.NEW else False,
                 ),
                 meter=self.dc.meter,
                 policy=policy,
@@ -475,6 +504,8 @@ class MigratableApp:
             enclave.destroy()
             self.enclave = None
             raise
+        if self.registry is not None:
+            self._bind_liveness(enclave)
         if init_state is not InitState.RESTORE:
             # RESTORE returns the input buffer unchanged; rewriting it would
             # push a redundant generation into the storage archive and, if
@@ -489,6 +520,26 @@ class MigratableApp:
                 policy=policy,
             )
         return enclave
+
+    def _bind_liveness(self, enclave: Enclave) -> None:
+        """Register a host-side liveness probe with the single-instance
+        registry so it can distinguish "holder crashed, legitimate
+        relaunch" from "holder still serving, this claim is a clone".
+        The probe reports *operational* liveness: a loaded-but-frozen
+        enclave is not serving and must not block the migrate handoff."""
+        identity = enclave.ecall("guard_identity")
+        if not identity:
+            return  # unguarded instance: nothing for the registry to track
+
+        def probe() -> bool:
+            if self.enclave is not enclave or not enclave.alive:
+                return False
+            try:
+                return bool(enclave.ecall("migration_ready"))
+            except ReproError:
+                return False
+
+        self.registry.bind_liveness(identity, probe)
 
     def start_new(self) -> Enclave:
         return self.launch(InitState.NEW)

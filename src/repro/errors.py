@@ -187,6 +187,39 @@ class PreflightError(MigrationError):
     """
 
 
+class SecurityError(ReproError):
+    """An active-adversary condition was detected (as opposed to a protocol,
+    crypto, or infrastructure failure): a cloned instance, a fenced replica
+    trying to operate, the single-instance registry being unreachable when
+    its verdict is required.  Grouped under one branch so policy code can
+    treat "the system is under attack" differently from "the system is
+    broken"."""
+
+
+class CloneDetectedError(SecurityError):
+    """A second live instance of an enclave identity was detected (R3).
+
+    Raised by the single-instance registry (``repro.fleet.registry``) when a
+    claim, migration-data advance, or heartbeat proves that two instances
+    derived from the same persistent state are racing — the cloning-window
+    attacks of Briongos et al.  The offending instance is fenced; the
+    legitimate holder keeps serving.  Fatal: a fenced clone must never
+    retry its way into operation."""
+
+
+class FencedInstanceError(SecurityError):
+    """An instance that was previously fenced as a clone attempted another
+    operation.  Fatal — the fence is permanent for that instance."""
+
+
+class RegistryUnavailableError(SecurityError, TransientError):
+    """The single-instance registry could not be consulted and its verdict
+    is required.  The operation is DENIED (deny-by-default: an unreachable
+    registry must never degrade into silent acceptance of a possible
+    clone), but the denial is transient — the claim was not fenced, and the
+    same instance may retry once the registry is reachable again."""
+
+
 class CryptoError(ReproError):
     """Low-level cryptographic failure (tag mismatch, bad key size...)."""
 

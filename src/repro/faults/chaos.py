@@ -22,6 +22,7 @@ Run it as a module::
     PYTHONPATH=src python -m repro.faults.chaos --batched
     PYTHONPATH=src python -m repro.faults.chaos --disk
     PYTHONPATH=src python -m repro.faults.chaos --fleet
+    PYTHONPATH=src python -m repro.faults.chaos --clone
 
 ``--disk`` sweeps the *storage* fault model instead of the network one:
 every persisted artifact (source/destination migration journals, the ME's
@@ -50,6 +51,15 @@ members stuck mid-transaction.  A fresh planner must then
 ``resume_plan()`` from the durable fleet journal alone and finish the
 drain with R3/R4 intact per enclave, every member at its planned
 destination, and the fleet journal cleared.
+
+``--clone`` runs the *adversary*: the scripted cloning campaigns of
+:mod:`repro.attacks.cloning` (second instance in the RESTORE window, a
+stale-ME-epoch session replay, a double-joined ``transfer_batch`` wave, a
+relaunch from a healed disk image) at every request leg of the guarded
+protocol, optionally composed with a dropped message.  Every scenario must
+end with R3/R4 intact, the clone detected AND fenced by the
+single-instance registry, and the per-scenario detection latency (virtual
+seconds) is reported in the summary.
 
 Exit status 1 means at least one swept scenario violated an invariant.
 """
@@ -1277,23 +1287,206 @@ def _main_fleet(seed: int, smoke: bool) -> int:
     return 1 if failures else 0
 
 
+# -------------------------------------------------------------------- clone
+@dataclass(frozen=True)
+class CloneScenario:
+    """One scripted cloning-campaign experiment: launch the clone at
+    message ``window_seq`` of the victim protocol (``window`` is its
+    human-readable label), optionally composing a network ``fault`` at
+    ``fault_seq``.  Healed-disk campaigns have no message window
+    (``window_seq`` is -1); their ``window`` names the healed artifact."""
+
+    campaign: str
+    window: str
+    window_seq: int
+    fault: str
+    fault_seq: int
+
+
+def enumerate_clone_scenarios(seed: int = 2018) -> list[CloneScenario]:
+    """The full clone-campaign grid for one seed.
+
+    Every *request* leg of the guarded probe traces is a cloning window
+    (replies deliver into a blocked sender, so the request positions are
+    where a host-controlled adversary can act).  Drop variants re-race the
+    same window while an earlier protocol leg is lost and the retry/resume
+    machinery is mid-recovery; the healed-disk campaign crosses its three
+    artifacts with a clean and a lossy network.
+    """
+    from repro.attacks import cloning
+
+    scenarios: list[CloneScenario] = []
+
+    restore = [
+        leg for leg in cloning.probe_restore_trace(seed) if leg.direction == "request"
+    ]
+    for index, leg in enumerate(restore):
+        label = f"{leg.seq}:{leg.msg_type or 'msg'}"
+        scenarios.append(
+            CloneScenario("restore-window", label, leg.seq, "none", -1)
+        )
+        if index > 0:
+            scenarios.append(
+                CloneScenario(
+                    "restore-window", label, leg.seq, "drop", restore[index - 1].seq
+                )
+            )
+
+    wave = [
+        leg for leg in cloning.probe_wave_trace(seed) if leg.direction == "request"
+    ]
+    for index, leg in enumerate(wave):
+        label = f"{leg.seq}:{leg.msg_type or 'msg'}"
+        scenarios.append(
+            CloneScenario("wave-double-join", label, leg.seq, "none", -1)
+        )
+        if index > 0:
+            scenarios.append(
+                CloneScenario(
+                    "wave-double-join", label, leg.seq, "drop", wave[index - 1].seq
+                )
+            )
+
+    stale = [
+        leg
+        for leg in cloning.probe_stale_session_trace(seed)
+        if leg.direction == "request"
+    ]
+    for leg in stale:
+        label = f"{leg.seq}:{leg.msg_type or 'msg'}"
+        scenarios.append(
+            CloneScenario("stale-session-replay", label, leg.seq, "none", -1)
+        )
+
+    for window in ("tombstone-heal", "replay-prefreeze", "me-checkpoint"):
+        for fault in ("none", "drop"):
+            scenarios.append(CloneScenario("healed-disk", window, -1, fault, -1))
+    return scenarios
+
+
+def run_clone_scenario(scenario: CloneScenario, seed: int = 2018):
+    """Fresh world, one scripted campaign, detection + invariant verdict.
+    Returns a :class:`repro.attacks.cloning.CloneCampaignReport`."""
+    from repro.attacks import cloning
+
+    if scenario.campaign == "restore-window":
+        return cloning.run_restore_window_campaign(
+            scenario.window_seq,
+            fault=scenario.fault,
+            fault_seq=scenario.fault_seq,
+            seed=seed,
+            window_label=scenario.window,
+        )
+    if scenario.campaign == "wave-double-join":
+        return cloning.run_wave_double_join_campaign(
+            scenario.window_seq,
+            fault=scenario.fault,
+            fault_seq=scenario.fault_seq,
+            seed=seed,
+            window_label=scenario.window,
+        )
+    if scenario.campaign == "stale-session-replay":
+        return cloning.run_stale_session_replay_campaign(
+            scenario.window_seq,
+            fault=scenario.fault,
+            fault_seq=scenario.fault_seq,
+            seed=seed,
+            window_label=scenario.window,
+        )
+    if scenario.campaign == "healed-disk":
+        return cloning.run_healed_disk_campaign(
+            scenario.window, fault=scenario.fault, seed=seed
+        )
+    raise ValueError(f"unknown campaign {scenario.campaign!r}")
+
+
+def sweep_clone(seed: int = 2018, smoke: bool = False) -> list:
+    """Every clone campaign at every window; ``smoke`` keeps the first
+    scenario per (campaign, fault) cell — the ``make ci`` slice."""
+    scenarios = enumerate_clone_scenarios(seed)
+    if smoke:
+        first: dict[tuple[str, str], CloneScenario] = {}
+        for scenario in scenarios:
+            first.setdefault((scenario.campaign, scenario.fault), scenario)
+        scenarios = list(first.values())
+    return [run_clone_scenario(scenario, seed) for scenario in scenarios]
+
+
+def _main_clone(seed: int, smoke: bool) -> int:
+    scenarios = enumerate_clone_scenarios(seed)
+    slice_note = (
+        " (smoke slice: first scenario per campaign x fault cell)" if smoke else ""
+    )
+    print(
+        f"cloning-campaign sweep: {len(scenarios)} scenarios "
+        f"(campaign x protocol window x fault, seed {seed}){slice_note}"
+    )
+    reports = sweep_clone(seed, smoke=smoke)
+    failures = [r for r in reports if not r.ok]
+    latencies = [
+        r.detection_latency for r in reports if r.detected and r.detection_latency >= 0
+    ]
+    for report in reports:
+        marker = "FAIL" if report.violations else "ok"
+        fate = "fenced" if report.fenced else (
+            "detected" if report.detected else "UNDETECTED"
+        )
+        latency = (
+            f"latency={report.detection_latency:.6f}s"
+            if report.detected and report.detection_latency >= 0
+            else "latency=n/a"
+        )
+        print(
+            f"  [{marker:>4}] {report.campaign:<20} "
+            f"window={report.window:<16} fault={report.fault:<5} "
+            f"clone={report.clone_outcome:<28} {fate:<10} {latency}"
+        )
+        for violation in report.violations:
+            print(f"         !! {violation}")
+    detected = sum(1 for r in reports if r.detected)
+    fenced = sum(1 for r in reports if r.fenced)
+    if latencies:
+        mean = sum(latencies) / len(latencies)
+        print(
+            f"detection latency (virtual): mean {mean:.6f}s, "
+            f"max {max(latencies):.6f}s over {len(latencies)} detections"
+        )
+    print(
+        f"{len(reports)} scenarios, {detected} clones detected, "
+        f"{fenced} fenced, {len(failures)} invariant violations "
+        f"(R3: never two live instances; R4: counters never regress)"
+    )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     session_resumption = "--session-resumption" in args
     batched = "--batched" in args
     disk = "--disk" in args
     fleet = "--fleet" in args
+    clone = "--clone" in args
     smoke = "--smoke" in args
     args = [
         a
         for a in args
-        if a not in ("--session-resumption", "--batched", "--disk", "--fleet", "--smoke")
+        if a
+        not in (
+            "--session-resumption",
+            "--batched",
+            "--disk",
+            "--fleet",
+            "--clone",
+            "--smoke",
+        )
     ]
     seed = int(args[0]) if args else 2018
     if disk:
         return _main_disk(seed, smoke)
     if fleet:
         return _main_fleet(seed, smoke)
+    if clone:
+        return _main_clone(seed, smoke)
     probe = probe_batched_message_sequence if batched else probe_message_sequence
     trace = probe(seed, session_resumption)
     mode = "on" if session_resumption else "off"

@@ -6,9 +6,21 @@ Operator intents (``drain``, ``rebalance``, ``evacuate``) become ordered
 :class:`~repro.core.api.MigrationRequest` path with durable progress
 journaling (:class:`FleetPlanJournal`), so a planner crash at any wave
 boundary is recoverable via :meth:`FleetService.resume_plan`.
+
+:class:`SingleInstanceRegistry` (``repro.fleet.registry``) is the fleet's
+clone-detection arbiter: at most one live instance per guarded enclave
+identity (invariant R3 against the cloning-window attacks of Briongos et
+al.), enforced through epoch-monotonic claims, host-bound liveness probes,
+and ME heartbeats, with deny-by-default when the registry is unreachable.
 """
 
-from repro.errors import PlanInfeasibleError, PreflightError
+from repro.errors import (
+    CloneDetectedError,
+    FencedInstanceError,
+    PlanInfeasibleError,
+    PreflightError,
+    RegistryUnavailableError,
+)
 from repro.fleet.journal import FleetPlanJournal, FleetPlanRecord
 from repro.fleet.model import (
     FleetConstraints,
@@ -26,9 +38,13 @@ from repro.fleet.planner import (
     plan_rebalance,
 )
 from repro.fleet.preflight import run_preflight
+from repro.fleet.registry import CloneIncident, SingleInstanceRegistry
 from repro.fleet.service import FleetService, resume_plan
 
 __all__ = [
+    "CloneDetectedError",
+    "CloneIncident",
+    "FencedInstanceError",
     "FleetConstraints",
     "FleetMember",
     "FleetPlanJournal",
@@ -39,6 +55,8 @@ __all__ = [
     "PlanResult",
     "PlannedMove",
     "PreflightError",
+    "RegistryUnavailableError",
+    "SingleInstanceRegistry",
     "Wave",
     "WaveOutcome",
     "pack_waves",

@@ -19,10 +19,18 @@ metadata only, and rejects the wave with a typed
 4. **Source journal idle** — no member is mid-transaction: a pending
    migration journal means a previous attempt must be resumed (or
    completed) before the fleet re-plans that member.
+5. **Registry adjudicable** — when the fleet carries a single-instance
+   registry (clone defense, :mod:`repro.fleet.registry`), it must be
+   reachable and must not have fenced an instance on a wave machine:
+   dispatching a wave opens exactly the RESTORE/MIGRATE windows the
+   cloning attacks race, so an unavailable arbiter means deny-by-default,
+   and an unresolved clone incident on a participating machine means the
+   operator investigates before moving more state there.
 
 No ECALLs and no network traffic: pre-flight must be free to run (and
 re-run, after a planner crash) without perturbing the protocol's measured
-message sequence.
+message sequence.  The registry check reads host-side state only (the
+``offline`` flag and the recorded incident log).
 """
 
 from __future__ import annotations
@@ -45,6 +53,24 @@ def run_preflight(service, wave: Wave) -> None:
     for move in wave.moves:
         incoming[move.destination] += 1
         outgoing[move.source] += 1
+
+    # 5. registry adjudicable (deny-by-default while it is unreachable)
+    registry = getattr(service, "registry", None)
+    if registry is not None:
+        if registry.offline:
+            raise PreflightError(
+                f"wave {wave.index}: single-instance registry unavailable — "
+                "refusing to open a migration window it cannot adjudicate"
+            )
+        machines = {move.source for move in wave.moves}
+        machines |= {move.destination for move in wave.moves}
+        for machine in sorted(machines):
+            if registry.has_incident_on(machine):
+                raise PreflightError(
+                    f"wave {wave.index}: unresolved clone incident on "
+                    f"{machine!r} (clear the registry incident log after "
+                    "investigating before re-planning this machine)"
+                )
 
     for move in wave.moves:
         member = service.members.get(move.app_name)

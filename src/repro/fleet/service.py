@@ -109,6 +109,12 @@ class FleetService:
     #: in the same order with the same RNG draws; only the virtual timing
     #: differs.
     dispatch: str = "serial"
+    #: Optional :class:`~repro.fleet.registry.SingleInstanceRegistry`.
+    #: When set, pre-flight refuses to dispatch while the registry is
+    #: unreachable (deny-by-default — a wave must not open a cloning
+    #: window the arbiter cannot adjudicate) and ``status()`` reports
+    #: clone incidents.
+    registry: object = None
     members: dict[str, FleetMember] = field(default_factory=dict)
     #: The scheduler of the most recent concurrent wave (observability:
     #: event log, per-machine CPU busy totals, makespan).
@@ -599,22 +605,68 @@ class FleetService:
 
     # -------------------------------------------------------------- status
     def status(self) -> str:
-        """Human-readable placement table + plan journal state."""
+        """Human-readable placement table + plan journal state.
+
+        Surfaces the journal-v2 group cursor per plan: which (wave,
+        destination) groups are already recorded done — exactly the groups
+        a :meth:`resume_plan` would skip outright — against the current
+        wave's group total.  A multi-plan dispatch (:meth:`apply_many`)
+        lists every plan the index names."""
         lines = ["fleet placements:"]
         for machine, names in self.placements().items():
             lines.append(f"  {machine}: {', '.join(names) or '(empty)'}")
-        record = self.journal().read()
-        if record is None:
-            lines.append("plan journal: no plan in progress")
+        storage = self._control_storage()
+        labels = FleetPlanIndex(storage).read()
+        if labels:
+            lines.append(f"multi-plan dispatch: {len(labels)} plans indexed")
+            for label in labels:
+                journal = FleetPlanJournal(storage, owner=label)
+                lines.extend(
+                    self._plan_status_lines(journal.read(), label=label)
+                )
         else:
-            total = len(record.waves)
-            state = "started" if record.wave_started else "pending"
+            lines.extend(self._plan_status_lines(self.journal().read()))
+        if self.registry is not None:
+            state = (
+                "offline (deny-by-default)" if self.registry.offline
+                else "online"
+            )
             lines.append(
-                f"plan journal: {record.intent} — wave "
-                f"{record.next_wave}/{total} {state} "
-                f"(generation {record.generation})"
+                f"instance registry: {state}, "
+                f"{self.registry.incident_count()} clone incidents"
             )
         return "\n".join(lines)
+
+    def _plan_status_lines(self, record, *, label: str = "") -> list[str]:
+        """Status lines for one journaled plan (or its absence)."""
+        prefix = f"plan journal [{label}]" if label else "plan journal"
+        if record is None:
+            return [f"{prefix}: no plan in progress"]
+        total = len(record.waves)
+        state = "started" if record.wave_started else "pending"
+        lines = [
+            f"{prefix}: {record.intent} — wave "
+            f"{record.next_wave}/{total} {state} "
+            f"(generation {record.generation})"
+        ]
+        if record.wave_started and record.next_wave < total:
+            wave = record.plan_waves()[record.next_wave]
+            group_total = len(self._wave_groups(wave))
+            done = sorted(record.done_groups)
+            lines.append(
+                f"  groups done (skipped on resume): "
+                f"{len(done)}/{group_total}"
+                + (f" — {', '.join(done)}" if done else "")
+            )
+        elif record.done_groups:
+            # A crash between a group boundary and the wave-done boundary
+            # can leave stale group entries with the wave cursor advanced;
+            # show them rather than hide progress.
+            lines.append(
+                "  groups done (skipped on resume): "
+                + ", ".join(sorted(record.done_groups))
+            )
+        return lines
 
 
 def resume_plan(service: FleetService) -> PlanResult:

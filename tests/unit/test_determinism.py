@@ -114,6 +114,37 @@ class TestSeedDeterminism:
         b = run_disk_scenario(scenario, seed=2018)
         assert asdict(a) == asdict(b)
 
+    def test_chaos_clone_enumeration_matches_golden_file(self):
+        """The clone sweep's scenario grid (campaign x protocol window x
+        fault) is pinned: silently losing a cloning window means silently
+        losing adversarial coverage."""
+        from dataclasses import asdict
+
+        from repro.faults.chaos import enumerate_clone_scenarios
+
+        golden = json.loads((GOLDEN_DIR / "chaos_clone_seed2018.json").read_text())
+        scenarios = [asdict(s) for s in enumerate_clone_scenarios(2018)]
+        assert len(scenarios) == golden["scenario_count"]
+        assert scenarios == golden["scenarios"]
+
+    def test_chaos_clone_scenario_report_identical_under_seed(self):
+        """One full cloning campaign (clone launched mid-window, fenced by
+        the registry, invariants checked) replayed twice from the same
+        seed must produce the identical report — detection latency in
+        virtual time included."""
+        from dataclasses import asdict
+
+        from repro.faults.chaos import enumerate_clone_scenarios, run_clone_scenario
+
+        scenario = next(
+            s
+            for s in enumerate_clone_scenarios(2018)
+            if s.campaign == "restore-window" and s.fault == "drop"
+        )
+        a = run_clone_scenario(scenario, seed=2018)
+        b = run_clone_scenario(scenario, seed=2018)
+        assert asdict(a) == asdict(b)
+
     def test_datacenter_key_material_deterministic(self):
         dc1 = DataCenter(name="same", seed=5)
         dc2 = DataCenter(name="same", seed=5)
